@@ -1,0 +1,102 @@
+// Experiment E7 — the chosen-memo choice runtime (paper Section 2).
+//
+// "An efficient implementation for choice programs only requires
+// memorization of the chosen predicates; from these, the diffChoice
+// predicates can be generated on-the-fly." The table scales Example 1's
+// bi-injective assignment and a recursive choice program (Example 3's
+// spanning tree) and reports time per candidate: the FD probes are O(1)
+// hash lookups, so both columns should fit slope ~1 (Lemma 2's
+// polynomial — here linear — data complexity).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "api/engine.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "greedy/spanning_tree.h"
+#include "workload/graph_gen.h"
+
+namespace gdlog {
+namespace {
+
+/// Example 1 at scale: n students x n courses, 4 enrolments per student.
+std::unique_ptr<Engine> RunAssignment(uint32_t n) {
+  auto e = std::make_unique<Engine>();
+  GDLOG_CHECK(e->LoadProgram(R"(
+    a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs).
+  )").ok());
+  Rng rng(17);
+  for (uint32_t st = 0; st < n; ++st) {
+    for (int k = 0; k < 4; ++k) {
+      const auto crs = static_cast<int64_t>(rng.NextBounded(n));
+      GDLOG_CHECK(e->AddFact("takes",
+                             {Value::Int(st), Value::Int(crs)}).ok());
+    }
+  }
+  GDLOG_CHECK(e->Run().ok());
+  return e;
+}
+
+void PrintExperimentTable() {
+  bench::ExperimentTable table(
+      "E7: choice runtime — Example 1 assignment (4n enrolments) and "
+      "Example 3 spanning tree (e = 4n)",
+      "n",
+      {"assign_ms", "assigned", "sptree_ms", "sptree_cands"});
+  for (uint32_t n : {1000u, 2000u, 4000u, 8000u, 16000u}) {
+    double assigned = 0;
+    const double assign_s = bench::MeasureSeconds([&] {
+      auto e = RunAssignment(n);
+      assigned = static_cast<double>(e->Query("a_st", 2).size());
+    }, /*reps=*/2);
+
+    GraphGenOptions gopts;
+    gopts.seed = 4;
+    const Graph g = ConnectedRandomGraph(n, 3 * n, gopts);
+    double cands = 0;
+    const double st_s = bench::MeasureSeconds([&] {
+      auto r = ComputeSpanningTree(g, 0);
+      GDLOG_CHECK(r.ok());
+      GDLOG_CHECK_EQ(r->edges.size(), g.num_nodes - 1);
+      const CandidateQueueStats* qs = r->engine->QueueStats(0);
+      cands = qs ? static_cast<double>(qs->inserted) : 0;
+    }, /*reps=*/2);
+    table.AddRow(n, {assign_s * 1e3, assigned, st_s * 1e3, cands});
+  }
+  table.Print();
+}
+
+void BM_ChoiceAssignment(benchmark::State& state) {
+  for (auto _ : state) {
+    auto e = RunAssignment(static_cast<uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(e->Query("a_st", 2).size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChoiceAssignment)->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Complexity();
+
+void BM_ChoiceSpanningTree(benchmark::State& state) {
+  GraphGenOptions gopts;
+  gopts.seed = 4;
+  const Graph g = ConnectedRandomGraph(
+      static_cast<uint32_t>(state.range(0)), 3 * state.range(0), gopts);
+  for (auto _ : state) {
+    auto r = ComputeSpanningTree(g, 0);
+    benchmark::DoNotOptimize(r->edges.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChoiceSpanningTree)->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Complexity();
+
+}  // namespace
+}  // namespace gdlog
+
+int main(int argc, char** argv) {
+  gdlog::PrintExperimentTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

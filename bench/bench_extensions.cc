@@ -1,0 +1,111 @@
+// Experiments E10/E11 — extension algorithms beyond the paper's printed
+// list, showing the stage-stratified style generalizes as Section 5
+// promises ("several scheduling algorithms and others").
+//
+// E10: Dijkstra SSSP as a stage program vs procedural lazy-deletion
+//      Dijkstra — both O(e log e), so slopes ~1 and a flat ratio.
+// E11: activity selection vs procedural earliest-finish-first — both
+//      O(n log n).
+#include <benchmark/benchmark.h>
+
+#include "baselines/dijkstra.h"
+#include "baselines/scheduling.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "greedy/dijkstra.h"
+#include "greedy/scheduling.h"
+#include "workload/graph_gen.h"
+#include "workload/interval_gen.h"
+
+namespace gdlog {
+namespace {
+
+Graph MakeGraph(uint32_t n) {
+  GraphGenOptions opts;
+  opts.seed = 31;
+  return ConnectedRandomGraph(n, 3 * n, opts);
+}
+
+void PrintSsspTable() {
+  bench::ExperimentTable table(
+      "E10: Dijkstra SSSP — declarative stage program vs procedural "
+      "lazy-deletion Dijkstra (e = 4n)",
+      "e", {"engine_ms", "baseline_ms", "ratio", "settled"});
+  for (uint32_t n : {250u, 500u, 1000u, 2000u, 4000u}) {
+    const Graph g = MakeGraph(n);
+    size_t settled = 0;
+    const double engine_s = bench::MeasureSeconds([&] {
+      auto r = DijkstraSssp(g, 0);
+      GDLOG_CHECK(r.ok());
+      settled = r->settled.size();
+    }, /*reps=*/2);
+    const double base_s = bench::MeasureSeconds([&] {
+      benchmark::DoNotOptimize(BaselineDijkstra(g, 0).data());
+    });
+    table.AddRow(static_cast<double>(g.edges.size()),
+                 {engine_s * 1e3, base_s * 1e3, engine_s / base_s,
+                  static_cast<double>(settled)});
+  }
+  table.Print();
+}
+
+void PrintSchedulingTable() {
+  bench::ExperimentTable table(
+      "E11: activity selection — declarative scheduling program vs "
+      "procedural earliest-finish-first",
+      "n", {"engine_ms", "baseline_ms", "ratio", "selected"});
+  for (uint32_t n : {500u, 1000u, 2000u, 4000u, 8000u}) {
+    IntervalGenOptions opts;
+    opts.seed = 13;
+    const auto jobs = RandomIntervals(n, opts);
+    size_t selected = 0;
+    const double engine_s = bench::MeasureSeconds([&] {
+      auto r = SelectActivities(jobs);
+      GDLOG_CHECK(r.ok());
+      selected = r->jobs.size();
+    }, /*reps=*/2);
+    size_t base_selected = 0;
+    const double base_s = bench::MeasureSeconds([&] {
+      base_selected = BaselineSelectActivities(jobs).size();
+    });
+    GDLOG_CHECK_EQ(selected, base_selected);
+    table.AddRow(n, {engine_s * 1e3, base_s * 1e3, engine_s / base_s,
+                     static_cast<double>(selected)});
+  }
+  table.Print();
+}
+
+void BM_DijkstraEngine(benchmark::State& state) {
+  const Graph g = MakeGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = DijkstraSssp(g, 0);
+    benchmark::DoNotOptimize(r->settled.size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(g.edges.size()));
+}
+BENCHMARK(BM_DijkstraEngine)->Arg(250)->Arg(1000)->Arg(4000)->Complexity();
+
+void BM_SchedulingEngine(benchmark::State& state) {
+  IntervalGenOptions opts;
+  opts.seed = 13;
+  const auto jobs = RandomIntervals(static_cast<uint32_t>(state.range(0)),
+                                    opts);
+  for (auto _ : state) {
+    auto r = SelectActivities(jobs);
+    benchmark::DoNotOptimize(r->jobs.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SchedulingEngine)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Complexity();
+
+}  // namespace
+}  // namespace gdlog
+
+int main(int argc, char** argv) {
+  gdlog::PrintSsspTable();
+  gdlog::PrintSchedulingTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

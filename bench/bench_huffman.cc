@@ -1,0 +1,78 @@
+// Experiment E5 — Huffman trees (paper Example 6).
+//
+// The paper gives no explicit bound for Example 6; the candidate pool
+// is the feasible pairs, which grow by O(k) per merge (each new subtree
+// pairs with the unused ones), so the expected declarative shape is
+// ~O(k^2 log k) against the procedural O(k log k) priority-queue
+// construction: declarative slope ~2, procedural ~1, total cost equal.
+#include <benchmark/benchmark.h>
+
+#include "baselines/huffman.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "greedy/huffman.h"
+#include "workload/text_gen.h"
+
+namespace gdlog {
+namespace {
+
+std::vector<std::pair<std::string, int64_t>> MakeFreqs(uint32_t k) {
+  TextGenOptions opts;
+  opts.seed = 3;
+  return ZipfLetterFrequencies(k, opts);
+}
+
+void PrintExperimentTable() {
+  bench::ExperimentTable table(
+      "E5: Huffman tree — declarative Example 6 vs procedural priority "
+      "queue (k symbols)",
+      "k", {"engine_ms", "baseline_ms", "ratio", "feasible_pairs"});
+  for (uint32_t k : {8u, 16u, 32u, 64u, 128u}) {
+    const auto freqs = MakeFreqs(k);
+    int64_t engine_cost = 0, base_cost = 0;
+    double feasible = 0;
+    const double engine_s = bench::MeasureSeconds([&] {
+      auto r = HuffmanTree(freqs);
+      GDLOG_CHECK(r.ok());
+      engine_cost = r->total_cost;
+      const Relation* f = r->engine->Find("feasible", 3);
+      feasible = f ? static_cast<double>(f->size()) : 0;
+    }, /*reps=*/2);
+    const double base_s = bench::MeasureSeconds([&] {
+      base_cost = BaselineHuffman(freqs).total_cost;
+    });
+    GDLOG_CHECK_EQ(engine_cost, base_cost);
+    table.AddRow(k, {engine_s * 1e3, base_s * 1e3, engine_s / base_s,
+                     feasible});
+  }
+  table.Print();
+}
+
+void BM_HuffmanEngine(benchmark::State& state) {
+  const auto freqs = MakeFreqs(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = HuffmanTree(freqs);
+    benchmark::DoNotOptimize(r->total_cost);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HuffmanEngine)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_HuffmanBaseline(benchmark::State& state) {
+  const auto freqs = MakeFreqs(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BaselineHuffman(freqs).total_cost);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HuffmanBaseline)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+}  // namespace
+}  // namespace gdlog
+
+int main(int argc, char** argv) {
+  gdlog::PrintExperimentTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

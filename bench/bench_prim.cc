@@ -1,0 +1,84 @@
+// Experiment E1 — Prim's algorithm (paper Section 6, "Prim's
+// Algorithm: Complexity of Example 4").
+//
+// Claim: the fixpoint evaluation of Example 4 with the (R,Q,L) structure
+// runs in O(e log e), "comparable to the classical complexity of
+// O(e log n)". The table sweeps connected random graphs with e = 4n and
+// reports engine vs procedural-Prim time: both columns should fit a
+// near-linear slope (~1 in e, log factors flatten it slightly above 1)
+// and the ratio should stay roughly constant — the paper's
+// "asymptotically comparable" shape.
+#include <benchmark/benchmark.h>
+
+#include "baselines/prim.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "greedy/prim.h"
+#include "workload/graph_gen.h"
+
+namespace gdlog {
+namespace {
+
+Graph MakeGraph(uint32_t n, uint64_t seed = 42) {
+  GraphGenOptions opts;
+  opts.seed = seed;
+  return ConnectedRandomGraph(n, 3 * n, opts);  // e ~ 4n
+}
+
+void PrintExperimentTable() {
+  bench::ExperimentTable table(
+      "E1: Prim MST — declarative Example 4 vs procedural heap Prim "
+      "(e = 4n)",
+      "e", {"engine_ms", "baseline_ms", "ratio", "q_max", "q_inserted"});
+  for (uint32_t n : {250u, 500u, 1000u, 2000u, 4000u, 8000u}) {
+    const Graph g = MakeGraph(n);
+    int64_t engine_cost = 0, base_cost = 0;
+    const CandidateQueueStats* qs = nullptr;
+    std::unique_ptr<Engine> keep;
+    const double engine_s = bench::MeasureSeconds([&] {
+      auto r = PrimMst(g, 0);
+      GDLOG_CHECK(r.ok());
+      engine_cost = r->total_cost;
+      keep = std::move(r->engine);
+    });
+    qs = keep->QueueStats(0);
+    const double base_s = bench::MeasureSeconds([&] {
+      base_cost = BaselinePrim(g, 0).total_cost;
+    });
+    GDLOG_CHECK_EQ(engine_cost, base_cost);
+    table.AddRow(static_cast<double>(g.edges.size()),
+                 {engine_s * 1e3, base_s * 1e3, engine_s / base_s,
+                  static_cast<double>(qs ? qs->max_queue : 0),
+                  static_cast<double>(qs ? qs->inserted : 0)});
+  }
+  table.Print();
+}
+
+void BM_PrimEngine(benchmark::State& state) {
+  const Graph g = MakeGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = PrimMst(g, 0);
+    benchmark::DoNotOptimize(r->total_cost);
+  }
+  state.SetComplexityN(static_cast<int64_t>(g.edges.size()));
+}
+BENCHMARK(BM_PrimEngine)->Arg(250)->Arg(1000)->Arg(4000)->Complexity();
+
+void BM_PrimBaseline(benchmark::State& state) {
+  const Graph g = MakeGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BaselinePrim(g, 0).total_cost);
+  }
+  state.SetComplexityN(static_cast<int64_t>(g.edges.size()));
+}
+BENCHMARK(BM_PrimBaseline)->Arg(250)->Arg(1000)->Arg(4000)->Complexity();
+
+}  // namespace
+}  // namespace gdlog
+
+int main(int argc, char** argv) {
+  gdlog::PrintExperimentTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

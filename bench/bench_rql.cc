@@ -1,0 +1,100 @@
+// Experiment E8 — the (R,Q,L) storage structure ablation (paper
+// Section 6).
+//
+// Section 6's complexity results hinge on two ingredients of D_r:
+//   (a) Q_r is a *priority queue*: retrieve-least is O(log |Q|), not a
+//       linear re-scan;
+//   (b) r-congruent candidates merge at insertion, bounding |Q| by the
+//       number of congruence classes (n for Prim instead of e).
+// This bench runs declarative Prim under three configurations —
+// full structure, merge disabled, and priority queue replaced by the
+// naive O(|Q|) linear scan — on the same graphs. Expected shape: the
+// linear-scan column grows with a clearly higher slope; merge-off stays
+// asymptotically equal with a larger queue.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "greedy/prim.h"
+#include "workload/graph_gen.h"
+
+namespace gdlog {
+namespace {
+
+Graph MakeGraph(uint32_t n) {
+  GraphGenOptions opts;
+  opts.seed = 29;
+  return ConnectedRandomGraph(n, 3 * n, opts);
+}
+
+EngineOptions Config(bool merge, bool pq) {
+  EngineOptions o;
+  o.eval.use_merge_congruence = merge;
+  o.eval.use_priority_queue = pq;
+  return o;
+}
+
+void PrintExperimentTable() {
+  bench::ExperimentTable table(
+      "E8: (R,Q,L) ablation on declarative Prim — full vs no-merge vs "
+      "linear-scan least (e = 4n)",
+      "n",
+      {"full_ms", "nomerge_ms", "linscan_ms", "qmax_full", "qmax_nomerge"});
+  for (uint32_t n : {250u, 500u, 1000u, 2000u, 4000u}) {
+    const Graph g = MakeGraph(n);
+    int64_t expected = -1;
+    double qmax_full = 0, qmax_nomerge = 0;
+    const double full_s = bench::MeasureSeconds([&] {
+      auto r = PrimMst(g, 0, Config(true, true));
+      GDLOG_CHECK(r.ok());
+      expected = r->total_cost;
+      const CandidateQueueStats* qs = r->engine->QueueStats(0);
+      qmax_full = qs ? static_cast<double>(qs->max_queue) : 0;
+    }, /*reps=*/2);
+    const double nomerge_s = bench::MeasureSeconds([&] {
+      auto r = PrimMst(g, 0, Config(false, true));
+      GDLOG_CHECK_EQ(r->total_cost, expected);
+      const CandidateQueueStats* qs = r->engine->QueueStats(0);
+      qmax_nomerge = qs ? static_cast<double>(qs->max_queue) : 0;
+    }, /*reps=*/2);
+    const double linscan_s = bench::MeasureSeconds([&] {
+      auto r = PrimMst(g, 0, Config(true, false));
+      GDLOG_CHECK_EQ(r->total_cost, expected);
+    }, /*reps=*/1);
+    table.AddRow(n, {full_s * 1e3, nomerge_s * 1e3, linscan_s * 1e3,
+                     qmax_full, qmax_nomerge});
+  }
+  table.Print();
+}
+
+void BM_PrimFullStructure(benchmark::State& state) {
+  const Graph g = MakeGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = PrimMst(g, 0, Config(true, true));
+    benchmark::DoNotOptimize(r->total_cost);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PrimFullStructure)->Arg(250)->Arg(1000)->Arg(4000)
+    ->Complexity();
+
+void BM_PrimLinearScanLeast(benchmark::State& state) {
+  const Graph g = MakeGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = PrimMst(g, 0, Config(true, false));
+    benchmark::DoNotOptimize(r->total_cost);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PrimLinearScanLeast)->Arg(250)->Arg(1000)->Arg(2000)
+    ->Complexity();
+
+}  // namespace
+}  // namespace gdlog
+
+int main(int argc, char** argv) {
+  gdlog::PrintExperimentTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

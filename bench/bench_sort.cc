@@ -1,0 +1,90 @@
+// Experiment E2 — Sorting (paper Section 6, "Sorting: Complexity of
+// Example 5").
+//
+// Claim: the fixpoint implementation of the declarative sort runs in
+// O(n log n); "although the program expresses an 'insertion sort' like
+// algorithm, the fixpoint algorithm implements a 'heap-sort'". The
+// table sweeps n and compares against an explicit heap-sort and
+// std::sort; all three should fit slope ~1 and the queue's high-water
+// mark must equal n (every tuple sits in the priority queue).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "baselines/heapsort.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "greedy/sort.h"
+#include "workload/relation_gen.h"
+
+namespace gdlog {
+namespace {
+
+std::vector<std::pair<int64_t, int64_t>> MakeInput(uint32_t n) {
+  RelationGenOptions opts;
+  opts.seed = 7;
+  return RandomCostedRelation(n, opts);
+}
+
+void PrintExperimentTable() {
+  bench::ExperimentTable table(
+      "E2: Sorting — declarative Example 5 vs heap-sort vs std::sort",
+      "n", {"engine_ms", "heapsort_ms", "stdsort_ms", "ratio_vs_heap",
+            "q_max"});
+  for (uint32_t n : {500u, 1000u, 2000u, 4000u, 8000u, 16000u}) {
+    const auto input = MakeInput(n);
+    std::unique_ptr<Engine> keep;
+    const double engine_s = bench::MeasureSeconds([&] {
+      auto r = SortRelation(input);
+      GDLOG_CHECK(r.ok());
+      keep = std::move(r->engine);
+    });
+    const double heap_s = bench::MeasureSeconds([&] {
+      auto out = BaselineHeapSort(input);
+      benchmark::DoNotOptimize(out.data());
+    });
+    const double std_s = bench::MeasureSeconds([&] {
+      auto copy = input;
+      std::sort(copy.begin(), copy.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second < b.second;
+                });
+      benchmark::DoNotOptimize(copy.data());
+    });
+    const CandidateQueueStats* qs = keep->QueueStats(0);
+    table.AddRow(n, {engine_s * 1e3, heap_s * 1e3, std_s * 1e3,
+                     engine_s / heap_s,
+                     static_cast<double>(qs ? qs->max_queue : 0)});
+  }
+  table.Print();
+}
+
+void BM_SortEngine(benchmark::State& state) {
+  const auto input = MakeInput(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = SortRelation(input);
+    benchmark::DoNotOptimize(r->sorted.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SortEngine)->Arg(500)->Arg(2000)->Arg(8000)->Complexity();
+
+void BM_SortHeapBaseline(benchmark::State& state) {
+  const auto input = MakeInput(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto out = BaselineHeapSort(input);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SortHeapBaseline)->Arg(500)->Arg(2000)->Arg(8000)->Complexity();
+
+}  // namespace
+}  // namespace gdlog
+
+int main(int argc, char** argv) {
+  gdlog::PrintExperimentTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment E6 — Greedy TSP chain (paper Section 5, "Computation of
+// Sub-Optimals").
+//
+// The chain on a complete graph performs n pops of up to O(n) fresh
+// candidates per step, so the declarative cost is ~O(n^2 log n) against
+// the procedural O(n^2) scan — both slope ~2 in n; the chains and
+// totals are identical. The table also reports the greedy total against
+// a crude tour lower bound (sum of each node's cheapest incident arc)
+// to show the heuristic's sub-optimality band.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "baselines/tsp.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "greedy/tsp.h"
+#include "workload/graph_gen.h"
+
+namespace gdlog {
+namespace {
+
+Graph MakeGraph(uint32_t n) {
+  GraphGenOptions opts;
+  opts.seed = 5;
+  return CompleteGraph(n, opts);
+}
+
+double TourLowerBound(const Graph& g) {
+  std::vector<int64_t> best(g.num_nodes,
+                            std::numeric_limits<int64_t>::max());
+  for (const GraphEdge& e : g.edges) {
+    best[e.u] = std::min(best[e.u], e.w);
+    best[e.v] = std::min(best[e.v], e.w);
+  }
+  double sum = 0;
+  for (int64_t b : best) sum += static_cast<double>(b);
+  return sum;
+}
+
+void PrintExperimentTable() {
+  bench::ExperimentTable table(
+      "E6: Greedy TSP chain — declarative program vs procedural greedy "
+      "(complete graph)",
+      "n", {"engine_ms", "baseline_ms", "ratio", "chain_arcs",
+            "cost_vs_lb"});
+  for (uint32_t n : {20u, 40u, 80u, 160u, 320u}) {
+    const Graph g = MakeGraph(n);
+    int64_t engine_cost = 0, base_cost = 0;
+    size_t arcs = 0;
+    const double engine_s = bench::MeasureSeconds([&] {
+      auto r = GreedyTspChain(g);
+      GDLOG_CHECK(r.ok());
+      engine_cost = r->total_cost;
+      arcs = r->chain.size();
+    }, /*reps=*/2);
+    const double base_s = bench::MeasureSeconds([&] {
+      base_cost = BaselineGreedyTsp(g).total_cost;
+    });
+    GDLOG_CHECK_EQ(engine_cost, base_cost);
+    table.AddRow(n, {engine_s * 1e3, base_s * 1e3, engine_s / base_s,
+                     static_cast<double>(arcs),
+                     static_cast<double>(engine_cost) / TourLowerBound(g)});
+  }
+  table.Print();
+}
+
+void BM_TspEngine(benchmark::State& state) {
+  const Graph g = MakeGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = GreedyTspChain(g);
+    benchmark::DoNotOptimize(r->total_cost);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TspEngine)->Arg(20)->Arg(80)->Arg(320)->Complexity();
+
+void BM_TspBaseline(benchmark::State& state) {
+  const Graph g = MakeGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BaselineGreedyTsp(g).total_cost);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TspBaseline)->Arg(20)->Arg(80)->Arg(320)->Complexity();
+
+}  // namespace
+}  // namespace gdlog
+
+int main(int argc, char** argv) {
+  gdlog::PrintExperimentTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gdlog {
+namespace bench {
+
+double MeasureSeconds(const std::function<void()>& fn, int reps) {
+  double best = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+ExperimentTable::ExperimentTable(std::string title, std::string x_name,
+                                 std::vector<std::string> columns)
+    : title_(std::move(title)),
+      x_name_(std::move(x_name)),
+      columns_(std::move(columns)) {}
+
+void ExperimentTable::AddRow(double x, std::vector<double> values) {
+  xs_.push_back(x);
+  rows_.push_back(std::move(values));
+}
+
+double ExperimentTable::FitSlope(size_t col) const {
+  // Least-squares fit of log(y) = a * log(x) + b.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    if (xs_[i] <= 0 || rows_[i][col] <= 0) continue;
+    const double lx = std::log(xs_[i]);
+    const double ly = std::log(rows_[i][col]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0;
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+void ExperimentTable::Print() const {
+  std::printf("\n=== %s ===\n", title_.c_str());
+  std::printf("%12s", x_name_.c_str());
+  for (const std::string& c : columns_) std::printf("  %14s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    std::printf("%12.0f", xs_[i]);
+    for (double v : rows_[i]) std::printf("  %14.4f", v);
+    std::printf("\n");
+  }
+  std::printf("%12s", "slope");
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("  %14.2f", FitSlope(c));
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace gdlog

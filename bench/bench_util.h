@@ -1,0 +1,47 @@
+// Shared harness for the experiment tables (EXPERIMENTS.md).
+//
+// Each bench binary prints its experiment table — a scaling series with
+// engine/baseline timings, ratios, and fitted log-log slopes — and then
+// runs its registered google-benchmark micro-benchmarks.
+#ifndef GDLOG_BENCH_BENCH_UTIL_H_
+#define GDLOG_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gdlog {
+namespace bench {
+
+/// Wall-clock seconds for one invocation of fn, best of `reps`.
+double MeasureSeconds(const std::function<void()>& fn, int reps = 3);
+
+/// A printable experiment table: one independent variable (the scale)
+/// and named measurement columns.
+class ExperimentTable {
+ public:
+  ExperimentTable(std::string title, std::string x_name,
+                  std::vector<std::string> columns);
+
+  void AddRow(double x, std::vector<double> values);
+
+  /// Fitted slope of log(col) vs log(x) — the empirical complexity
+  /// exponent of that column.
+  double FitSlope(size_t col) const;
+
+  /// Prints the table and per-column fitted slopes to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::string x_name_;
+  std::vector<std::string> columns_;
+  std::vector<double> xs_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace bench
+}  // namespace gdlog
+
+#endif  // GDLOG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,83 @@
+// The paper's running example (Examples 1 and 2): assigning one student
+// per course and one course per student with choice, exploring the
+// different stable models with tie-break seeds, and the bi_st_c
+// combination of least and choice from Section 2.
+//
+//   $ ./example_course_assignment
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "api/engine.h"
+
+namespace {
+
+constexpr char kFacts[] = R"(
+  takes(andy, engl, 4).
+  takes(mark, engl, 2).
+  takes(ann, math, 3).
+  takes(mark, math, 2).
+)";
+
+void ShowAssignments() {
+  std::printf("Example 1 — one student per course, one course per "
+              "student:\n");
+  std::set<std::string> models;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    gdlog::EngineOptions opts;
+    opts.eval.choice_seed = seed;
+    gdlog::Engine e(opts);
+    std::string program = std::string(kFacts) +
+        "a_st(St, Crs, G) <- takes(St, Crs, G), choice(Crs, St), "
+        "choice(St, Crs).";
+    if (!e.LoadProgram(program).ok() || !e.Run().ok()) return;
+    std::set<std::string> lines;  // canonical order for model identity
+    for (const auto& row : e.Query("a_st", 3)) {
+      std::string line = "  a_st(";
+      line += e.store().SymbolName(row[0]);
+      line += ", ";
+      line += e.store().SymbolName(row[1]);
+      line += ", " + std::to_string(row[2].AsInt()) + ")\n";
+      lines.insert(std::move(line));
+    }
+    std::string model;
+    for (const std::string& l : lines) model += l;
+    if (models.insert(model).second) {
+      std::printf("choice model (seed %llu):\n%s",
+                  static_cast<unsigned long long>(seed), model.c_str());
+    }
+  }
+  std::printf("(%zu distinct stable models reached; the paper lists "
+              "three)\n\n",
+              models.size());
+}
+
+void ShowBiStC() {
+  std::printf("Section 2 — bi-injective pairs with the lowest grades "
+              "above 1 (least + choice):\n");
+  gdlog::Engine e;
+  std::string program = std::string(kFacts) +
+      "bi_st_c(St, Crs, G) <- takes(St, Crs, G), G > 1, least(G), "
+      "choice(St, Crs), choice(Crs, St).";
+  if (!e.LoadProgram(program).ok() || !e.Run().ok()) return;
+  for (const auto& row : e.Query("bi_st_c", 3)) {
+    std::printf("  bi_st_c(%s, %s, %lld)\n",
+                std::string(e.store().SymbolName(row[0])).c_str(),
+                std::string(e.store().SymbolName(row[1])).c_str(),
+                static_cast<long long>(row[2].AsInt()));
+  }
+  auto rewritten = e.RewrittenProgramText();
+  if (rewritten.ok()) {
+    std::printf("\nIts first-order rewriting (choice before least, as "
+                "Section 2 mandates):\n%s\n",
+                rewritten->c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  ShowAssignments();
+  ShowBiStC();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: load a choice-Datalog program from text, add EDB facts,
+// run the choice fixpoint, inspect the result and its first-order
+// rewriting.
+//
+//   $ ./example_quickstart
+#include <cstdio>
+
+#include "api/engine.h"
+
+int main() {
+  gdlog::Engine engine;
+
+  // The paper's Example 4: Prim's algorithm, verbatim.
+  auto status = engine.LoadProgram(R"(
+    prm(nil, 0, 0, 0).
+    prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I,
+                       least(C, I), choice(Y, X).
+    new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+  )");
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // A small weighted graph (both directions; edges into the root node 0
+  // are unnecessary since the seed fact plants it in the tree).
+  struct E {
+    int64_t u, v, w;
+  };
+  for (const E& e : std::initializer_list<E>{
+           {0, 1, 4}, {0, 2, 3}, {1, 2, 1}, {1, 3, 2}, {2, 3, 4},
+           {3, 4, 2}, {2, 4, 5}}) {
+    engine.AddFact("g", {engine.Int(e.u), engine.Int(e.v), engine.Int(e.w)});
+    if (e.u != 0) {
+      engine.AddFact("g",
+                     {engine.Int(e.v), engine.Int(e.u), engine.Int(e.w)});
+    }
+  }
+
+  status = engine.Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Minimum spanning tree (prm facts, stage order):\n");
+  int64_t total = 0;
+  for (const auto& row : engine.Query("prm", 4)) {
+    if (row[0].is_nil()) continue;
+    std::printf("  stage %lld: %lld -> %lld  (cost %lld)\n",
+                static_cast<long long>(row[3].AsInt()),
+                static_cast<long long>(row[0].AsInt()),
+                static_cast<long long>(row[1].AsInt()),
+                static_cast<long long>(row[2].AsInt()));
+    total += row[2].AsInt();
+  }
+  std::printf("  total cost: %lld\n", static_cast<long long>(total));
+
+  // The declarative meaning: the first-order program whose stable models
+  // this run constructs one of (Sections 2-3 of the paper).
+  auto rewritten = engine.RewrittenProgramText();
+  if (rewritten.ok()) {
+    std::printf("\nFirst-order rewriting (stable-model semantics):\n%s",
+                rewritten->c_str());
+  }
+
+  // And Theorem 1, checked live.
+  auto check = engine.VerifyStableModel();
+  if (check.ok()) {
+    std::printf("\nstable model check: %s (%zu facts)\n",
+                check->stable ? "STABLE" : "NOT STABLE",
+                check->model_facts);
+  }
+  return 0;
+}

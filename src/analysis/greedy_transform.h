@@ -1,0 +1,72 @@
+// The paper's Section 7 transformation: propagating an extrema
+// post-condition into a choice program, turning a generate-and-minimize
+// specification into a greedy stage program.
+//
+// The paper's motivating instance poses minimum-cost maximal matching
+// naively — accumulate a running total per stage, take the final total
+// (most over stages), minimize over stable models (least over totals):
+//
+//   opt_matching(C)  <- a_matching(C), least(C).
+//   a_matching(C)    <- matching(X, Y, C, I), most(I).
+//   matching(nil, nil, 0, 0).
+//   matching(X, Y, C, I) <- next(I), new_arc(X, Y, C, J), I = J + 1,
+//                           choice(Y, X), choice(X, Y).
+//   new_arc(X, Y, C, J)  <- matching(_, _, C1, J), g(X, Y, C2),
+//                           C = C1 + C2.
+//
+// and remarks it "can be transformed into the efficient solution of
+// Example 7" because the selection structure is a (partition) matroid.
+// Deriving sufficient conditions automatically is the open problem the
+// paper leaves to matroid/greedoid theory; this pass implements the
+// transformation itself for the accumulator pattern above, gated on the
+// caller asserting the matroid property:
+//
+//   * the accumulator rule G  (gen cost = previous total + base cost),
+//   * the next rule N consuming gen with choice goals and no extremum,
+//   * the post-condition pair A/B (least over the most-staged total)
+//
+// are recognized and replaced by the greedy stage rule
+//
+//   p(V..., C2, I) <- next(I), base(V..., C2), least(C2, I), choices...
+//
+// whose per-stage costs sum to the optimal total when the asserted
+// matroid property holds (greedy-exactness), exactly the paper's
+// Example 7.
+#ifndef GDLOG_ANALYSIS_GREEDY_TRANSFORM_H_
+#define GDLOG_ANALYSIS_GREEDY_TRANSFORM_H_
+
+#include <string>
+
+#include "ast/ast.h"
+#include "common/status.h"
+
+namespace gdlog {
+
+struct GreedyTransformResult {
+  Program transformed;
+  // Name/arity of the stage predicate whose per-stage costs now carry
+  // the solution (sum them to get the old opt value).
+  std::string stage_predicate;
+  uint32_t stage_arity = 0;
+  int cost_position = -1;
+  // Human-readable account of what was recognized and rewritten.
+  std::string summary;
+};
+
+struct GreedyTransformOptions {
+  // The caller asserts the underlying selection structure is a matroid
+  // (greedy-exact). Without this the pass refuses — the transformation
+  // is not equivalence-preserving in general, which is precisely the
+  // open problem the paper defers to matroid theory.
+  bool assume_matroid = false;
+};
+
+/// Recognizes the naive accumulate-and-minimize pattern in `program` and
+/// returns the greedy stage program. Fails with AnalysisError when the
+/// pattern is absent or the matroid assertion is missing.
+Result<GreedyTransformResult> PropagateExtremaIntoChoice(
+    const Program& program, const GreedyTransformOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_ANALYSIS_GREEDY_TRANSFORM_H_

@@ -1,0 +1,201 @@
+#include "api/engine.h"
+
+#include "analysis/rewriter.h"
+#include "ast/printer.h"
+#include "common/logging.h"
+#include "parser/parser.h"
+
+namespace gdlog {
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      store_(std::make_unique<ValueStore>()),
+      catalog_(std::make_unique<Catalog>()) {}
+
+Engine::~Engine() = default;
+
+Status Engine::LoadProgram(std::string_view text) {
+  GDLOG_ASSIGN_OR_RETURN(Program program, ParseProgram(store_.get(), text));
+  return LoadProgramAst(std::move(program));
+}
+
+Status Engine::LoadProgramAst(Program program) {
+  if (program_) {
+    return Status::InvalidArgument("a program is already loaded");
+  }
+  GDLOG_ASSIGN_OR_RETURN(StageAnalysis analysis,
+                         AnalyzeStages(program, options_.stage));
+  for (const CliqueStageInfo& cl : analysis.cliques) {
+    if (cl.cls == CliqueClass::kRejected) {
+      return Status::AnalysisError(cl.diagnostic);
+    }
+  }
+  program_ = std::make_unique<Program>(std::move(program));
+  analysis_ = std::make_unique<StageAnalysis>(std::move(analysis));
+  return Status::OK();
+}
+
+Status Engine::AddFact(std::string_view predicate, std::vector<Value> args) {
+  if (ran_) return Status::InvalidArgument("cannot add facts after Run");
+  const PredicateId id =
+      catalog_->Ensure(predicate, static_cast<uint32_t>(args.size()));
+  catalog_->relation(id).Insert(TupleView(args));
+  return Status::OK();
+}
+
+namespace {
+
+Result<Value> GroundValue(const TermNode& t, ValueStore* store) {
+  switch (t.kind) {
+    case TermKind::kConstant:
+      return t.constant;
+    case TermKind::kVariable:
+      return Status::InvalidArgument("fact contains variable " + t.name);
+    case TermKind::kCompound: {
+      std::vector<Value> args;
+      for (const TermNode& a : t.args) {
+        GDLOG_ASSIGN_OR_RETURN(Value v, GroundValue(a, store));
+        args.push_back(v);
+      }
+      if (t.is_tuple()) return store->MakeTuple(args);
+      return store->MakeTerm(t.name, args);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status Engine::Run() {
+  if (!program_) return Status::InvalidArgument("no program loaded");
+  if (ran_) return Status::InvalidArgument("engine already ran");
+
+  // Load program facts.
+  for (const Rule& r : program_->rules) {
+    if (!r.is_fact()) continue;
+    std::vector<Value> tuple;
+    for (const TermNode& t : r.head.args) {
+      GDLOG_ASSIGN_OR_RETURN(Value v, GroundValue(t, store_.get()));
+      tuple.push_back(v);
+    }
+    const PredicateId id = catalog_->Ensure(
+        r.head.predicate, static_cast<uint32_t>(r.head.args.size()));
+    catalog_->relation(id).Insert(TupleView(tuple));
+  }
+
+  // Everything present now (user facts + program facts) seeds the
+  // stable-model checker's reduct; relations created during compilation
+  // default to zero seeds.
+  seed_watermarks_.assign(catalog_->size(), 0);
+  for (PredicateId id = 0; id < catalog_->size(); ++id) {
+    seed_watermarks_[id] = catalog_->relation(id).size();
+  }
+
+  GDLOG_ASSIGN_OR_RETURN(
+      std::vector<CompiledRule> compiled,
+      CompileProgram(*program_, *analysis_, catalog_.get(), store_.get()));
+  driver_ = std::make_unique<FixpointDriver>(catalog_.get(), store_.get(),
+                                             analysis_.get(),
+                                             std::move(compiled),
+                                             options_.eval);
+  GDLOG_RETURN_IF_ERROR(driver_->Run());
+  ran_ = true;
+  return Status::OK();
+}
+
+const Relation* Engine::Find(std::string_view predicate,
+                             uint32_t arity) const {
+  const PredicateId id = catalog_->Lookup(predicate, arity);
+  return id == kNoPredicate ? nullptr : &catalog_->relation(id);
+}
+
+std::vector<std::vector<Value>> Engine::Query(std::string_view predicate,
+                                              uint32_t arity) const {
+  std::vector<std::vector<Value>> out;
+  const Relation* rel = Find(predicate, arity);
+  if (!rel) return out;
+  out.reserve(rel->size());
+  for (RowId row = 0; row < rel->size(); ++row) {
+    const TupleView t = rel->Row(row);
+    out.emplace_back(t.begin(), t.end());
+  }
+  return out;
+}
+
+const FixpointStats* Engine::stats() const {
+  return driver_ ? &driver_->stats() : nullptr;
+}
+
+const CandidateQueueStats* Engine::QueueStats(int gamma_index) const {
+  return driver_ ? driver_->QueueStats(gamma_index) : nullptr;
+}
+
+Result<std::string> Engine::RewrittenProgramText() const {
+  if (!program_) return Status::InvalidArgument("no program loaded");
+  GDLOG_ASSIGN_OR_RETURN(Program full, FullSemanticExpansion(*program_));
+  return ProgramToString(*store_, full);
+}
+
+Result<std::string> Engine::AnalysisReport() const {
+  if (!program_) return Status::InvalidArgument("no program loaded");
+  const StageAnalysis& a = *analysis_;
+  const DependencyGraph& g = *a.graph;
+  std::string out;
+  for (uint32_t scc : a.clique_order) {
+    const CliqueStageInfo& cl = a.cliques[scc];
+    if (cl.rules.empty() && !g.IsRecursive(scc)) continue;  // pure EDB
+    out += "clique {";
+    for (size_t i = 0; i < cl.members.size(); ++i) {
+      if (i) out += ", ";
+      const PredIndex p = cl.members[i];
+      out += g.name(p) + "/" + std::to_string(g.arity(p));
+      if (a.stage_arg[p] >= 0) {
+        out += " [stage arg " + std::to_string(a.stage_arg[p]) + "]";
+      }
+    }
+    out += "}: ";
+    out += CliqueClassName(cl.cls);
+    if (g.IsRecursive(scc)) out += ", recursive";
+    if (cl.has_next_rules) out += ", next rules";
+    if (!cl.diagnostic.empty()) out += "\n  note: " + cl.diagnostic;
+    out += "\n";
+    for (uint32_t ri : cl.rules) {
+      out += "  rule " + std::to_string(ri) + ": ";
+      switch (a.rule_info[ri].kind) {
+        case RuleKind::kExit:
+          out += "exit";
+          break;
+        case RuleKind::kFlat:
+          out += "flat";
+          break;
+        case RuleKind::kNext:
+          out += "next (stage var " + a.rule_info[ri].stage_var + ")";
+          break;
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<StableCheckResult> Engine::VerifyStableModel() const {
+  if (!ran_) return Status::InvalidArgument("call Run first");
+  // Collect chosen tuples per gamma index, matching RewriteChoice order.
+  int max_gamma = -1;
+  for (const CompiledRule& r : driver_->rules()) {
+    max_gamma = std::max(max_gamma, r.gamma_index);
+  }
+  std::vector<std::vector<std::vector<Value>>> chosen(max_gamma + 1);
+  for (const CompiledRule& r : driver_->rules()) {
+    if (r.gamma_index >= 0) {
+      chosen[r.gamma_index] = driver_->choice_runtime().ChosenTuples(
+          r.gamma_index);
+    }
+  }
+  std::vector<size_t> watermarks = seed_watermarks_;
+  watermarks.resize(catalog_->size(), 0);
+  return CheckStableModel(*program_, *catalog_, store_.get(), chosen,
+                          watermarks);
+}
+
+}  // namespace gdlog

@@ -1,0 +1,115 @@
+// gdlog public API: the Engine facade.
+//
+// Typical use:
+//
+//   gdlog::Engine engine;
+//   auto st = engine.LoadProgram(R"(
+//     prm(nil, a, 0, 0).
+//     prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I,
+//                        least(C, I), choice(Y, X).
+//     new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+//   )");
+//   engine.AddFact("g", {...});         // EDB tuples
+//   st = engine.Run();                  // choice fixpoint
+//   auto mst = engine.Query("prm", 4);  // one stable model's prm facts
+//
+// Each Engine owns its ValueStore (symbol/term interning), Catalog
+// (relations + indices), analysis results, and one evaluation. Engines
+// are single-shot: build, run, query.
+#ifndef GDLOG_API_ENGINE_H_
+#define GDLOG_API_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/stage.h"
+#include "ast/ast.h"
+#include "common/status.h"
+#include "eval/fixpoint.h"
+#include "eval/stable_model.h"
+#include "storage/catalog.h"
+#include "value/value.h"
+
+namespace gdlog {
+
+struct EngineOptions {
+  EvalOptions eval;
+  StageAnalysisOptions stage;
+};
+
+class Engine {
+ public:
+  Engine() : Engine(EngineOptions{}) {}
+  explicit Engine(EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The engine's value store; use it to build EDB values.
+  ValueStore& store() { return *store_; }
+  const ValueStore& store() const { return *store_; }
+
+  // Convenience value constructors.
+  Value Int(int64_t v) { return Value::Int(v); }
+  Value Sym(std::string_view name) { return store_->MakeSymbol(name); }
+  Value Nil() { return Value::Nil(); }
+
+  /// Parses and analyzes a program. Fails on parse errors, structural
+  /// stage errors, and rejected cliques (recursion through negation that
+  /// is not stage-stratified).
+  Status LoadProgram(std::string_view text);
+  /// Same, from an already-built AST.
+  Status LoadProgramAst(Program program);
+
+  /// Adds an EDB tuple before Run.
+  Status AddFact(std::string_view predicate, std::vector<Value> args);
+
+  /// Evaluates the program to its (choice) fixpoint. Single-shot.
+  Status Run();
+  bool has_run() const { return ran_; }
+
+  /// All tuples of predicate/arity (empty when absent).
+  std::vector<std::vector<Value>> Query(std::string_view predicate,
+                                        uint32_t arity) const;
+  /// The relation, or nullptr.
+  const Relation* Find(std::string_view predicate, uint32_t arity) const;
+
+  // -- Introspection -------------------------------------------------------
+  const StageAnalysis* analysis() const { return analysis_.get(); }
+  const Program* program() const { return program_.get(); }
+  const FixpointStats* stats() const;
+  /// Queue statistics of the i-th choice rule (program order); nullptr
+  /// when out of range.
+  const CandidateQueueStats* QueueStats(int gamma_index) const;
+
+  /// The first-order rewriting whose stable models define this program's
+  /// meaning (Sections 2-3), pretty-printed.
+  Result<std::string> RewrittenProgramText() const;
+
+  /// Human-readable report of the Section 4 analysis: every recursive
+  /// clique with its classification, stage arguments, and rule kinds.
+  Result<std::string> AnalysisReport() const;
+
+  /// Verifies the computed result is a stable model (Theorem 1). Call
+  /// after Run; intended for tests at small scale.
+  Result<StableCheckResult> VerifyStableModel() const;
+
+ private:
+  EngineOptions options_;
+  std::unique_ptr<ValueStore> store_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<StageAnalysis> analysis_;
+  std::unique_ptr<FixpointDriver> driver_;
+  // Rows present per relation before evaluation started (user facts +
+  // program facts) — the reduct seeds for VerifyStableModel.
+  std::vector<size_t> seed_watermarks_;
+  bool ran_ = false;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_API_ENGINE_H_

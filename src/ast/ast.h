@@ -1,0 +1,223 @@
+// Abstract syntax for the choice-Datalog language of the paper.
+//
+// A program is a list of rules; a fact is a rule with empty body and
+// ground head. Rule bodies mix:
+//
+//   * positive / negated atoms            g(X,Y,C), not visited(Y)
+//   * negated conjunctions                not (subtree(X,L), L < I)
+//     (the NOT EXISTS form needed by Example 6's feasible rule)
+//   * comparison builtins                 J < I, X != Y, C = C1 + C2
+//   * the paper's meta-level predicates   choice(Y,(X,C)), least(C,I),
+//                                         most(J,X), next(I)
+//
+// Terms are variables, constants, or compound terms. Compound terms with
+// arithmetic functors (+ - * / mod min max) are evaluated; any other
+// functor constructs an interned ground term (e.g. Huffman's t(X,Y)).
+#ifndef GDLOG_AST_AST_H_
+#define GDLOG_AST_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "value/value.h"
+
+namespace gdlog {
+
+// ---------------------------------------------------------------------------
+// Terms
+// ---------------------------------------------------------------------------
+
+enum class TermKind : uint8_t {
+  kVariable,  // X, Cost, _G17 — or the anonymous "_"
+  kConstant,  // 42, a, nil, "text"
+  kCompound,  // t(X, Y), (X, C)  [tuple = reserved functor "$tuple"], J + 1
+};
+
+struct TermNode {
+  TermKind kind;
+  // kVariable: the variable's name ("_" was renamed apart by the parser).
+  // kCompound: the functor name ("$tuple" for (..) tuples; "+","-","*",
+  //            "/","mod","min","max" are the arithmetic functors).
+  std::string name;
+  Value constant;  // kConstant only
+  std::vector<TermNode> args;  // kCompound only
+
+  static TermNode Var(std::string n) {
+    TermNode t;
+    t.kind = TermKind::kVariable;
+    t.name = std::move(n);
+    return t;
+  }
+  static TermNode Const(Value v) {
+    TermNode t;
+    t.kind = TermKind::kConstant;
+    t.constant = v;
+    return t;
+  }
+  static TermNode Compound(std::string functor, std::vector<TermNode> as) {
+    TermNode t;
+    t.kind = TermKind::kCompound;
+    t.name = std::move(functor);
+    t.args = std::move(as);
+    return t;
+  }
+  static TermNode Tuple(std::vector<TermNode> as) {
+    return Compound("$tuple", std::move(as));
+  }
+
+  bool is_var() const { return kind == TermKind::kVariable; }
+  bool is_const() const { return kind == TermKind::kConstant; }
+  bool is_compound() const { return kind == TermKind::kCompound; }
+  bool is_tuple() const { return is_compound() && name == "$tuple"; }
+};
+
+/// True for the functors evaluated as arithmetic rather than constructed.
+bool IsArithmeticFunctor(const std::string& name);
+
+/// Appends the names of all variables in `t` (with repeats) to `out`.
+void CollectVariables(const TermNode& t, std::vector<std::string>* out);
+
+/// Structural equality of term ASTs.
+bool TermEquals(const TermNode& a, const TermNode& b);
+
+// ---------------------------------------------------------------------------
+// Literals
+// ---------------------------------------------------------------------------
+
+enum class ComparisonOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view ComparisonOpName(ComparisonOp op);
+/// The comparison with swapped operands (kLt -> kGt etc.).
+ComparisonOp FlipComparison(ComparisonOp op);
+/// The negated comparison (kLt -> kGe etc.).
+ComparisonOp NegateComparison(ComparisonOp op);
+
+enum class LiteralKind : uint8_t {
+  kAtom,        // p(t1,...,tn), possibly negated
+  kNotExists,   // not (L1, ..., Lk): negated conjunction
+  kComparison,  // t1 OP t2
+  kChoice,      // choice(Left, Right): FD Left -> Right
+  kLeast,       // least(Cost, Group)
+  kMost,        // most(Cost, Group)
+  kNext,        // next(I)
+};
+
+struct Literal {
+  LiteralKind kind;
+
+  // kAtom
+  std::string predicate;
+  std::vector<TermNode> args;
+  bool negated = false;
+
+  // kNotExists
+  std::vector<Literal> body;  // the conjunction under the negation
+
+  // kComparison
+  ComparisonOp op = ComparisonOp::kEq;
+  // lhs/rhs live in args[0]/args[1].
+
+  // kChoice: args[0] = Left tuple/var, args[1] = Right tuple/var.
+  // kLeast/kMost: args[0] = cost term (a variable), args[1] = group term
+  //   (a variable, a tuple of variables, or the empty tuple `()`).
+  // kNext: args[0] = the stage variable.
+
+  static Literal Atom(std::string pred, std::vector<TermNode> as,
+                      bool neg = false) {
+    Literal l;
+    l.kind = LiteralKind::kAtom;
+    l.predicate = std::move(pred);
+    l.args = std::move(as);
+    l.negated = neg;
+    return l;
+  }
+  static Literal NotExists(std::vector<Literal> conj) {
+    Literal l;
+    l.kind = LiteralKind::kNotExists;
+    l.body = std::move(conj);
+    return l;
+  }
+  static Literal Comparison(ComparisonOp op, TermNode lhs, TermNode rhs) {
+    Literal l;
+    l.kind = LiteralKind::kComparison;
+    l.op = op;
+    l.args.push_back(std::move(lhs));
+    l.args.push_back(std::move(rhs));
+    return l;
+  }
+  static Literal Choice(TermNode left, TermNode right) {
+    Literal l;
+    l.kind = LiteralKind::kChoice;
+    l.args.push_back(std::move(left));
+    l.args.push_back(std::move(right));
+    return l;
+  }
+  static Literal Least(TermNode cost, TermNode group) {
+    Literal l;
+    l.kind = LiteralKind::kLeast;
+    l.args.push_back(std::move(cost));
+    l.args.push_back(std::move(group));
+    return l;
+  }
+  static Literal Most(TermNode cost, TermNode group) {
+    Literal l;
+    l.kind = LiteralKind::kMost;
+    l.args.push_back(std::move(cost));
+    l.args.push_back(std::move(group));
+    return l;
+  }
+  static Literal Next(TermNode var) {
+    Literal l;
+    l.kind = LiteralKind::kNext;
+    l.args.push_back(std::move(var));
+    return l;
+  }
+
+  bool is_positive_atom() const {
+    return kind == LiteralKind::kAtom && !negated;
+  }
+  bool is_negated_atom() const { return kind == LiteralKind::kAtom && negated; }
+  bool is_meta() const {
+    return kind == LiteralKind::kChoice || kind == LiteralKind::kLeast ||
+           kind == LiteralKind::kMost || kind == LiteralKind::kNext;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rules and programs
+// ---------------------------------------------------------------------------
+
+struct Rule {
+  Literal head;  // always a positive kAtom
+  std::vector<Literal> body;
+
+  bool is_fact() const { return body.empty(); }
+  /// True if any body literal is next(_).
+  bool has_next() const;
+  /// True if any body literal is a choice goal.
+  bool has_choice() const;
+  /// True if any body literal is least/most.
+  bool has_extrema() const;
+};
+
+struct Program {
+  std::vector<Rule> rules;
+
+  /// All predicate name/arity pairs appearing anywhere in the program.
+  struct PredicateRef {
+    std::string name;
+    uint32_t arity;
+    bool operator==(const PredicateRef&) const = default;
+  };
+  std::vector<PredicateRef> AllPredicates() const;
+};
+
+/// Appends the names of all variables in `lit` (including those under
+/// NotExists and inside meta-goal tuples) to `out`.
+void CollectLiteralVariables(const Literal& lit, std::vector<std::string>* out);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_AST_AST_H_

@@ -1,0 +1,29 @@
+#include "baselines/dijkstra.h"
+
+#include <queue>
+
+namespace gdlog {
+
+std::vector<int64_t> BaselineDijkstra(const Graph& graph, uint32_t root) {
+  std::vector<std::vector<std::pair<uint32_t, int64_t>>> adj(graph.num_nodes);
+  for (const GraphEdge& e : graph.edges) {
+    adj[e.u].push_back({e.v, e.w});
+    adj[e.v].push_back({e.u, e.w});
+  }
+  std::vector<int64_t> dist(graph.num_nodes, -1);
+  using Entry = std::pair<int64_t, uint32_t>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  pq.push({0, root});
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (dist[v] != -1) continue;  // lazy deletion
+    dist[v] = d;
+    for (const auto& [to, w] : adj[v]) {
+      if (dist[to] == -1) pq.push({d + w, to});
+    }
+  }
+  return dist;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,19 @@
+// Procedural Dijkstra with a lazy-deletion binary heap — the comparator
+// for the SSSP extension experiment.
+#ifndef GDLOG_BASELINES_DIJKSTRA_H_
+#define GDLOG_BASELINES_DIJKSTRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/graph.h"
+
+namespace gdlog {
+
+/// dist[v] from root, or -1 when unreachable (undirected reading,
+/// non-negative weights).
+std::vector<int64_t> BaselineDijkstra(const Graph& graph, uint32_t root = 0);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_BASELINES_DIJKSTRA_H_

@@ -1,0 +1,44 @@
+#include "baselines/heapsort.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace gdlog {
+
+using std::size_t;
+
+namespace {
+
+using Pair = std::pair<int64_t, int64_t>;
+
+bool CostLess(const Pair& a, const Pair& b) {
+  if (a.second != b.second) return a.second < b.second;
+  return a.first < b.first;
+}
+
+void SiftDown(std::vector<Pair>* heap, size_t i, size_t n) {
+  for (;;) {
+    const size_t l = 2 * i + 1, r = 2 * i + 2;
+    size_t largest = i;
+    if (l < n && CostLess((*heap)[largest], (*heap)[l])) largest = l;
+    if (r < n && CostLess((*heap)[largest], (*heap)[r])) largest = r;
+    if (largest == i) return;
+    std::swap((*heap)[i], (*heap)[largest]);
+    i = largest;
+  }
+}
+
+}  // namespace
+
+std::vector<Pair> BaselineHeapSort(std::vector<Pair> tuples) {
+  const size_t n = tuples.size();
+  // Build max-heap, then repeatedly move the max to the tail.
+  for (size_t i = n / 2; i-- > 0;) SiftDown(&tuples, i, n);
+  for (size_t end = n; end > 1; --end) {
+    std::swap(tuples[0], tuples[end - 1]);
+    SiftDown(&tuples, 0, end - 1);
+  }
+  return tuples;
+}
+
+}  // namespace gdlog

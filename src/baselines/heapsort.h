@@ -1,0 +1,21 @@
+// Procedural heap-sort — the comparator for Experiment E2. Section 6
+// observes that the fixpoint implementation of Example 5 "implements a
+// heap-sort" although the program reads like insertion sort; this is the
+// hand-written version of that heap-sort.
+#ifndef GDLOG_BASELINES_HEAPSORT_H_
+#define GDLOG_BASELINES_HEAPSORT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gdlog {
+
+/// Sorts (id, cost) pairs ascending by cost (ties by id) using an
+/// explicit binary heap; no std::sort under the hood.
+std::vector<std::pair<int64_t, int64_t>> BaselineHeapSort(
+    std::vector<std::pair<int64_t, int64_t>> tuples);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_BASELINES_HEAPSORT_H_

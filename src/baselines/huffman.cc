@@ -1,0 +1,66 @@
+#include "baselines/huffman.h"
+
+#include <queue>
+
+#include "common/logging.h"
+
+namespace gdlog {
+
+BaselineHuffmanResult BaselineHuffman(
+    const std::vector<std::pair<std::string, int64_t>>& frequencies) {
+  BaselineHuffmanResult out;
+  const size_t n = frequencies.size();
+  out.code_lengths.assign(n, 0);
+  if (n <= 1) return out;
+
+  struct Node {
+    int64_t weight;
+    uint64_t seq;  // deterministic tie-break
+    int32_t left = -1, right = -1;
+    int32_t leaf = -1;  // index into frequencies, or -1 for internal
+  };
+  std::vector<Node> nodes;
+  auto cmp = [&nodes](int32_t a, int32_t b) {
+    if (nodes[a].weight != nodes[b].weight) {
+      return nodes[a].weight > nodes[b].weight;  // min-heap
+    }
+    return nodes[a].seq > nodes[b].seq;
+  };
+  std::priority_queue<int32_t, std::vector<int32_t>, decltype(cmp)> pq(cmp);
+  uint64_t seq = 0;
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(Node{frequencies[i].second, seq++, -1, -1,
+                         static_cast<int32_t>(i)});
+    pq.push(static_cast<int32_t>(nodes.size() - 1));
+  }
+  while (pq.size() > 1) {
+    const int32_t a = pq.top();
+    pq.pop();
+    const int32_t b = pq.top();
+    pq.pop();
+    Node merged{nodes[a].weight + nodes[b].weight, seq++, a, b, -1};
+    out.total_cost += merged.weight;
+    nodes.push_back(merged);
+    pq.push(static_cast<int32_t>(nodes.size() - 1));
+  }
+  // Depth-first pass to compute code lengths.
+  struct Frame {
+    int32_t node;
+    uint32_t depth;
+  };
+  std::vector<Frame> stack{{pq.top(), 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes[f.node];
+    if (nd.leaf >= 0) {
+      out.code_lengths[nd.leaf] = f.depth;
+      continue;
+    }
+    stack.push_back({nd.left, f.depth + 1});
+    stack.push_back({nd.right, f.depth + 1});
+  }
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,28 @@
+// Procedural Huffman tree construction with a priority queue — the
+// comparator for E5. Returns the weighted path length (the classical
+// "cost" of the code: sum over merges of the merged subtree weights),
+// which is invariant across tie-breaking orders.
+#ifndef GDLOG_BASELINES_HUFFMAN_H_
+#define GDLOG_BASELINES_HUFFMAN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gdlog {
+
+struct BaselineHuffmanResult {
+  // Sum of the costs of all internal (merged) nodes == weighted path
+  // length of the optimal prefix code.
+  int64_t total_cost = 0;
+  // Code length per input symbol, parallel to the input order.
+  std::vector<uint32_t> code_lengths;
+};
+
+BaselineHuffmanResult BaselineHuffman(
+    const std::vector<std::pair<std::string, int64_t>>& frequencies);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_BASELINES_HUFFMAN_H_

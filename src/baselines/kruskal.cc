@@ -1,0 +1,25 @@
+#include "baselines/kruskal.h"
+
+#include <algorithm>
+
+#include "baselines/union_find.h"
+
+namespace gdlog {
+
+BaselineMst BaselineKruskal(const Graph& graph) {
+  std::vector<GraphEdge> sorted = graph.edges;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const GraphEdge& a, const GraphEdge& b) { return a.w < b.w; });
+  UnionFind uf(graph.num_nodes);
+  BaselineMst out;
+  for (const GraphEdge& e : sorted) {
+    if (uf.Union(e.u, e.v)) {
+      out.total_cost += e.w;
+      out.edges.push_back(e);
+      if (uf.num_components() == 1) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,16 @@
+// Procedural Kruskal's algorithm (sort + union-find) — the classical
+// O(e log e) comparator for Experiment E4.
+#ifndef GDLOG_BASELINES_KRUSKAL_H_
+#define GDLOG_BASELINES_KRUSKAL_H_
+
+#include "baselines/prim.h"
+#include "workload/graph.h"
+
+namespace gdlog {
+
+/// Minimum spanning forest (undirected interpretation).
+BaselineMst BaselineKruskal(const Graph& graph);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_BASELINES_KRUSKAL_H_

@@ -1,0 +1,25 @@
+#include "baselines/matching.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gdlog {
+
+BaselineMatching BaselineGreedyMatching(const Graph& graph) {
+  std::vector<GraphEdge> sorted = graph.edges;
+  std::stable_sort(
+      sorted.begin(), sorted.end(),
+      [](const GraphEdge& a, const GraphEdge& b) { return a.w < b.w; });
+  std::unordered_set<uint32_t> used_source, used_target;
+  BaselineMatching out;
+  for (const GraphEdge& e : sorted) {
+    if (used_source.count(e.u) || used_target.count(e.v)) continue;
+    used_source.insert(e.u);
+    used_target.insert(e.v);
+    out.total_cost += e.w;
+    out.arcs.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace gdlog

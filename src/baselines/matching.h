@@ -1,0 +1,24 @@
+// Procedural greedy min-cost matching — the comparator for E3.
+//
+// Mirrors Example 7's program semantics exactly: arcs are considered in
+// ascending cost order; an arc (X, Y) is kept iff X has not been used as
+// a source and Y has not been used as a target (the two choice FDs
+// choice(X, Y) and choice(Y, X)). On bipartite inputs this is the
+// textbook greedy matching.
+#ifndef GDLOG_BASELINES_MATCHING_H_
+#define GDLOG_BASELINES_MATCHING_H_
+
+#include "workload/graph.h"
+
+namespace gdlog {
+
+struct BaselineMatching {
+  int64_t total_cost = 0;
+  std::vector<GraphEdge> arcs;  // in selection order
+};
+
+BaselineMatching BaselineGreedyMatching(const Graph& graph);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_BASELINES_MATCHING_H_

@@ -1,0 +1,41 @@
+#include "baselines/prim.h"
+
+#include <queue>
+#include <vector>
+
+namespace gdlog {
+
+BaselineMst BaselinePrim(const Graph& graph, uint32_t root) {
+  // Adjacency lists (both directions).
+  std::vector<std::vector<std::pair<uint32_t, int64_t>>> adj(graph.num_nodes);
+  for (const GraphEdge& e : graph.edges) {
+    adj[e.u].push_back({e.v, e.w});
+    adj[e.v].push_back({e.u, e.w});
+  }
+
+  struct Entry {
+    int64_t w;
+    uint32_t from, to;
+    bool operator>(const Entry& o) const { return w > o.w; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  std::vector<bool> in_tree(graph.num_nodes, false);
+
+  BaselineMst out;
+  in_tree[root] = true;
+  for (const auto& [to, w] : adj[root]) pq.push({w, root, to});
+  while (!pq.empty()) {
+    const Entry e = pq.top();
+    pq.pop();
+    if (in_tree[e.to]) continue;  // lazy deletion
+    in_tree[e.to] = true;
+    out.total_cost += e.w;
+    out.edges.push_back({e.from, e.to, e.w});
+    for (const auto& [to, w] : adj[e.to]) {
+      if (!in_tree[to]) pq.push({w, e.to, to});
+    }
+  }
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,21 @@
+// Procedural Prim's algorithm with a lazy-deletion binary heap —
+// the classical O(e log e) comparator for Experiment E1.
+#ifndef GDLOG_BASELINES_PRIM_H_
+#define GDLOG_BASELINES_PRIM_H_
+
+#include "workload/graph.h"
+
+namespace gdlog {
+
+struct BaselineMst {
+  int64_t total_cost = 0;
+  std::vector<GraphEdge> edges;  // tree edges, in selection order
+};
+
+/// Minimum spanning tree of the connected component containing `root`
+/// (graph interpreted as undirected).
+BaselineMst BaselinePrim(const Graph& graph, uint32_t root = 0);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_BASELINES_PRIM_H_

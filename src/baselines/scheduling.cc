@@ -1,0 +1,23 @@
+#include "baselines/scheduling.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gdlog {
+
+std::vector<std::pair<int64_t, int64_t>> BaselineSelectActivities(
+    std::vector<std::pair<int64_t, int64_t>> jobs) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::vector<std::pair<int64_t, int64_t>> out;
+  int64_t last_finish = std::numeric_limits<int64_t>::min();
+  for (const auto& [start, finish] : jobs) {
+    if (start >= last_finish) {
+      out.push_back({start, finish});
+      last_finish = finish;
+    }
+  }
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,19 @@
+// Procedural earliest-finish-first activity selection — the comparator
+// for the scheduling extension experiment.
+#ifndef GDLOG_BASELINES_SCHEDULING_H_
+#define GDLOG_BASELINES_SCHEDULING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gdlog {
+
+/// Maximum set of pairwise-compatible half-open intervals, selected in
+/// ascending finish-time order.
+std::vector<std::pair<int64_t, int64_t>> BaselineSelectActivities(
+    std::vector<std::pair<int64_t, int64_t>> jobs);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_BASELINES_SCHEDULING_H_

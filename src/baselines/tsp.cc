@@ -1,0 +1,50 @@
+#include "baselines/tsp.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+namespace gdlog {
+
+BaselineTspChain BaselineGreedyTsp(const Graph& graph) {
+  BaselineTspChain out;
+  if (graph.edges.empty()) return out;
+
+  std::vector<std::vector<std::pair<uint32_t, int64_t>>> adj(graph.num_nodes);
+  for (const GraphEdge& e : graph.edges) {
+    adj[e.u].push_back({e.v, e.w});
+    adj[e.v].push_back({e.u, e.w});
+  }
+
+  // Globally cheapest arc starts the chain (least_arcs + choice((), _)).
+  const GraphEdge* best = &graph.edges[0];
+  for (const GraphEdge& e : graph.edges) {
+    if (e.w < best->w) best = &e;
+  }
+  std::unordered_set<uint32_t> entered;
+  out.arcs.push_back(*best);
+  out.total_cost = best->w;
+  entered.insert(best->v);
+  uint32_t cur = best->v;
+
+  for (;;) {
+    int64_t bw = std::numeric_limits<int64_t>::max();
+    uint32_t bto = UINT32_MAX;
+    for (const auto& [to, w] : adj[cur]) {
+      if (entered.count(to)) continue;
+      if (w < bw) {
+        bw = w;
+        bto = to;
+      }
+    }
+    if (bto == UINT32_MAX) break;
+    out.arcs.push_back({cur, bto, bw});
+    out.total_cost += bw;
+    entered.insert(bto);
+    cur = bto;
+  }
+  return out;
+}
+
+}  // namespace gdlog

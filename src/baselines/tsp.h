@@ -1,0 +1,25 @@
+// Procedural greedy TSP chain — the comparator for E6.
+//
+// Mirrors the paper's tsp_chain program exactly: start with the globally
+// cheapest arc; from the chain's current endpoint repeatedly take the
+// cheapest arc to a node not previously entered (the choice(Y, X) FD),
+// until no extension exists. The chain's very first node was never
+// "entered", so the walk may close back into it — as the program allows.
+#ifndef GDLOG_BASELINES_TSP_H_
+#define GDLOG_BASELINES_TSP_H_
+
+#include "workload/graph.h"
+
+namespace gdlog {
+
+struct BaselineTspChain {
+  int64_t total_cost = 0;
+  std::vector<GraphEdge> arcs;  // in chain order
+};
+
+/// `graph` is interpreted as undirected (arcs usable both ways).
+BaselineTspChain BaselineGreedyTsp(const Graph& graph);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_BASELINES_TSP_H_

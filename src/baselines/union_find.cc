@@ -1,0 +1,32 @@
+#include "baselines/union_find.h"
+
+namespace gdlog {
+
+UnionFind::UnionFind(uint32_t n)
+    : parent_(n), rank_(n, 0), components_(n) {
+  for (uint32_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --components_;
+  return true;
+}
+
+}  // namespace gdlog

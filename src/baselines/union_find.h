@@ -1,0 +1,31 @@
+// Disjoint-set forest with union by rank and path compression —
+// the component structure the classical Kruskal implementation uses
+// (and the paper's Section 7 contrasts its comp-relation against).
+#ifndef GDLOG_BASELINES_UNION_FIND_H_
+#define GDLOG_BASELINES_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gdlog {
+
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n);
+
+  uint32_t Find(uint32_t x);
+
+  /// Unites the sets of a and b; false if already united.
+  bool Union(uint32_t a, uint32_t b);
+
+  uint32_t num_components() const { return components_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+  uint32_t components_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_BASELINES_UNION_FIND_H_

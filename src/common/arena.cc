@@ -1,0 +1,41 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gdlog {
+
+void Arena::AddBlock(size_t min_size) {
+  Block b;
+  b.size = std::max(block_size_, min_size);
+  b.data = std::make_unique<char[]>(b.size);
+  b.used = 0;
+  blocks_.push_back(std::move(b));
+}
+
+void* Arena::Allocate(size_t n, size_t align) {
+  GDLOG_CHECK((align & (align - 1)) == 0);
+  if (n == 0) n = 1;
+  if (blocks_.empty()) AddBlock(n + align);
+  Block* b = &blocks_.back();
+  size_t offset = (b->used + align - 1) & ~(align - 1);
+  if (offset + n > b->size) {
+    AddBlock(n + align);
+    b = &blocks_.back();
+    offset = 0;
+  }
+  b->used = offset + n;
+  bytes_allocated_ += n;
+  return b->data.get() + offset;
+}
+
+std::string_view Arena::CopyString(std::string_view s) {
+  char* p = static_cast<char*>(Allocate(s.size() + 1, 1));
+  std::memcpy(p, s.data(), s.size());
+  p[s.size()] = '\0';
+  return std::string_view(p, s.size());
+}
+
+}  // namespace gdlog

@@ -1,0 +1,59 @@
+// Bump-pointer arena. The engine's interning tables (symbols, ground
+// terms) and per-run scratch structures allocate from arenas so that
+// term memory is owned wholesale by the Engine and freed in O(1) blocks,
+// avoiding per-term malloc/free churn.
+#ifndef GDLOG_COMMON_ARENA_H_
+#define GDLOG_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace gdlog {
+
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 64 * 1024) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Allocates `n` bytes aligned to `align` (a power of two).
+  void* Allocate(size_t n, size_t align = alignof(std::max_align_t));
+
+  /// Copies `s` into the arena; the view stays valid for the arena's life.
+  std::string_view CopyString(std::string_view s);
+
+  /// Allocates an uninitialized array of T (trivially destructible only —
+  /// the arena never runs destructors).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena does not run destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Total bytes handed out (for accounting in EXPERIMENTS.md memory rows).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  void AddBlock(size_t min_size);
+
+  size_t block_size_;
+  size_t bytes_allocated_ = 0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_COMMON_ARENA_H_

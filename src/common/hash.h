@@ -1,0 +1,50 @@
+// Hashing helpers shared by interning tables, relation indices, and the
+// choice runtime. All hashing in the engine goes through these so hash
+// quality is controlled in one place.
+#ifndef GDLOG_COMMON_HASH_H_
+#define GDLOG_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gdlog {
+
+/// Finalizer from SplitMix64; good avalanche for 64-bit keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of two hashes.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2)));
+}
+
+/// FNV-1a over a byte string.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Hash of a span of 64-bit values (tuple hashing).
+inline uint64_t HashSpan64(const uint64_t* data, size_t n) {
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ n;
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, Mix64(data[i]));
+  return h;
+}
+
+}  // namespace gdlog
+
+#endif  // GDLOG_COMMON_HASH_H_

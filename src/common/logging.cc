@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gdlog {
+
+namespace {
+std::atomic<bool> g_verbose{false};
+}  // namespace
+
+void SetVerboseLogging(bool enabled) { g_verbose.store(enabled); }
+bool VerboseLoggingEnabled() { return g_verbose.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  const char* tag = "I";
+  switch (severity) {
+    case LogSeverity::kInfo:
+      tag = "I";
+      break;
+    case LogSeverity::kWarning:
+      tag = "W";
+      break;
+    case LogSeverity::kError:
+      tag = "E";
+      break;
+    case LogSeverity::kFatal:
+      tag = "F";
+      break;
+  }
+  stream_ << "[" << tag << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const bool quiet =
+      (severity_ == LogSeverity::kInfo || severity_ == LogSeverity::kWarning) &&
+      !VerboseLoggingEnabled();
+  if (!quiet) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace gdlog

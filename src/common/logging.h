@@ -1,0 +1,70 @@
+// Minimal logging and invariant-checking macros.
+//
+// CHECK-style macros abort on violation; they guard engine invariants, not
+// user input (user input failures travel through Status).
+#ifndef GDLOG_COMMON_LOGGING_H_
+#define GDLOG_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gdlog {
+namespace internal {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// Stream-style log message; emits on destruction. Fatal messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Global switch for LOG(INFO)/LOG(WARNING) output (errors always print).
+/// Benchmarks turn this off to keep tables clean.
+void SetVerboseLogging(bool enabled);
+bool VerboseLoggingEnabled();
+
+#define GDLOG_LOG_INFO                                            \
+  ::gdlog::internal::LogMessage(                                  \
+      ::gdlog::internal::LogSeverity::kInfo, __FILE__, __LINE__)
+#define GDLOG_LOG_WARNING                                         \
+  ::gdlog::internal::LogMessage(                                  \
+      ::gdlog::internal::LogSeverity::kWarning, __FILE__, __LINE__)
+#define GDLOG_LOG_ERROR                                           \
+  ::gdlog::internal::LogMessage(                                  \
+      ::gdlog::internal::LogSeverity::kError, __FILE__, __LINE__)
+#define GDLOG_LOG_FATAL                                           \
+  ::gdlog::internal::LogMessage(                                  \
+      ::gdlog::internal::LogSeverity::kFatal, __FILE__, __LINE__)
+
+#define GDLOG_CHECK(cond)                                   \
+  if (cond) {                                               \
+  } else                                                    \
+    GDLOG_LOG_FATAL << "Check failed: " #cond " "
+
+#define GDLOG_CHECK_EQ(a, b) GDLOG_CHECK((a) == (b))
+#define GDLOG_CHECK_NE(a, b) GDLOG_CHECK((a) != (b))
+#define GDLOG_CHECK_LT(a, b) GDLOG_CHECK((a) < (b))
+#define GDLOG_CHECK_LE(a, b) GDLOG_CHECK((a) <= (b))
+#define GDLOG_CHECK_GT(a, b) GDLOG_CHECK((a) > (b))
+#define GDLOG_CHECK_GE(a, b) GDLOG_CHECK((a) >= (b))
+
+}  // namespace gdlog
+
+#endif  // GDLOG_COMMON_LOGGING_H_

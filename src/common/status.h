@@ -1,0 +1,128 @@
+// Status and Result<T>: exception-free error propagation for the gdlog
+// engine, in the style of database kernels (RocksDB / Arrow).
+//
+// Engine entry points that can fail on user input (parse errors, analysis
+// rejections, schema mismatches) return Status or Result<T>. Internal
+// invariant violations use the CHECK macros from common/logging.h instead.
+#ifndef GDLOG_COMMON_STATUS_H_
+#define GDLOG_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gdlog {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // bad user input (schema mismatch, arity error, ...)
+  kParseError,        // lexical or syntactic error in program text
+  kAnalysisError,     // program rejected by stratification/stage analysis
+  kNotFound,          // unknown predicate / relation
+  kAlreadyExists,     // duplicate declaration
+  kRuntimeError,      // evaluation-time failure (e.g. arithmetic on symbol)
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a status code, e.g. "ParseError".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, movable success-or-error value. Ok status carries no
+/// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AnalysisError(std::string msg) {
+    return Status(StatusCode::kAnalysisError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error result is a fatal programming error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}         // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {} // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status to the caller.
+#define GDLOG_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::gdlog::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+// Evaluates a Result<T> expression; on error returns the status, otherwise
+// moves the value into `lhs` (a declaration or an assignable lvalue).
+#define GDLOG_ASSIGN_OR_RETURN(lhs, expr)                    \
+  GDLOG_ASSIGN_OR_RETURN_IMPL_(                              \
+      GDLOG_STATUS_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define GDLOG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define GDLOG_STATUS_CONCAT_(a, b) GDLOG_STATUS_CONCAT_IMPL_(a, b)
+#define GDLOG_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace gdlog
+
+#endif  // GDLOG_COMMON_STATUS_H_

@@ -1,0 +1,3 @@
+#include "eval/binding.h"
+
+// BindingFrame is header-only; this translation unit anchors the target.

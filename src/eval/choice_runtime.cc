@@ -1,0 +1,71 @@
+#include "eval/choice_runtime.h"
+
+#include "common/logging.h"
+
+namespace gdlog {
+
+int ChoiceRuntime::Register(const CompiledRule& rule) {
+  GDLOG_CHECK_GE(rule.gamma_index, 0);
+  if (memos_.size() <= static_cast<size_t>(rule.gamma_index)) {
+    memos_.resize(rule.gamma_index + 1);
+  }
+  memos_[rule.gamma_index].goals.resize(rule.choices.size());
+  return rule.gamma_index;
+}
+
+bool ChoiceRuntime::EvalPair(const CompiledRule& rule, const ChoiceSpec& spec,
+                             const BindingFrame& frame, Value* left,
+                             Value* right) {
+  if (!EvalTerm(rule.pool, spec.left_term, frame, store_, left)) return false;
+  if (!EvalTerm(rule.pool, spec.right_term, frame, store_, right)) {
+    return false;
+  }
+  return true;
+}
+
+bool ChoiceRuntime::Admissible(const CompiledRule& rule,
+                               const BindingFrame& frame) {
+  RuleMemo& memo = memos_[rule.gamma_index];
+  for (size_t g = 0; g < rule.choices.size(); ++g) {
+    Value left, right;
+    if (!EvalPair(rule, rule.choices[g], frame, &left, &right)) {
+      GDLOG_LOG_FATAL << "unbound choice goal at admissibility check";
+    }
+    auto it = memo.goals[g].fd.find(left);
+    if (it != memo.goals[g].fd.end() && it->second != right) return false;
+  }
+  return true;
+}
+
+void ChoiceRuntime::Commit(const CompiledRule& rule,
+                           const BindingFrame& frame) {
+  RuleMemo& memo = memos_[rule.gamma_index];
+  for (size_t g = 0; g < rule.choices.size(); ++g) {
+    Value left, right;
+    const bool ok = EvalPair(rule, rule.choices[g], frame, &left, &right);
+    GDLOG_CHECK(ok);
+    memo.goals[g].fd.emplace(left, right);
+  }
+  std::vector<Value> tuple;
+  tuple.reserve(rule.chosen_slots.size());
+  for (uint32_t s : rule.chosen_slots) {
+    GDLOG_CHECK(frame.IsBound(s));
+    tuple.push_back(frame.Get(s));
+  }
+  memo.chosen.push_back(std::move(tuple));
+}
+
+const std::vector<std::vector<Value>>& ChoiceRuntime::ChosenTuples(
+    int gamma_index) const {
+  GDLOG_CHECK_GE(gamma_index, 0);
+  GDLOG_CHECK_LT(static_cast<size_t>(gamma_index), memos_.size());
+  return memos_[gamma_index].chosen;
+}
+
+size_t ChoiceRuntime::TotalChosen() const {
+  size_t n = 0;
+  for (const RuleMemo& m : memos_) n += m.chosen.size();
+  return n;
+}
+
+}  // namespace gdlog

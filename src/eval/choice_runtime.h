@@ -1,0 +1,63 @@
+// Chosen-tuple memoization: the runtime realization of the paper's
+// chosen/diffChoice predicates.
+//
+// Per Section 2, "an efficient implementation for choice programs only
+// requires memorization of the chosen predicates; from these, the
+// diffChoice predicates can be generated on-the-fly". Each choice goal
+// choice(L, R) of a gamma rule owns a hash map from the interned value
+// of L to the interned value of R. A candidate firing is admissible iff
+// for every goal the map either lacks L's value or maps it to exactly
+// R's value; firing commits all pairs and records the chosen$ tuple for
+// the stable-model checker.
+#ifndef GDLOG_EVAL_CHOICE_RUNTIME_H_
+#define GDLOG_EVAL_CHOICE_RUNTIME_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/rule_compiler.h"
+
+namespace gdlog {
+
+class ChoiceRuntime {
+ public:
+  explicit ChoiceRuntime(ValueStore* store) : store_(store) {}
+
+  /// Registers a gamma rule; returns its handle (== rule.gamma_index).
+  int Register(const CompiledRule& rule);
+
+  /// True iff firing `rule` under `frame` violates no FD recorded so far.
+  /// All choice-goal variables must be bound.
+  bool Admissible(const CompiledRule& rule, const BindingFrame& frame);
+
+  /// Commits the FD pairs of a firing and records its chosen$ tuple.
+  /// Call only after Admissible returned true under the same frame.
+  void Commit(const CompiledRule& rule, const BindingFrame& frame);
+
+  /// The chosen$ tuples recorded for gamma rule `gamma_index`, each laid
+  /// out per CompiledRule::chosen_slots.
+  const std::vector<std::vector<Value>>& ChosenTuples(int gamma_index) const;
+
+  size_t TotalChosen() const;
+
+ private:
+  struct GoalMemo {
+    std::unordered_map<Value, Value, ValueHash> fd;
+  };
+  struct RuleMemo {
+    std::vector<GoalMemo> goals;  // parallel to CompiledRule::choices
+    std::vector<std::vector<Value>> chosen;
+  };
+
+  /// Evaluates the pair (left, right) of a choice goal under `frame`.
+  bool EvalPair(const CompiledRule& rule, const ChoiceSpec& spec,
+                const BindingFrame& frame, Value* left, Value* right);
+
+  ValueStore* store_;
+  std::vector<RuleMemo> memos_;  // by gamma_index
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_EVAL_CHOICE_RUNTIME_H_

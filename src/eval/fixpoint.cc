@@ -1,0 +1,391 @@
+#include "eval/fixpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gdlog {
+
+FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
+                               const StageAnalysis* analysis,
+                               std::vector<CompiledRule> rules,
+                               EvalOptions options)
+    : catalog_(catalog),
+      store_(store),
+      analysis_(analysis),
+      rules_(std::move(rules)),
+      options_(options),
+      exec_(catalog, store),
+      choice_(store) {
+  for (const CompiledRule& r : rules_) {
+    if (!r.is_gamma) continue;
+    choice_.Register(r);
+    auto order = CandidateQueue::Order::kFifo;
+    if (r.has_extremum) {
+      order = r.is_least ? CandidateQueue::Order::kMin
+                         : CandidateQueue::Order::kMax;
+    }
+    // Congruence merging only makes sense under a cost order (keep the
+    // cheaper congruent candidate). Rules without an extremum use the
+    // paper's "simple set" queue — plain duplicate elimination — so that
+    // which instance of a class fires stays a free (seedable) choice.
+    const bool merge = r.merge_by_choice_keys &&
+                       options_.use_merge_congruence && r.has_extremum;
+    auto g = std::make_unique<GammaState>();
+    g->rule = &r;
+    g->merge = merge;
+    g->queue = std::make_unique<CandidateQueue>(
+        store_, order, merge, options_.choice_seed,
+        /*linear_scan=*/!options_.use_priority_queue);
+    if (gamma_states_.size() <= static_cast<size_t>(r.gamma_index)) {
+      gamma_states_.resize(r.gamma_index + 1);
+    }
+    gamma_states_[r.gamma_index] = std::move(g);
+  }
+}
+
+Status FixpointDriver::Run() {
+  for (uint32_t scc : analysis_->clique_order) {
+    const CliqueStageInfo& cl = analysis_->cliques[scc];
+    if (cl.cls == CliqueClass::kRejected) {
+      return Status::AnalysisError("clique rejected: " + cl.diagnostic);
+    }
+    GDLOG_RETURN_IF_ERROR(EvalClique(scc));
+  }
+  exec_stats_view_ = exec_.stats();
+  stats_.exec = exec_.stats();
+  stats_.queues = AggregateQueueStats();
+  return Status::OK();
+}
+
+CandidateQueueStats FixpointDriver::AggregateQueueStats() const {
+  CandidateQueueStats total;
+  for (const auto& g : gamma_states_) {
+    if (!g) continue;
+    const CandidateQueueStats& s = g->queue->stats();
+    total.inserted += s.inserted;
+    total.merged += s.merged;
+    total.redundant += s.redundant;
+    total.fired += s.fired;
+    total.max_queue = std::max(total.max_queue, s.max_queue);
+  }
+  return total;
+}
+
+const CandidateQueueStats* FixpointDriver::QueueStats(int gamma_index) const {
+  if (gamma_index < 0 ||
+      static_cast<size_t>(gamma_index) >= gamma_states_.size() ||
+      !gamma_states_[gamma_index]) {
+    return nullptr;
+  }
+  return &gamma_states_[gamma_index]->queue->stats();
+}
+
+void FixpointDriver::RestoreSnapshot(const CompiledRule& rule,
+                                     const std::vector<Value>& snapshot,
+                                     BindingFrame* frame) {
+  frame->Reset(rule.num_slots);
+  GDLOG_CHECK_EQ(snapshot.size(), rule.snapshot_slots.size());
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    frame->Bind(rule.snapshot_slots[i], snapshot[i]);
+  }
+}
+
+void FixpointDriver::EvalPlain(const CompiledRule& rule,
+                               uint32_t delta_occurrence) {
+  static const bool kTrace = std::getenv("GDLOG_TRACE") != nullptr;
+  const uint64_t rows_before = kTrace ? exec_.stats().scan_rows : 0;
+  const size_t n = exec_.ApplyRule(rule, delta_occurrence);
+  if (kTrace) {
+    const Relation& head = catalog_->relation(rule.head_pred);
+    fprintf(stderr,
+            "[plain] rule#%u head=%s d=%d inserted=%zu size=%zu rows=%llu\n",
+            rule.rule_index, head.name().c_str(),
+            delta_occurrence == CompiledScan::kNoOccurrence
+                ? -1
+                : static_cast<int>(delta_occurrence),
+            n, head.size(),
+            static_cast<unsigned long long>(exec_.stats().scan_rows -
+                                            rows_before));
+  }
+}
+
+void FixpointDriver::EvalAggregate(const CompiledRule& rule) {
+  // Enumerate the full body; keep, per group value, the extremum cost and
+  // every head tuple achieving it (ties all survive, as least/most keep
+  // every binding with no strictly better one).
+  struct Group {
+    Value best;
+    std::vector<std::vector<Value>> heads;
+  };
+  std::unordered_map<Value, Group, ValueHash> groups;
+  BindingFrame frame(rule.num_slots);
+  exec_.Enumerate(rule, rule.generator, CompiledScan::kNoOccurrence, &frame,
+                  [&](BindingFrame& f) {
+                    Value cost, group;
+                    if (!EvalTerm(rule.pool, rule.cost_term, f, store_,
+                                  &cost) ||
+                        !EvalTerm(rule.pool, rule.group_term, f, store_,
+                                  &group)) {
+                      return true;  // untyped binding: contributes nothing
+                    }
+                    std::vector<Value> head;
+                    if (!exec_.BuildHead(rule, f, &head)) return true;
+                    auto [it, fresh] = groups.try_emplace(group);
+                    Group& g = it->second;
+                    const int c =
+                        fresh ? -1 : store_->Compare(cost, g.best);
+                    const bool better =
+                        fresh || (rule.is_least ? c < 0 : c > 0);
+                    if (better) {
+                      g.best = cost;
+                      g.heads.clear();
+                      g.heads.push_back(std::move(head));
+                    } else if (c == 0) {
+                      g.heads.push_back(std::move(head));
+                    }
+                    return true;
+                  });
+  Relation& head_rel = catalog_->relation(rule.head_pred);
+  for (auto& [group, g] : groups) {
+    for (auto& head : g.heads) {
+      if (head_rel.Insert(TupleView(head)).inserted) ++exec_.stats().inserts;
+    }
+  }
+}
+
+void FixpointDriver::InsertCandidates(GammaState* g,
+                                      uint32_t delta_occurrence) {
+  const CompiledRule& rule = *g->rule;
+  BindingFrame frame(rule.num_slots);
+  const std::vector<CompiledLiteral>& plan =
+      (delta_occurrence == CompiledScan::kNoOccurrence ||
+       delta_occurrence >= rule.delta_plans.size())
+          ? rule.generator
+          : rule.delta_plans[delta_occurrence];
+  exec_.Enumerate(rule, plan, delta_occurrence, &frame,
+                  [&](BindingFrame& f) {
+                    Value cost = Value::Int(0);
+                    if (rule.has_extremum &&
+                        !EvalTerm(rule.pool, rule.cost_term, f, store_,
+                                  &cost)) {
+                      return true;
+                    }
+                    std::vector<Value> snapshot;
+                    snapshot.reserve(rule.snapshot_slots.size());
+                    for (uint32_t s : rule.snapshot_slots) {
+                      snapshot.push_back(f.Get(s));
+                    }
+                    Value key;
+                    if (g->merge) {
+                      std::vector<Value> kv;
+                      kv.reserve(rule.congruence_slots.size());
+                      for (uint32_t s : rule.congruence_slots) {
+                        kv.push_back(f.Get(s));
+                      }
+                      key = store_->MakeTuple(kv);
+                    } else {
+                      key = store_->MakeTuple(snapshot);
+                    }
+                    g->queue->Push(cost, key, std::move(snapshot));
+                    return true;
+                  });
+}
+
+Status FixpointDriver::EvalClique(uint32_t scc) {
+  const CliqueStageInfo& cl = analysis_->cliques[scc];
+  const DependencyGraph& graph = *analysis_->graph;
+
+  CliqueCtx ctx;
+  for (PredIndex p : cl.members) {
+    const PredicateId id = catalog_->Lookup(graph.name(p), graph.arity(p));
+    if (id != kNoPredicate) ctx.relations.push_back(id);
+  }
+  for (const CompiledRule& r : rules_) {
+    if (graph.scc_of(graph.Lookup(
+            catalog_->relation(r.head_pred).name(),
+            r.head_arity)) != scc) {
+      continue;
+    }
+    if (r.is_gamma) {
+      GammaState* g = gamma_states_[r.gamma_index].get();
+      ctx.gammas.push_back(g);
+      if (r.is_next) ctx.has_next = true;
+    } else if (r.has_extremum) {
+      ctx.aggregate.push_back(&r);
+    } else {
+      ctx.plain.push_back(&r);
+    }
+  }
+  if (ctx.plain.empty() && ctx.aggregate.empty() && ctx.gammas.empty()) {
+    // Pure EDB clique; seal so later cliques never see phantom deltas.
+    for (PredicateId id : ctx.relations) catalog_->relation(id).SealEpoch();
+    return Status::OK();
+  }
+
+  // Round 0: full evaluation of every rule.
+  for (const CompiledRule* r : ctx.plain) {
+    EvalPlain(*r, CompiledScan::kNoOccurrence);
+  }
+  for (const CompiledRule* r : ctx.aggregate) EvalAggregate(*r);
+  for (GammaState* g : ctx.gammas) {
+    InsertCandidates(g, CompiledScan::kNoOccurrence);
+  }
+
+  // Alternate Q∞ and γ until neither makes progress.
+  for (;;) {
+    Saturate(&ctx);
+    if (ctx.has_next && ctx.stage_counter == 0) {
+      // Initialize the stage counter past every stage value the exit
+      // rules produced (e.g. prm(nil, a, 0, 0) puts 0 in play).
+      int64_t max_stage = -1;
+      for (PredicateId id : ctx.relations) {
+        const Relation& rel = catalog_->relation(id);
+        const PredIndex p = graph.Lookup(rel.name(), rel.arity());
+        const int pos = analysis_->stage_arg[p];
+        if (pos < 0) continue;
+        for (RowId row = 0; row < rel.size(); ++row) {
+          const Value v = rel.Row(row)[pos];
+          if (v.is_int()) max_stage = std::max(max_stage, v.AsInt());
+        }
+      }
+      ctx.stage_counter = max_stage + 1;
+    }
+    if (!GammaPhase(&ctx)) break;
+  }
+
+  for (PredicateId id : ctx.relations) catalog_->relation(id).SealEpoch();
+  return Status::OK();
+}
+
+void FixpointDriver::Saturate(CliqueCtx* ctx) {
+  for (;;) {
+    bool any_delta = false;
+    for (PredicateId id : ctx->relations) {
+      if (catalog_->relation(id).AdvanceEpoch() > 0) any_delta = true;
+    }
+    if (!any_delta) return;
+    ++stats_.saturation_rounds;
+    const bool seminaive = options_.use_seminaive;
+    for (const CompiledRule* r : ctx->plain) {
+      if (!r->recursive) continue;
+      if (seminaive) {
+        for (uint32_t d = 0; d < r->num_clique_occurrences; ++d) {
+          EvalPlain(*r, d);
+        }
+      } else {
+        EvalPlain(*r, CompiledScan::kNoOccurrence);  // naive: full windows
+      }
+    }
+    for (const CompiledRule* r : ctx->aggregate) {
+      if (!r->recompute_full) continue;
+      EvalAggregate(*r);
+    }
+    for (GammaState* g : ctx->gammas) {
+      if (!g->rule->recursive) continue;
+      if (seminaive) {
+        for (uint32_t d = 0; d < g->rule->num_clique_occurrences; ++d) {
+          InsertCandidates(g, d);
+        }
+      } else {
+        InsertCandidates(g, CompiledScan::kNoOccurrence);
+      }
+    }
+  }
+}
+
+size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
+  // One firing per call — the paper's γ fires a single chosen instance
+  // per iteration, alternating with saturation; interleaving lets
+  // different tie-break seeds explore different stable models.
+  const CompiledRule& rule = *g->rule;
+  BindingFrame frame;
+  while (auto cand = g->queue->Pop()) {
+    RestoreSnapshot(rule, cand->snapshot, &frame);
+    if (rule.has_extremum) {
+      // Extrema filtering: pops arrive in cost order, so the first
+      // candidate ever seen in a group carries the group's true
+      // extremum; any later candidate with a different cost was never a
+      // valid instance of the rule. The per-group record persists across
+      // calls in the GammaState.
+      Value cost, group;
+      const bool ok =
+          EvalTerm(rule.pool, rule.cost_term, frame, store_, &cost) &&
+          EvalTerm(rule.pool, rule.group_term, frame, store_, &group);
+      GDLOG_CHECK(ok);
+      auto [it, fresh] = g->group_best.try_emplace(group, cost);
+      if (!fresh && it->second != cost) {
+        g->queue->MarkRedundant(*cand);
+        continue;
+      }
+    }
+    if (!choice_.Admissible(rule, frame)) {
+      g->queue->MarkRedundant(*cand);
+      continue;
+    }
+    choice_.Commit(rule, frame);
+    exec_.InsertHead(rule, frame);
+    g->queue->MarkFired(*cand);
+    ++stats_.gamma_firings;
+    return 1;
+  }
+  return 0;
+}
+
+bool FixpointDriver::TryFireNext(CliqueCtx* ctx, GammaState* g,
+                                 const Candidate& cand) {
+  const CompiledRule& rule = *g->rule;
+  BindingFrame frame;
+  RestoreSnapshot(rule, cand.snapshot, &frame);
+  frame.Bind(rule.stage_slot, Value::Int(ctx->stage_counter));
+
+  bool fired = false;
+  std::vector<Value> head;
+  exec_.Enumerate(rule, rule.post, CompiledScan::kNoOccurrence, &frame,
+                  [&](BindingFrame& f) {
+                    if (!choice_.Admissible(rule, f)) return true;
+                    choice_.Commit(rule, f);
+                    // Build now, insert after: the post plan may hold
+                    // index iterators on the head relation.
+                    exec_.BuildHead(rule, f, &head);
+                    fired = true;
+                    return false;  // one firing per γ
+                  });
+  if (fired) {
+    catalog_->relation(rule.head_pred).Insert(TupleView(head));
+    static const bool kTrace = std::getenv("GDLOG_TRACE") != nullptr;
+    if (kTrace) {
+      fprintf(stderr, "[gamma] stage=%ld head=%s %s\n", ctx->stage_counter,
+              catalog_->relation(rule.head_pred).name().c_str(),
+              TupleToString(*store_, TupleView(head)).c_str());
+    }
+    g->queue->MarkFired(cand);
+    ++ctx->stage_counter;
+    ++stats_.gamma_firings;
+    ++stats_.stages_assigned;
+  } else {
+    g->queue->MarkRedundant(cand);
+  }
+  return fired;
+}
+
+bool FixpointDriver::GammaPhase(CliqueCtx* ctx) {
+  // Non-next choice rules: one firing, then back to saturation.
+  for (GammaState* g : ctx->gammas) {
+    if (g->rule->is_next) continue;
+    if (DrainChoiceRule(g) > 0) return true;
+  }
+  // Next rules: exactly one firing.
+  for (GammaState* g : ctx->gammas) {
+    if (!g->rule->is_next) continue;
+    while (auto cand = g->queue->Pop()) {
+      if (TryFireNext(ctx, g, *cand)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,137 @@
+// Fixpoint drivers: the Choice Fixpoint (Section 2) and the Alternating
+// Stage-Choice Fixpoint (Section 4), unified over one per-clique loop.
+//
+// Cliques are saturated in dependency order (stratum by stratum). Within
+// a clique the driver alternates:
+//
+//   Saturate (Q∞)  — seminaive rounds over the clique's flat rules; new
+//                    tuples also flow into the gamma rules' candidate
+//                    queues (the paper's insertion into D_r);
+//   GammaPhase (γ) — non-next choice rules drain every admissible
+//                    candidate (each drain step is a γ application whose
+//                    interleaving with Q∞ is immaterial because their
+//                    saturation adds only candidates, never invalidates
+//                    them); next rules fire exactly ONE candidate — the
+//                    best live queue entry passing its post conditions
+//                    and choice FDs — then the stage counter advances.
+//
+// The loop ends when γ produces nothing. For stage-stratified programs
+// this computes a stable model (Theorem 1); each Pop/fire is O(log |Q|),
+// giving the Section 6 complexity bounds.
+#ifndef GDLOG_EVAL_FIXPOINT_H_
+#define GDLOG_EVAL_FIXPOINT_H_
+
+#include <memory>
+#include <vector>
+
+#include "analysis/stage.h"
+#include "common/status.h"
+#include "eval/choice_runtime.h"
+#include "eval/rql.h"
+#include "eval/rule_compiler.h"
+#include "eval/seminaive.h"
+
+namespace gdlog {
+
+struct EvalOptions {
+  /// Perturbs equal-cost / FIFO candidate ordering; different seeds
+  /// explore different stable models. 0 = deterministic program order.
+  uint64_t choice_seed = 0;
+  /// Allow congruence-merge insertion where the compiler proved it safe
+  /// (the paper's r-congruence classes). Off = full lazy-deletion queues.
+  bool use_merge_congruence = true;
+  /// Use priority-queue retrieval for least/most (Section 6). Off = the
+  /// naive O(|Q|) linear re-scan per retrieval — the ablation baseline.
+  bool use_priority_queue = true;
+  /// Use the seminaive refinement (delta-driven rule variants). Off =
+  /// naive evaluation: every saturation round re-runs every recursive
+  /// rule over full windows — the ablation baseline for the abstract's
+  /// "through seminaive refinements ... low asymptotic complexity".
+  bool use_seminaive = true;
+};
+
+struct FixpointStats {
+  uint64_t saturation_rounds = 0;
+  uint64_t gamma_firings = 0;
+  uint64_t stages_assigned = 0;
+  ExecStats exec;
+  CandidateQueueStats queues;  // aggregated over all gamma rules
+};
+
+class FixpointDriver {
+ public:
+  FixpointDriver(Catalog* catalog, ValueStore* store,
+                 const StageAnalysis* analysis,
+                 std::vector<CompiledRule> rules, EvalOptions options);
+
+  /// Evaluates the whole program to its (choice) fixpoint.
+  Status Run();
+
+  const ChoiceRuntime& choice_runtime() const { return choice_; }
+  const std::vector<CompiledRule>& rules() const { return rules_; }
+  const FixpointStats& stats() const { return stats_; }
+  const ExecStats& exec_stats() const { return exec_stats_view_; }
+
+  /// Sums candidate-queue statistics over every gamma rule.
+  CandidateQueueStats AggregateQueueStats() const;
+  /// Queue statistics of one gamma rule (by gamma index); nullptr if the
+  /// index has no queue.
+  const CandidateQueueStats* QueueStats(int gamma_index) const;
+
+ private:
+  struct GammaState {
+    const CompiledRule* rule;
+    std::unique_ptr<CandidateQueue> queue;
+    bool merge = false;  // effective congruence-merge mode
+    // For non-next extrema rules: first-seen (= true) extremum per group.
+    std::unordered_map<Value, Value, ValueHash> group_best;
+  };
+
+  struct CliqueCtx {
+    std::vector<const CompiledRule*> plain;      // no meta behavior
+    std::vector<const CompiledRule*> aggregate;  // extrema, non-gamma
+    std::vector<GammaState*> gammas;
+    std::vector<PredicateId> relations;  // clique head relations
+    int64_t stage_counter = 0;
+    bool has_next = false;
+  };
+
+  Status EvalClique(uint32_t scc);
+  /// Seminaive rounds until no clique relation grows.
+  void Saturate(CliqueCtx* ctx);
+  /// One γ application; false when the clique is exhausted.
+  bool GammaPhase(CliqueCtx* ctx);
+
+  void EvalPlain(const CompiledRule& rule, uint32_t delta_occurrence);
+  void EvalAggregate(const CompiledRule& rule);
+  void InsertCandidates(GammaState* g, uint32_t delta_occurrence);
+
+  /// Restores a candidate snapshot into `frame`.
+  void RestoreSnapshot(const CompiledRule& rule,
+                       const std::vector<Value>& snapshot,
+                       BindingFrame* frame);
+
+  /// Attempts to fire one popped candidate of a next rule; true on fire.
+  bool TryFireNext(CliqueCtx* ctx, GammaState* g, const Candidate& cand);
+
+  /// Drains a non-next gamma rule's queue, firing every admissible
+  /// candidate (extrema-filtered when the rule has one). Returns the
+  /// number of firings.
+  size_t DrainChoiceRule(GammaState* g);
+
+  Catalog* catalog_;
+  ValueStore* store_;
+  const StageAnalysis* analysis_;
+  std::vector<CompiledRule> rules_;
+  EvalOptions options_;
+
+  PlanExecutor exec_;
+  ChoiceRuntime choice_;
+  std::vector<std::unique_ptr<GammaState>> gamma_states_;  // by gamma_index
+  FixpointStats stats_;
+  ExecStats exec_stats_view_;  // snapshot filled when Run completes
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_EVAL_FIXPOINT_H_

@@ -1,0 +1,193 @@
+#include "eval/rql.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace gdlog {
+
+CandidateQueue::CandidateQueue(const ValueStore* store, Order order,
+                               bool merge, uint64_t tie_seed,
+                               bool linear_scan)
+    : store_(store),
+      order_(order),
+      merge_(merge),
+      tie_seed_(tie_seed),
+      linear_scan_(linear_scan) {}
+
+bool CandidateQueue::After(const HeapEntry& a, const HeapEntry& b) const {
+  if (order_ != Order::kFifo) {
+    const int c = store_->Compare(a.cost, b.cost);
+    if (c != 0) {
+      return order_ == Order::kMin ? c > 0 : c < 0;
+    }
+  }
+  return a.tie > b.tie;
+}
+
+void CandidateQueue::Push(Value cost, Value congruence_key,
+                          std::vector<Value> snapshot) {
+  ++stats_.inserted;
+  if (fired_.count(congruence_key)) {
+    ++stats_.merged;
+    return;  // L-hit at insertion: straight to R (paper's insertion rule)
+  }
+  const uint64_t seq = next_seq_++;
+  bool superseding = false;
+  auto it = live_.find(congruence_key);
+  if (it != live_.end()) {
+    if (!merge_) {
+      // Full mode: the key is the whole candidate — exact duplicate.
+      ++stats_.merged;
+      return;
+    }
+    // Merge mode: keep the better of the congruent pair in Q.
+    // Find the authoritative entry's cost via a linear probe is too
+    // slow; we track it in the live map instead.
+    const Value old_cost = live_cost_[congruence_key];
+    const int c = store_->Compare(cost, old_cost);
+    const bool new_better = order_ == Order::kMin ? c < 0 : c > 0;
+    if (!new_better) {
+      ++stats_.merged;
+      return;
+    }
+    // Supersede: the old heap entry goes stale.
+    ++stats_.merged;
+    superseding = true;
+  }
+  live_[congruence_key] = seq;
+  live_cost_[congruence_key] = cost;
+  if (!superseding) ++live_count_;
+
+  HeapEntry e;
+  e.cost = cost;
+  e.seq = seq;
+  e.tie = tie_seed_ ? Mix64(seq ^ tie_seed_) : seq;
+  e.key = congruence_key;
+  e.snapshot = std::move(snapshot);
+  heap_.push_back(std::move(e));
+  if (!linear_scan_) {
+    // Sift up.
+    size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!After(heap_[parent], heap_[i])) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+  stats_.max_queue = std::max(stats_.max_queue, live_count_);
+}
+
+void CandidateQueue::SkimDead() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_[0];
+    const auto it = live_.find(top.key);
+    const bool stale = it == live_.end() || it->second != top.seq;
+    const bool l_hit = fired_.count(top.key) > 0;
+    if (!stale && !l_hit) return;
+    ++stats_.redundant;
+    // Remove top: move last to root and sift down.
+    heap_[0] = std::move(heap_.back());
+    heap_.pop_back();
+    size_t i = 0;
+    for (;;) {
+      const size_t l = 2 * i + 1, r = 2 * i + 2;
+      size_t best = i;
+      if (l < heap_.size() && After(heap_[best], heap_[l])) best = l;
+      if (r < heap_.size() && After(heap_[best], heap_[r])) best = r;
+      if (best == i) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+}
+
+std::optional<Candidate> CandidateQueue::Pop() {
+  if (linear_scan_) return PopLinear();
+  SkimDead();
+  if (heap_.empty()) return std::nullopt;
+  HeapEntry top = std::move(heap_[0]);
+  heap_[0] = std::move(heap_.back());
+  heap_.pop_back();
+  size_t i = 0;
+  for (;;) {
+    const size_t l = 2 * i + 1, r = 2 * i + 2;
+    size_t best = i;
+    if (l < heap_.size() && After(heap_[best], heap_[l])) best = l;
+    if (r < heap_.size() && After(heap_[best], heap_[r])) best = r;
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  Candidate c;
+  c.cost = top.cost;
+  c.seq = top.seq;
+  c.congruence_key = top.key;
+  c.snapshot = std::move(top.snapshot);
+  if (live_count_ > 0) --live_count_;
+  return c;
+}
+
+void CandidateQueue::MarkFired(const Candidate& c) {
+  fired_.insert(c.congruence_key);
+  ++stats_.fired;
+}
+
+void CandidateQueue::MarkRedundant(const Candidate& c) {
+  ++stats_.redundant;
+  if (merge_) {
+    // The FD that rejected this candidate is keyed by the congruence key,
+    // so the whole class is dead: block future congruent insertions.
+    fired_.insert(c.congruence_key);
+  }
+  // Full mode: the key stays in live_ as a seen-set entry, so exact
+  // re-derivations keep being dropped at insertion.
+}
+
+std::optional<Candidate> CandidateQueue::PopLinear() {
+  for (;;) {
+    if (heap_.empty()) return std::nullopt;
+    size_t best = heap_.size();
+    for (size_t i = 0; i < heap_.size(); ++i) {
+      const auto it = live_.find(heap_[i].key);
+      const bool dead = it == live_.end() || it->second != heap_[i].seq ||
+                        fired_.count(heap_[i].key) > 0;
+      if (dead) continue;
+      if (best == heap_.size() || After(heap_[best], heap_[i])) best = i;
+    }
+    if (best == heap_.size()) {
+      // Everything left is dead.
+      stats_.redundant += heap_.size();
+      heap_.clear();
+      return std::nullopt;
+    }
+    HeapEntry e = std::move(heap_[best]);
+    heap_[best] = std::move(heap_.back());
+    heap_.pop_back();
+    Candidate c;
+    c.cost = e.cost;
+    c.seq = e.seq;
+    c.congruence_key = e.key;
+    c.snapshot = std::move(e.snapshot);
+    if (live_count_ > 0) --live_count_;
+    return c;
+  }
+}
+
+bool CandidateQueue::Empty() {
+  if (linear_scan_) {
+    for (const HeapEntry& e : heap_) {
+      const auto it = live_.find(e.key);
+      if (it != live_.end() && it->second == e.seq && !fired_.count(e.key)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  SkimDead();
+  return heap_.empty();
+}
+
+}  // namespace gdlog

@@ -1,0 +1,125 @@
+// The D_r = (R_r, Q_r, L_r) structure of Section 6.
+//
+// One CandidateQueue backs each gamma rule r:
+//
+//   Q_r — the priority queue of candidate rule instances, keyed by the
+//         extremum cost (least: min-heap, most: max-heap; rules without
+//         an extremum degrade Q_r to FIFO retrieval, the paper's
+//         "retrieve any");
+//   L_r — the congruence keys of instances that fired;
+//   R_r — redundant instances: merged away at insertion (a congruent,
+//         no-better candidate), superseded in place, or discarded at pop
+//         (stale, L-hit, FD-violating, failed post conditions).
+//
+// Congruence: in merge mode (CompiledRule::merge_by_choice_keys, enabled
+// only when provably semantics-preserving) the key is the tuple of choice
+// FD keys — the paper's r-congruence — and insertion keeps the best
+// candidate per class, exactly the paper's insertion operation. In full
+// mode the key is the whole candidate (pure duplicate elimination) and
+// competition is resolved lazily at pop.
+//
+// Complexity: insertion and pop are O(log |Q|) plus O(1) hash work —
+// the bound Section 6 assumes.
+#ifndef GDLOG_EVAL_RQL_H_
+#define GDLOG_EVAL_RQL_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "value/value.h"
+
+namespace gdlog {
+
+struct Candidate {
+  Value cost;                   // extremum key (Int(seq) for FIFO rules)
+  uint64_t seq = 0;             // insertion order; ties and staleness
+  Value congruence_key;         // interned tuple
+  std::vector<Value> snapshot;  // generator-bound slot values
+};
+
+struct CandidateQueueStats {
+  uint64_t inserted = 0;    // calls to Push
+  uint64_t merged = 0;      // insertion-time R moves (congruence merge)
+  uint64_t redundant = 0;   // pop-time R moves (stale/L-hit), plus
+                            // discards recorded via MarkRedundant
+  uint64_t fired = 0;       // moves into L
+  // High-water mark of |Q| counting *live* candidates — one per
+  // congruence class in merge mode, matching the paper's bound (e.g. at
+  // most n for Prim). Superseded entries pending lazy removal from the
+  // physical heap are excluded.
+  size_t max_queue = 0;
+};
+
+class CandidateQueue {
+ public:
+  enum class Order : uint8_t { kMin, kMax, kFifo };
+
+  /// `merge` selects congruence-merge insertion; `tie_seed` perturbs
+  /// equal-cost (and FIFO) ordering to explore different stable models
+  /// (0 = plain insertion order). `linear_scan` disables the heap and
+  /// finds the best candidate by an O(|Q|) scan per retrieval — the
+  /// naive baseline the Section 6 structure is benchmarked against.
+  CandidateQueue(const ValueStore* store, Order order, bool merge,
+                 uint64_t tie_seed = 0, bool linear_scan = false);
+
+  /// Inserts a candidate. In merge mode a congruent entry in L sends the
+  /// candidate to R; a congruent better entry in Q sends it to R; a
+  /// congruent worse entry is superseded. In full mode exact duplicates
+  /// (same key) are dropped.
+  void Push(Value cost, Value congruence_key, std::vector<Value> snapshot);
+
+  /// Pops the best live candidate (skipping stale/L-hit entries into R).
+  /// Returns nullopt when the queue is drained.
+  std::optional<Candidate> Pop();
+
+  /// Moves a popped candidate's class into L (it fired).
+  void MarkFired(const Candidate& c);
+
+  /// Records that a popped candidate was discarded (FD violation or
+  /// failed post conditions) — the paper's move into R_r.
+  void MarkRedundant(const Candidate& c);
+
+  bool Empty();
+  size_t QueueSize() const { return heap_.size(); }
+  const CandidateQueueStats& stats() const { return stats_; }
+
+ private:
+  struct HeapEntry {
+    Value cost;
+    uint64_t tie;  // perturbed seq
+    uint64_t seq;
+    Value key;
+    std::vector<Value> snapshot;
+  };
+
+  /// True when a comes after b in pop order (std::priority_queue keeps
+  /// the "largest"; we invert so the best pops first).
+  bool After(const HeapEntry& a, const HeapEntry& b) const;
+
+  void SkimDead();
+  std::optional<Candidate> PopLinear();
+
+  const ValueStore* store_;
+  Order order_;
+  bool merge_;
+  uint64_t tie_seed_;
+  bool linear_scan_;
+  uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;  // authoritative (non-stale, non-fired) entries
+
+  std::vector<HeapEntry> heap_;  // binary heap managed manually
+  // Live-entry registry: congruence key -> seq of the authoritative
+  // entry. A popped entry whose seq mismatches is stale (superseded).
+  std::unordered_map<Value, uint64_t, ValueHash> live_;
+  std::unordered_map<Value, Value, ValueHash> live_cost_;
+  std::unordered_set<Value, ValueHash> fired_;  // L
+  CandidateQueueStats stats_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_EVAL_RQL_H_

@@ -1,0 +1,954 @@
+#include "eval/rule_compiler.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace gdlog {
+
+// ---------------------------------------------------------------------------
+// Term evaluation and matching
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool EvalArith(ArithOp op, int64_t a, int64_t b, int64_t* out) {
+  switch (op) {
+    case ArithOp::kAdd:
+      *out = a + b;
+      return true;
+    case ArithOp::kSub:
+      *out = a - b;
+      return true;
+    case ArithOp::kMul:
+      *out = a * b;
+      return true;
+    case ArithOp::kDiv:
+      if (b == 0) return false;
+      *out = a / b;
+      return true;
+    case ArithOp::kMod:
+      if (b == 0) return false;
+      *out = a % b;
+      return true;
+    case ArithOp::kMin:
+      *out = a < b ? a : b;
+      return true;
+    case ArithOp::kMax:
+      *out = a > b ? a : b;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvalTerm(const std::vector<CTerm>& pool, uint32_t t,
+              const BindingFrame& frame, ValueStore* store, Value* out) {
+  const CTerm& ct = pool[t];
+  switch (ct.kind) {
+    case CTerm::Kind::kConst:
+      *out = ct.constant;
+      return true;
+    case CTerm::Kind::kVar:
+      if (!frame.IsBound(ct.var_slot)) return false;
+      *out = frame.Get(ct.var_slot);
+      return true;
+    case CTerm::Kind::kConstruct: {
+      std::vector<Value> args(ct.args.size());
+      for (size_t i = 0; i < ct.args.size(); ++i) {
+        if (!EvalTerm(pool, ct.args[i], frame, store, &args[i])) return false;
+      }
+      *out = store->MakeTerm(ct.functor, args);
+      return true;
+    }
+    case CTerm::Kind::kArith: {
+      GDLOG_CHECK_EQ(ct.args.size(), 2u);
+      Value a, b;
+      if (!EvalTerm(pool, ct.args[0], frame, store, &a)) return false;
+      if (!EvalTerm(pool, ct.args[1], frame, store, &b)) return false;
+      if (!a.is_int() || !b.is_int()) return false;
+      int64_t r;
+      if (!EvalArith(ct.op, a.AsInt(), b.AsInt(), &r)) return false;
+      *out = Value::Int(r);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MatchTerm(const std::vector<CTerm>& pool, uint32_t t, Value v,
+               BindingFrame* frame, ValueStore* store) {
+  const CTerm& ct = pool[t];
+  switch (ct.kind) {
+    case CTerm::Kind::kConst:
+      return ct.constant == v;
+    case CTerm::Kind::kVar:
+      if (frame->IsBound(ct.var_slot)) return frame->Get(ct.var_slot) == v;
+      frame->Bind(ct.var_slot, v);
+      return true;
+    case CTerm::Kind::kConstruct: {
+      if (!v.is_term()) return false;
+      const TermId id = v.AsTermId();
+      if (store->TermFunctor(id) != ct.functor) return false;
+      auto args = store->TermArgs(id);
+      if (args.size() != ct.args.size()) return false;
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (!MatchTerm(pool, ct.args[i], args[i], frame, store)) return false;
+      }
+      return true;
+    }
+    case CTerm::Kind::kArith: {
+      Value computed;
+      if (!EvalTerm(pool, t, *frame, store, &computed)) return false;
+      return computed == v;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule compiler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<ArithOp> ArithOpOf(const std::string& name) {
+  if (name == "+") return ArithOp::kAdd;
+  if (name == "-") return ArithOp::kSub;
+  if (name == "*") return ArithOp::kMul;
+  if (name == "/") return ArithOp::kDiv;
+  if (name == "mod") return ArithOp::kMod;
+  if (name == "min") return ArithOp::kMin;
+  if (name == "max") return ArithOp::kMax;
+  return Status::Internal("unknown arithmetic functor " + name);
+}
+
+class RuleCompiler {
+ public:
+  RuleCompiler(const Program& program, const StageAnalysis& analysis,
+               uint32_t rule_index, Catalog* catalog, ValueStore* store,
+               bool head_params_bound)
+      : program_(program),
+        analysis_(analysis),
+        rule_(program.rules[rule_index]),
+        catalog_(catalog),
+        store_(store),
+        head_params_bound_(head_params_bound) {
+    out_.rule_index = rule_index;
+  }
+
+  Result<CompiledRule> Compile() {
+    const RuleStageInfo& info = analysis_.rule_info[out_.rule_index];
+    out_.is_next = info.kind == RuleKind::kNext;
+    out_.head_stage_pos = info.head_stage_pos;
+
+    head_pred_index_ = analysis_.graph->Lookup(
+        rule_.head.predicate, static_cast<uint32_t>(rule_.head.args.size()));
+    GDLOG_CHECK_NE(head_pred_index_, kNoPred);
+    head_scc_ = analysis_.graph->scc_of(head_pred_index_);
+
+    out_.head_pred = catalog_->Ensure(
+        rule_.head.predicate, static_cast<uint32_t>(rule_.head.args.size()));
+    out_.head_arity = static_cast<uint32_t>(rule_.head.args.size());
+
+    if (out_.is_next) {
+      out_.stage_slot = SlotOf(info.stage_var);
+      stage_var_name_ = info.stage_var;
+    }
+
+    if (head_params_bound_) {
+      // Head arguments are call parameters: mark their variables bound
+      // before the body compiles (checker-only aux$ mode).
+      std::vector<std::string> head_vars;
+      for (const TermNode& t : rule_.head.args) CollectVariables(t, &head_vars);
+      for (const std::string& v : head_vars) {
+        MarkBound(SlotOf(v), /*in_generator=*/true);
+      }
+    }
+
+    // Pass 1: compile body literals, greedily reordering so every
+    // literal runs only once its inputs are bound (the paper's Example 6
+    // writes `I = max(J, K)` after the negated conjunctions that read
+    // I). Meta goals are extracted first; for next rules, literals that
+    // need the stage variable wait for the post phase.
+    GDLOG_RETURN_IF_ERROR(CompileBodyReordered());
+
+    // Implicit + explicit choice specs and chosen$ slots, in the order
+    // RewriteChoice sees them on the expanded rule.
+    GDLOG_RETURN_IF_ERROR(BuildChoiceSpecs());
+    out_.is_gamma = out_.is_next || !out_.choices.empty();
+
+    // Head.
+    std::vector<std::string> head_vars;
+    for (const TermNode& t : rule_.head.args) CollectVariables(t, &head_vars);
+    for (const std::string& v : head_vars) {
+      if (!IsBoundAnywhere(v)) {
+        return Error("head variable " + v + " is never bound in the body");
+      }
+    }
+    for (const TermNode& t : rule_.head.args) {
+      out_.head_terms.push_back(CompileTerm(t));
+    }
+
+    // Extremum bookkeeping.
+    if (out_.has_extremum && out_.is_next) {
+      const CTerm& cost = out_.pool[out_.cost_term];
+      if (cost.kind != CTerm::Kind::kVar ||
+          !generator_bound_.count(cost.var_slot)) {
+        return Error("extremum cost must be bound by the rule body");
+      }
+    }
+
+    // Recursion shape.
+    out_.recursive = out_.num_clique_occurrences > 0;
+    out_.recompute_full =
+        out_.has_extremum && !out_.is_next &&
+        analysis_.graph->IsRecursive(head_scc_);
+
+    ComputeSnapshotSlots();
+    ComputeCongruence();
+    out_.num_slots = static_cast<uint32_t>(out_.slot_names.size());
+    return std::move(out_);
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::AnalysisError("rule for " + rule_.head.predicate + ": " +
+                                 msg);
+  }
+
+  uint32_t SlotOf(const std::string& name) {
+    auto it = slots_.find(name);
+    if (it != slots_.end()) return it->second;
+    const auto s = static_cast<uint32_t>(out_.slot_names.size());
+    slots_.emplace(name, s);
+    out_.slot_names.push_back(name);
+    return s;
+  }
+
+  uint32_t CompileTerm(const TermNode& t) {
+    CTerm ct;
+    switch (t.kind) {
+      case TermKind::kVariable:
+        ct.kind = CTerm::Kind::kVar;
+        ct.var_slot = SlotOf(t.name);
+        break;
+      case TermKind::kConstant:
+        ct.kind = CTerm::Kind::kConst;
+        ct.constant = t.constant;
+        break;
+      case TermKind::kCompound: {
+        if (IsArithmeticFunctor(t.name) && t.args.size() == 2) {
+          ct.kind = CTerm::Kind::kArith;
+          auto op = ArithOpOf(t.name);
+          GDLOG_CHECK(op.ok());
+          ct.op = *op;
+        } else {
+          ct.kind = CTerm::Kind::kConstruct;
+          ct.functor = t.is_tuple()
+                           ? static_cast<SymbolId>(store_->tuple_functor())
+                           : store_->MakeSymbol(t.name).AsSymbolId();
+        }
+        for (const TermNode& a : t.args) ct.args.push_back(CompileTerm(a));
+        break;
+      }
+    }
+    out_.pool.push_back(std::move(ct));
+    return static_cast<uint32_t>(out_.pool.size() - 1);
+  }
+
+  /// True when pool[t] contains an arithmetic node.
+  bool ContainsArith(uint32_t t) const {
+    const CTerm& ct = out_.pool[t];
+    if (ct.kind == CTerm::Kind::kArith) return true;
+    for (uint32_t a : ct.args) {
+      if (ContainsArith(a)) return true;
+    }
+    return false;
+  }
+
+  /// True when every variable of pool[t] is in `bound`.
+  bool TermBound(uint32_t t,
+                 const std::unordered_set<uint32_t>& bound) const {
+    const CTerm& ct = out_.pool[t];
+    switch (ct.kind) {
+      case CTerm::Kind::kConst:
+        return true;
+      case CTerm::Kind::kVar:
+        return bound.count(ct.var_slot) > 0;
+      default:
+        for (uint32_t a : ct.args) {
+          if (!TermBound(a, bound)) return false;
+        }
+        return true;
+    }
+  }
+
+  void CollectSlots(uint32_t t, std::vector<uint32_t>* out) const {
+    const CTerm& ct = out_.pool[t];
+    if (ct.kind == CTerm::Kind::kVar) {
+      out->push_back(ct.var_slot);
+    } else {
+      for (uint32_t a : ct.args) CollectSlots(a, out);
+    }
+  }
+
+  void MarkBound(uint32_t slot, bool in_generator) {
+    if (in_generator) {
+      if (generator_bound_.insert(slot).second) {
+        out_.generator_bound_slots.push_back(slot);
+      }
+    } else {
+      post_bound_.insert(slot);
+    }
+  }
+
+  bool IsBoundAnywhere(const std::string& var) const {
+    auto it = slots_.find(var);
+    if (it == slots_.end()) return false;
+    if (generator_bound_.count(it->second) || post_bound_.count(it->second)) {
+      return true;
+    }
+    return out_.is_next && var == stage_var_name_;
+  }
+
+  /// Mentions the stage variable (or a post-bound variable)?
+  bool MentionsPostVars(const Literal& lit) const {
+    std::vector<std::string> vars;
+    CollectLiteralVariables(lit, &vars);
+    for (const std::string& v : vars) {
+      if (out_.is_next && v == stage_var_name_) return true;
+      auto it = slots_.find(v);
+      if (it != slots_.end() && post_bound_.count(it->second)) return true;
+    }
+    return false;
+  }
+
+  /// Drops post comparisons that are guaranteed true by the stage-counter
+  /// discipline: J < I and J <= I and J != I where I is the stage
+  /// variable and J is bound from a same-clique stage column (the stage
+  /// counter always exceeds every stage value in the database).
+  bool AlwaysTruePostComparison(const Literal& lit) const {
+    if (lit.kind != LiteralKind::kComparison || !out_.is_next) return false;
+    const TermNode* stage_side = nullptr;
+    const TermNode* other = nullptr;
+    ComparisonOp op = lit.op;
+    if (lit.args[1].is_var() && lit.args[1].name == stage_var_name_) {
+      stage_side = &lit.args[1];
+      other = &lit.args[0];
+    } else if (lit.args[0].is_var() && lit.args[0].name == stage_var_name_) {
+      stage_side = &lit.args[0];
+      other = &lit.args[1];
+      op = FlipComparison(op);
+    } else {
+      return false;
+    }
+    (void)stage_side;
+    // Now the obligation reads: other OP stage.
+    if (op != ComparisonOp::kLt && op != ComparisonOp::kLe &&
+        op != ComparisonOp::kNe) {
+      return false;
+    }
+    if (!other->is_var()) return false;
+    auto it = slots_.find(other->name);
+    if (it == slots_.end()) return false;
+    return stage_derived_.count(it->second) > 0;
+  }
+
+  Status CompileBodyReordered() {
+    // Occurrence counts across the whole rule, for local-existential
+    // detection in negated goals.
+    {
+      std::vector<std::string> all;
+      CollectLiteralVariables(rule_.head, &all);
+      for (const Literal& l : rule_.body) CollectLiteralVariables(l, &all);
+      for (const std::string& v : all) ++total_var_count_[v];
+    }
+    std::vector<const Literal*> work;
+    for (const Literal& lit : rule_.body) {
+      switch (lit.kind) {
+        case LiteralKind::kNext:
+          break;  // metadata handled via StageAnalysis
+        case LiteralKind::kLeast:
+        case LiteralKind::kMost: {
+          if (out_.has_extremum) return Error("multiple extrema goals");
+          out_.has_extremum = true;
+          out_.is_least = lit.kind == LiteralKind::kLeast;
+          out_.cost_term = CompileTerm(lit.args[0]);
+          out_.group_term = CompileTerm(lit.args[1]);
+          break;
+        }
+        case LiteralKind::kChoice:
+          break;  // handled in BuildChoiceSpecs
+        default:
+          work.push_back(&lit);
+      }
+    }
+
+    // Pre-assign delta occurrence numbers in original body order, so the
+    // same atom carries the same window across every plan variant.
+    for (const Literal* lit : work) {
+      if (!lit->is_positive_atom()) continue;
+      if (out_.is_next && MentionsPostVars(*lit)) continue;
+      const PredIndex p = analysis_.graph->Lookup(
+          lit->predicate, static_cast<uint32_t>(lit->args.size()));
+      if (p == kNoPred || analysis_.graph->scc_of(p) != head_scc_) continue;
+      occurrence_of_[lit] = out_.num_clique_occurrences++;
+    }
+
+    auto main_work = work;
+    GDLOG_RETURN_IF_ERROR(CompilePhase(&main_work, &out_.generator,
+                                       /*in_post=*/false, nullptr));
+    if (out_.is_next) {
+      GDLOG_RETURN_IF_ERROR(CompilePhase(&main_work, &out_.post,
+                                         /*in_post=*/true, nullptr));
+    }
+    if (!main_work.empty()) {
+      return Error("cannot order body goals: '" +
+                   DescribeLiteral(*main_work.front()) +
+                   "' has unbound variables");
+    }
+
+    // Delta-first variants: one generator plan per clique occurrence,
+    // with that atom leading the join.
+    out_.delta_plans.resize(out_.num_clique_occurrences);
+    for (const auto& [pinned, occ] : occurrence_of_) {
+      auto variant_work = work;
+      const auto saved_gen = generator_bound_;
+      const auto saved_post = post_bound_;
+      const auto saved_stage = stage_derived_;
+      const auto saved_slots = out_.generator_bound_slots;
+      generator_bound_.clear();
+      post_bound_.clear();
+      stage_derived_.clear();
+      out_.generator_bound_slots.clear();
+      if (head_params_bound_) {
+        std::vector<std::string> head_vars;
+        for (const TermNode& t : rule_.head.args) {
+          CollectVariables(t, &head_vars);
+        }
+        for (const std::string& v : head_vars) {
+          MarkBound(SlotOf(v), /*in_generator=*/true);
+        }
+      }
+      Status st = CompilePhase(&variant_work, &out_.delta_plans[occ],
+                               /*in_post=*/false, pinned);
+      generator_bound_ = saved_gen;
+      post_bound_ = saved_post;
+      stage_derived_ = saved_stage;
+      out_.generator_bound_slots = saved_slots;
+      GDLOG_RETURN_IF_ERROR(st);
+    }
+    return Status::OK();
+  }
+
+  std::string DescribeLiteral(const Literal& lit) const {
+    switch (lit.kind) {
+      case LiteralKind::kAtom:
+        return (lit.negated ? std::string("not ") : std::string()) +
+               lit.predicate;
+      case LiteralKind::kComparison:
+        return std::string(ComparisonOpName(lit.op)) + " comparison";
+      case LiteralKind::kNotExists:
+        return "negated conjunction";
+      default:
+        return "goal";
+    }
+  }
+
+  Status CompilePhase(std::vector<const Literal*>* work,
+                      std::vector<CompiledLiteral>* plan, bool in_post,
+                      const Literal* pinned_first) {
+    bool progress = true;
+    bool pin_pending = pinned_first != nullptr;
+    while (progress && !work->empty()) {
+      progress = false;
+      // Push selections down: among ready literals prefer (1) pure
+      // filters — comparisons, negated atoms, negated conjunctions —
+      // over (2) positive scans, so cheap tests run before joins widen.
+      size_t pick = work->size();
+      for (size_t i = 0; i < work->size(); ++i) {
+        const Literal& lit = *(*work)[i];
+        if (pin_pending && &lit != pinned_first) continue;
+        if (!Ready(lit, in_post)) continue;
+        const bool is_filter = lit.kind == LiteralKind::kComparison ||
+                               lit.kind == LiteralKind::kNotExists ||
+                               (lit.kind == LiteralKind::kAtom &&
+                                lit.negated);
+        if (is_filter) {
+          pick = i;
+          break;  // first ready filter in original order wins
+        }
+        if (pick == work->size()) pick = i;  // first ready scan, fallback
+        if (pin_pending) break;
+      }
+      if (pick < work->size()) {
+        const Literal& lit = *(*work)[pick];
+        pin_pending = false;
+        switch (lit.kind) {
+          case LiteralKind::kAtom:
+            GDLOG_RETURN_IF_ERROR(CompileAtom(lit, plan, in_post));
+            break;
+          case LiteralKind::kComparison:
+            if (in_post && AlwaysTruePostComparison(lit)) break;
+            GDLOG_RETURN_IF_ERROR(CompileComparison(lit, plan, in_post));
+            break;
+          case LiteralKind::kNotExists:
+            GDLOG_RETURN_IF_ERROR(CompileNotExists(lit, plan, in_post));
+            break;
+          default:
+            return Status::Internal("meta goal in work list");
+        }
+        work->erase(work->begin() + pick);
+        progress = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// True when the variable's only occurrences in the rule are within one
+  /// literal holding `count_inside` of them.
+  bool IsLocalVariable(const std::string& name, int count_inside) const {
+    auto it = total_var_count_.find(name);
+    return it != total_var_count_.end() && it->second == count_inside;
+  }
+
+  bool Ready(const Literal& lit, bool in_post) {
+    // In the generator phase of a next rule, stage-dependent literals
+    // wait for the post phase.
+    if (!in_post && out_.is_next && MentionsPostVars(lit)) return false;
+    const auto bound = VisibleBound(in_post);
+    auto is_bound = [&](const std::string& name) {
+      auto it = slots_.find(name);
+      if (it != slots_.end() && bound.count(it->second)) return true;
+      return in_post && out_.is_next && name == stage_var_name_;
+    };
+    switch (lit.kind) {
+      case LiteralKind::kAtom: {
+        if (!lit.negated) return true;
+        // Negated atom: every variable must be bound or literal-local.
+        std::vector<std::string> vars;
+        CollectLiteralVariables(lit, &vars);
+        std::unordered_map<std::string, int> inside;
+        for (const std::string& v : vars) ++inside[v];
+        for (const auto& [v, n] : inside) {
+          if (!is_bound(v) && !IsLocalVariable(v, n)) return false;
+        }
+        return true;
+      }
+      case LiteralKind::kComparison: {
+        std::vector<std::string> lv, rv;
+        CollectVariables(lit.args[0], &lv);
+        CollectVariables(lit.args[1], &rv);
+        const bool lhs_bound = std::all_of(lv.begin(), lv.end(), is_bound);
+        const bool rhs_bound = std::all_of(rv.begin(), rv.end(), is_bound);
+        if (lhs_bound && rhs_bound) return true;
+        if (lit.op != ComparisonOp::kEq) return false;
+        // Assignment: one side bound, other a bare variable.
+        if (rhs_bound && lit.args[0].is_var()) return true;
+        if (lhs_bound && lit.args[1].is_var()) return true;
+        return false;
+      }
+      case LiteralKind::kNotExists: {
+        // Every variable shared with the rest of the rule must be bound.
+        std::vector<std::string> vars;
+        CollectLiteralVariables(lit, &vars);
+        std::unordered_map<std::string, int> inside;
+        for (const std::string& v : vars) ++inside[v];
+        for (const auto& [v, n] : inside) {
+          if (is_bound(v)) continue;
+          if (IsLocalVariable(v, n)) continue;  // purely internal
+          return false;
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  /// The bound set visible to a plan segment: generator bindings, plus
+  /// stage/post bindings when compiling the post segment, plus
+  /// subplan-local bindings inside a NotExists.
+  std::unordered_set<uint32_t> VisibleBound(bool in_post) const {
+    std::unordered_set<uint32_t> b = generator_bound_;
+    if (in_post) {
+      if (out_.is_next) b.insert(out_.stage_slot);
+      for (uint32_t s : post_bound_) b.insert(s);
+    }
+    if (in_subplan_) {
+      for (uint32_t s : subplan_bound_) b.insert(s);
+    }
+    return b;
+  }
+
+  Status CompileAtom(const Literal& lit,
+                     std::vector<CompiledLiteral>* plan, bool in_post) {
+    CompiledLiteral cl;
+    cl.kind = CompiledLiteral::Kind::kScan;
+    CompiledScan& scan = cl.scan;
+    scan.negated = lit.negated;
+    scan.pred = catalog_->Ensure(lit.predicate,
+                                 static_cast<uint32_t>(lit.args.size()));
+
+    const PredIndex pidx = analysis_.graph->Lookup(
+        lit.predicate, static_cast<uint32_t>(lit.args.size()));
+    const bool same_clique =
+        pidx != kNoPred && analysis_.graph->scc_of(pidx) == head_scc_;
+    const auto occ_it = occurrence_of_.find(&lit);
+    if (occ_it != occurrence_of_.end()) {
+      scan.clique_occurrence = occ_it->second;
+    }
+
+    const auto bound = VisibleBound(in_post);
+    for (size_t col = 0; col < lit.args.size(); ++col) {
+      const uint32_t t = CompileTerm(lit.args[col]);
+      scan.arg_terms.push_back(t);
+      if (TermBound(t, bound)) {
+        scan.bound_cols.push_back(static_cast<uint32_t>(col));
+      } else if (ContainsArith(t)) {
+        return Error("arithmetic with unbound variables in an argument of " +
+                     lit.predicate);
+      }
+    }
+    if (!scan.bound_cols.empty()) {
+      Relation& rel = catalog_->relation(scan.pred);
+      scan.index_id = static_cast<int>(rel.EnsureIndex(scan.bound_cols));
+    }
+
+    if (!lit.negated) {
+      // New bindings from unbound columns.
+      for (size_t col = 0; col < lit.args.size(); ++col) {
+        std::vector<uint32_t> slots;
+        CollectSlots(scan.arg_terms[col], &slots);
+        for (uint32_t s : slots) {
+          if (!bound.count(s) && !generator_bound_.count(s) &&
+              !post_bound_.count(s)) {
+            MarkBound(s, !in_post);
+            // Track stage-derived slots: bound from the stage column of a
+            // same-clique predicate.
+            if (same_clique && pidx != kNoPred &&
+                analysis_.stage_arg[pidx] == static_cast<int>(col)) {
+              stage_derived_.insert(s);
+            }
+          }
+        }
+      }
+    }
+    // (Unbound variables in a negated atom are local existentials —
+    // Ready() admitted this literal only if they occur nowhere else.)
+    plan->push_back(std::move(cl));
+    return Status::OK();
+  }
+
+  Status CompileComparison(const Literal& lit,
+                           std::vector<CompiledLiteral>* plan, bool in_post) {
+    CompiledLiteral cl;
+    cl.kind = CompiledLiteral::Kind::kCompare;
+    CompiledCompare& cmp = cl.cmp;
+    cmp.op = lit.op;
+    cmp.lhs = CompileTerm(lit.args[0]);
+    cmp.rhs = CompileTerm(lit.args[1]);
+
+    const auto bound = VisibleBound(in_post);
+    const bool lhs_bound = TermBound(cmp.lhs, bound);
+    const bool rhs_bound = TermBound(cmp.rhs, bound);
+    if (lhs_bound && rhs_bound) {
+      plan->push_back(std::move(cl));
+      return Status::OK();
+    }
+    if (lit.op == ComparisonOp::kEq) {
+      const CTerm& l = out_.pool[cmp.lhs];
+      const CTerm& r = out_.pool[cmp.rhs];
+      if (!lhs_bound && rhs_bound && l.kind == CTerm::Kind::kVar) {
+        cmp.is_assignment = true;
+        cmp.assign_slot = l.var_slot;
+        cmp.value_term = cmp.rhs;
+        if (in_subplan_) {
+          subplan_bound_.insert(l.var_slot);
+        } else {
+          MarkBound(l.var_slot, !in_post);
+        }
+        plan->push_back(std::move(cl));
+        return Status::OK();
+      }
+      if (!rhs_bound && lhs_bound && r.kind == CTerm::Kind::kVar) {
+        cmp.is_assignment = true;
+        cmp.assign_slot = r.var_slot;
+        cmp.value_term = cmp.lhs;
+        if (in_subplan_) {
+          subplan_bound_.insert(r.var_slot);
+        } else {
+          MarkBound(r.var_slot, !in_post);
+        }
+        plan->push_back(std::move(cl));
+        return Status::OK();
+      }
+      // Unbound-but-matchable patterns (e.g. T = t(X, Y) destructuring)
+      // are handled by MatchTerm at runtime if the other side is bound;
+      // otherwise the rule is unsafe.
+    }
+    return Error("comparison " + std::string(ComparisonOpName(lit.op)) +
+                 " has unbound variables");
+  }
+
+  Status CompileNotExists(const Literal& lit,
+                          std::vector<CompiledLiteral>* plan, bool in_post) {
+    CompiledLiteral cl;
+    cl.kind = CompiledLiteral::Kind::kNotExists;
+    const bool saved = in_subplan_;
+    in_subplan_ = true;
+    auto saved_bound = subplan_bound_;
+    for (size_t i = 0; i < lit.body.size(); ++i) {
+      const Literal& inner = lit.body[i];
+      switch (inner.kind) {
+        case LiteralKind::kAtom:
+          GDLOG_RETURN_IF_ERROR(
+              CompileSubAtom(inner, &cl.sub, in_post));
+          break;
+        case LiteralKind::kComparison:
+          GDLOG_RETURN_IF_ERROR(CompileComparison(inner, &cl.sub, in_post));
+          break;
+        case LiteralKind::kNotExists:
+          GDLOG_RETURN_IF_ERROR(CompileNotExists(inner, &cl.sub, in_post));
+          break;
+        default:
+          in_subplan_ = saved;
+          return Error("meta goal inside a negated conjunction");
+      }
+    }
+    in_subplan_ = saved;
+    subplan_bound_ = std::move(saved_bound);
+    plan->push_back(std::move(cl));
+    return Status::OK();
+  }
+
+  /// Atom inside a NotExists subplan: like CompileAtom but new variables
+  /// are subplan-local.
+  Status CompileSubAtom(const Literal& lit,
+                        std::vector<CompiledLiteral>* plan, bool in_post) {
+    CompiledLiteral cl;
+    cl.kind = CompiledLiteral::Kind::kScan;
+    CompiledScan& scan = cl.scan;
+    scan.negated = lit.negated;
+    scan.pred = catalog_->Ensure(lit.predicate,
+                                 static_cast<uint32_t>(lit.args.size()));
+    const auto bound = VisibleBound(in_post);
+    for (size_t col = 0; col < lit.args.size(); ++col) {
+      const uint32_t t = CompileTerm(lit.args[col]);
+      scan.arg_terms.push_back(t);
+      if (TermBound(t, bound)) {
+        scan.bound_cols.push_back(static_cast<uint32_t>(col));
+      }
+    }
+    if (!scan.bound_cols.empty()) {
+      Relation& rel = catalog_->relation(scan.pred);
+      scan.index_id = static_cast<int>(rel.EnsureIndex(scan.bound_cols));
+    }
+    if (!lit.negated) {
+      std::vector<uint32_t> slots;
+      for (uint32_t t : scan.arg_terms) CollectSlots(t, &slots);
+      for (uint32_t s : slots) {
+        if (!bound.count(s)) subplan_bound_.insert(s);
+      }
+    }
+    plan->push_back(std::move(cl));
+    return Status::OK();
+  }
+
+  Status BuildChoiceSpecs() {
+    // Walk original body in order; next(I) contributes the implicit
+    // choice(I, W), choice(W, I) pair at its position, matching the order
+    // produced by ExpandNext + RewriteChoice.
+    std::vector<std::string> chosen_vars;
+    auto add_choice = [&](const TermNode& left, const TermNode& right,
+                          bool from_next) {
+      ChoiceSpec spec;
+      spec.left_term = CompileTerm(left);
+      spec.right_term = CompileTerm(right);
+      spec.from_next = from_next;
+      out_.choices.push_back(spec);
+      CollectVariables(left, &chosen_vars);
+      CollectVariables(right, &chosen_vars);
+    };
+    for (const Literal& lit : rule_.body) {
+      if (lit.kind == LiteralKind::kNext) {
+        // Reconstruct W = head args minus the stage position.
+        std::vector<TermNode> w_elems;
+        for (size_t j = 0; j < rule_.head.args.size(); ++j) {
+          if (static_cast<int>(j) != out_.head_stage_pos) {
+            w_elems.push_back(rule_.head.args[j]);
+          }
+        }
+        TermNode w = w_elems.size() == 1 ? w_elems[0]
+                                         : TermNode::Tuple(std::move(w_elems));
+        const TermNode stage = TermNode::Var(stage_var_name_);
+        add_choice(stage, w, /*from_next=*/true);
+        add_choice(w, stage, /*from_next=*/true);
+      } else if (lit.kind == LiteralKind::kChoice) {
+        add_choice(lit.args[0], lit.args[1], /*from_next=*/false);
+      }
+    }
+    // chosen$ argument slots (distinct, first occurrence).
+    std::unordered_set<std::string> seen;
+    for (const std::string& v : chosen_vars) {
+      if (seen.insert(v).second) {
+        out_.chosen_slots.push_back(SlotOf(v));
+      }
+    }
+    // Validate: choice variables must be bound by generator or stage.
+    for (uint32_t s : out_.chosen_slots) {
+      if (generator_bound_.count(s)) continue;
+      if (out_.is_next && s == out_.stage_slot) continue;
+      if (post_bound_.count(s)) continue;
+      return Error("choice variable " + out_.slot_names[s] +
+                   " is not bound by the rule body");
+    }
+    return Status::OK();
+  }
+
+  void ComputeSnapshotSlots() {
+    if (!out_.is_gamma) return;
+    std::unordered_set<uint32_t> live;
+    auto add_term = [&](uint32_t t) { CollectSlots(t, &live_scratch_); };
+    for (uint32_t t : out_.head_terms) add_term(t);
+    for (const ChoiceSpec& spec : out_.choices) {
+      add_term(spec.left_term);
+      add_term(spec.right_term);
+    }
+    if (out_.has_extremum) {
+      add_term(out_.cost_term);
+      add_term(out_.group_term);
+    }
+    std::function<void(const CompiledLiteral&)> visit =
+        [&](const CompiledLiteral& l) {
+          switch (l.kind) {
+            case CompiledLiteral::Kind::kScan:
+              for (uint32_t t : l.scan.arg_terms) add_term(t);
+              break;
+            case CompiledLiteral::Kind::kCompare:
+              add_term(l.cmp.lhs);
+              add_term(l.cmp.rhs);
+              break;
+            case CompiledLiteral::Kind::kNotExists:
+              for (const CompiledLiteral& inner : l.sub) visit(inner);
+              break;
+          }
+        };
+    for (const CompiledLiteral& l : out_.post) visit(l);
+    for (uint32_t s : live_scratch_) live.insert(s);
+    for (uint32_t s : out_.generator_bound_slots) {
+      if (live.count(s)) out_.snapshot_slots.push_back(s);
+    }
+  }
+
+  void ComputeCongruence() {
+    if (!out_.is_gamma) return;
+    // Candidate congruence-key slots: variables of non-stage-keyed choice
+    // left-hand sides that are generator-bound.
+    std::unordered_set<uint32_t> keys;
+    for (const ChoiceSpec& spec : out_.choices) {
+      if (spec.from_next) continue;
+      std::vector<uint32_t> slots;
+      CollectSlots(spec.left_term, &slots);
+      bool all_gen = true;
+      for (uint32_t s : slots) {
+        if (!generator_bound_.count(s)) all_gen = false;
+      }
+      if (!all_gen) continue;
+      for (uint32_t s : slots) keys.insert(s);
+    }
+    if (keys.empty()) return;
+
+    // Coverage closure: keys + cost + FD-determined attributes must cover
+    // every generator-bound, non-stage-derived slot, and the post plan
+    // must be empty (a nonempty post can distinguish congruent
+    // candidates, e.g. TSP's I = J + 1).
+    if (!out_.post.empty()) return;
+    std::unordered_set<uint32_t> covered = keys;
+    if (out_.has_extremum) {
+      const CTerm& cost = out_.pool[out_.cost_term];
+      if (cost.kind == CTerm::Kind::kVar) covered.insert(cost.var_slot);
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const ChoiceSpec& spec : out_.choices) {
+        if (spec.from_next) continue;
+        std::vector<uint32_t> lslots, rslots;
+        CollectSlots(spec.left_term, &lslots);
+        CollectSlots(spec.right_term, &rslots);
+        bool left_covered = true;
+        for (uint32_t s : lslots) {
+          if (!covered.count(s)) left_covered = false;
+        }
+        if (!left_covered) continue;
+        for (uint32_t s : rslots) {
+          if (generator_bound_.count(s) && covered.insert(s).second) {
+            changed = true;
+          }
+        }
+      }
+    }
+    for (uint32_t s : out_.snapshot_slots) {
+      if (stage_derived_.count(s)) continue;
+      if (!covered.count(s)) return;  // not safe to merge
+    }
+    out_.merge_by_choice_keys = true;
+    out_.congruence_slots.assign(keys.begin(), keys.end());
+    std::sort(out_.congruence_slots.begin(), out_.congruence_slots.end());
+  }
+
+  const Program& program_;
+  const StageAnalysis& analysis_;
+  const Rule& rule_;
+  Catalog* catalog_;
+  ValueStore* store_;
+
+  CompiledRule out_;
+  std::unordered_map<std::string, uint32_t> slots_;
+  std::unordered_set<uint32_t> generator_bound_;
+  std::unordered_set<uint32_t> post_bound_;
+  std::unordered_set<uint32_t> stage_derived_;
+  std::unordered_set<uint32_t> subplan_bound_;
+  std::vector<uint32_t> live_scratch_;
+  std::unordered_map<std::string, int> total_var_count_;
+  std::unordered_map<const Literal*, uint32_t> occurrence_of_;
+  std::string stage_var_name_;
+  PredIndex head_pred_index_ = kNoPred;
+  uint32_t head_scc_ = 0;
+  bool in_subplan_ = false;
+  bool head_params_bound_ = false;
+};
+
+}  // namespace
+
+Result<std::vector<CompiledRule>> CompileProgram(
+    const Program& program, const StageAnalysis& analysis, Catalog* catalog,
+    ValueStore* store, const CompileProgramOptions& options) {
+  std::vector<CompiledRule> out;
+  out.reserve(program.rules.size());
+  // Ensure head relations exist even for predicates that are never read.
+  for (const Rule& r : program.rules) {
+    catalog->Ensure(r.head.predicate,
+                    static_cast<uint32_t>(r.head.args.size()));
+  }
+  int gamma_counter = 0;
+  for (uint32_t ri = 0; ri < program.rules.size(); ++ri) {
+    if (program.rules[ri].is_fact()) continue;  // loaded directly
+    const bool head_bound =
+        options.head_params_bound &&
+        options.head_params_bound(program.rules[ri].head.predicate);
+    RuleCompiler rc(program, analysis, ri, catalog, store, head_bound);
+    GDLOG_ASSIGN_OR_RETURN(CompiledRule cr, rc.Compile());
+    if (cr.is_gamma) cr.gamma_index = gamma_counter++;
+    out.push_back(std::move(cr));
+  }
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,192 @@
+// Rule compilation: turns AST rules into executable plans.
+//
+// Variables become dense slots; terms become nodes in a per-rule pool;
+// body literals become a left-to-right join plan with per-goal index
+// selection (the "availability of indices" assumed by Section 6).
+//
+// Meta goals are lifted out of the plan into rule metadata:
+//   * next(I)        -> is_next / stage_slot; the fixpoint driver assigns
+//                       I from the clique's stage counter at fire time
+//   * least/most     -> extremum metadata; in next rules this selects the
+//                       (R,Q,L) priority-queue discipline, elsewhere a
+//                       grouped aggregate over the rule's bindings
+//   * choice(L, R)   -> an FD spec checked against the chosen memo
+//
+// For a next rule the body splits into the *generator* (literals whose
+// variables are independent of the stage variable — evaluated when
+// candidates are inserted into the queue, exactly the paper's "insertion
+// into D_r") and the *post* plan (stage-dependent comparisons and negated
+// conjunctions — evaluated when a candidate is popped, after the stage
+// variable is bound).
+#ifndef GDLOG_EVAL_RULE_COMPILER_H_
+#define GDLOG_EVAL_RULE_COMPILER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/stage.h"
+#include "ast/ast.h"
+#include "common/status.h"
+#include "eval/binding.h"
+#include "storage/catalog.h"
+
+namespace gdlog {
+
+// ---------------------------------------------------------------------------
+// Compiled terms
+// ---------------------------------------------------------------------------
+
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kMod, kMin, kMax };
+
+struct CTerm {
+  enum class Kind : uint8_t { kConst, kVar, kConstruct, kArith };
+  Kind kind = Kind::kConst;
+  Value constant;                // kConst
+  uint32_t var_slot = 0;         // kVar
+  SymbolId functor = 0;          // kConstruct ($tuple for tuples)
+  ArithOp op = ArithOp::kAdd;    // kArith
+  std::vector<uint32_t> args;    // kConstruct / kArith: pool indices
+};
+
+/// Evaluates pool[t] under `frame`. Returns false (leaving *out
+/// untouched) if an unbound variable is reached or arithmetic is applied
+/// to a non-integer.
+bool EvalTerm(const std::vector<CTerm>& pool, uint32_t t,
+              const BindingFrame& frame, ValueStore* store, Value* out);
+
+/// Matches value `v` against pool[t]: unbound variables bind (recorded on
+/// the frame's trail), bound ones compare, constructors destructure, and
+/// arithmetic subterms evaluate-and-compare. Returns false on mismatch
+/// (callers unwind the trail).
+bool MatchTerm(const std::vector<CTerm>& pool, uint32_t t, Value v,
+               BindingFrame* frame, ValueStore* store);
+
+// ---------------------------------------------------------------------------
+// Compiled literals
+// ---------------------------------------------------------------------------
+
+struct CompiledScan {
+  PredicateId pred = kNoPredicate;
+  std::vector<uint32_t> arg_terms;   // one CTerm per column
+  std::vector<uint32_t> bound_cols;  // columns evaluable before the scan
+  int index_id = -1;                 // relation index; -1 = full scan
+  bool negated = false;
+  // Among positive same-clique atoms of this plan: occurrence number used
+  // for seminaive delta variants; kNoOccurrence otherwise.
+  static constexpr uint32_t kNoOccurrence = UINT32_MAX;
+  uint32_t clique_occurrence = kNoOccurrence;
+};
+
+struct CompiledCompare {
+  ComparisonOp op = ComparisonOp::kEq;
+  uint32_t lhs = 0, rhs = 0;  // pool indices
+  // kEq with one statically-unbound side that is a bare variable becomes
+  // an assignment of the evaluated other side.
+  bool is_assignment = false;
+  uint32_t assign_slot = 0;
+  uint32_t value_term = 0;  // term to evaluate when assigning
+};
+
+struct CompiledLiteral {
+  enum class Kind : uint8_t { kScan, kCompare, kNotExists };
+  Kind kind = Kind::kScan;
+  CompiledScan scan;
+  CompiledCompare cmp;
+  std::vector<CompiledLiteral> sub;  // kNotExists subplan
+};
+
+// ---------------------------------------------------------------------------
+// Compiled rules
+// ---------------------------------------------------------------------------
+
+struct ChoiceSpec {
+  uint32_t left_term = 0;   // CTerm (tuples for compound keys)
+  uint32_t right_term = 0;
+  // True for the two FD goals synthesized by next expansion,
+  // choice(I, W) and choice(W, I). The latter is what bounds the number
+  // of γ firings (each W value fires at most once — the termination
+  // argument behind Theorem 2); neither contributes congruence keys.
+  bool from_next = false;
+};
+
+struct CompiledRule {
+  uint32_t rule_index = 0;        // position in the analyzed Program
+  PredicateId head_pred = kNoPredicate;
+  std::vector<uint32_t> head_terms;
+  uint32_t head_arity = 0;
+
+  std::vector<CTerm> pool;
+  uint32_t num_slots = 0;
+  std::vector<std::string> slot_names;  // slot -> variable name (debug)
+
+  std::vector<CompiledLiteral> generator;
+  std::vector<CompiledLiteral> post;    // next rules: stage-dependent part
+  // Seminaive variant plans: delta_plans[d] evaluates the generator with
+  // the d-th same-clique atom *leading* the join (the delta atom is the
+  // smallest input, so it drives), remaining goals greedily reordered.
+  std::vector<std::vector<CompiledLiteral>> delta_plans;
+
+  // Slots bound by the generator, in binding order.
+  std::vector<uint32_t> generator_bound_slots;
+  // The live subset of generator_bound_slots (variables the head, post
+  // plan, choice goals, or extremum actually read) — the candidate
+  // snapshot layout for gamma rules. Dead join variables are excluded so
+  // congruence is insensitive to them.
+  std::vector<uint32_t> snapshot_slots;
+
+  // Choice.
+  std::vector<ChoiceSpec> choices;
+  bool is_gamma = false;              // has choice goals and/or next
+  // Index i of this rule's chosen$i predicate, matching RewriteChoice's
+  // numbering over the expanded program; -1 for non-gamma rules.
+  int gamma_index = -1;
+  // chosen$ bookkeeping for the stable-model checker: V slots in the
+  // canonical order of RewriteChoice over the expanded rule.
+  std::vector<uint32_t> chosen_slots;
+
+  // Extremum.
+  bool has_extremum = false;
+  bool is_least = true;
+  uint32_t cost_term = 0;
+  uint32_t group_term = 0;
+
+  // Next.
+  bool is_next = false;
+  uint32_t stage_slot = 0;
+  int head_stage_pos = -1;
+
+  // Congruence merging for the (R,Q,L) queue: enabled when the choice
+  // keys (plus cost and FD-determined attributes) provably determine the
+  // whole candidate, reproducing the paper's r-congruence classes.
+  bool merge_by_choice_keys = false;
+  std::vector<uint32_t> congruence_slots;
+
+  // Recursion shape.
+  bool recursive = false;       // generator mentions a same-clique pred
+  uint32_t num_clique_occurrences = 0;
+  // Aggregate rules inside a recursive clique (extrema in flat rules —
+  // the relaxed Kruskal shape) are re-evaluated over full windows.
+  bool recompute_full = false;
+};
+
+struct CompileProgramOptions {
+  // Predicates whose head arguments are call parameters, pre-bound in
+  // the frame before the plan runs (used by the stable-model checker for
+  // the parameterized aux$ predicates, which are not range-restricted).
+  // Matched against the head predicate name.
+  std::function<bool(const std::string&)> head_params_bound;
+};
+
+/// Compiles every rule of the analyzed program. Predicates are created
+/// in `catalog`; scan indices are created on their relations.
+/// `analysis.expanded` supplies the canonical choice-goal order for
+/// chosen$ bookkeeping.
+Result<std::vector<CompiledRule>> CompileProgram(
+    const Program& program, const StageAnalysis& analysis, Catalog* catalog,
+    ValueStore* store, const CompileProgramOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_EVAL_RULE_COMPILER_H_

@@ -1,0 +1,37 @@
+#include "greedy/dijkstra.h"
+
+#include <algorithm>
+
+#include "greedy/graph.h"
+
+namespace gdlog {
+
+const char kDijkstraProgram[] = R"(
+  dist(Y, D, I) <- next(I), cand(Y, D, J), J < I, least(D, I),
+                   not (dist(Y, _, J2), J2 < I).
+  cand(Y, D, J) <- dist(X, DX, J), g(X, Y, C), D = DX + C.
+)";
+
+Result<DeclarativeSssp> DijkstraSssp(const Graph& graph, uint32_t root,
+                                     const EngineOptions& options) {
+  auto engine = std::make_unique<Engine>(options);
+  GDLOG_RETURN_IF_ERROR(engine->LoadProgram(kDijkstraProgram));
+  GDLOG_RETURN_IF_ERROR(LoadGraphEdges(engine.get(), graph, {}));
+  // The root settles at distance 0, stage 0 (the seed fact).
+  GDLOG_RETURN_IF_ERROR(engine->AddFact(
+      "dist", {Value::Int(root), Value::Int(0), Value::Int(0)}));
+  GDLOG_RETURN_IF_ERROR(engine->Run());
+
+  DeclarativeSssp out;
+  for (const auto& row : engine->Query("dist", 3)) {
+    out.settled.push_back({row[0].AsInt(), row[1].AsInt(), row[2].AsInt()});
+  }
+  std::sort(out.settled.begin(), out.settled.end(),
+            [](const SettledNode& a, const SettledNode& b) {
+              return a.stage < b.stage;
+            });
+  out.engine = std::move(engine);
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,42 @@
+// Single-source shortest paths as a stage-stratified program — an
+// extension beyond the paper's example list showing the framework
+// covers Dijkstra, the other canonical priority-queue greedy:
+//
+//   dist(root, 0, 0).
+//   dist(Y, D, I) <- next(I), cand(Y, D, J), J < I, least(D, I),
+//                    not (dist(Y, _, J2), J2 < I).
+//   cand(Y, D, J) <- dist(X, DX, J), g(X, Y, C), D = DX + C.
+//
+// Each stage settles the unsettled node with the smallest tentative
+// distance (the least goal over the candidate queue); the negated goal
+// is the "already settled" check, evaluated at pop time. This is
+// textbook lazy-deletion Dijkstra running as a choice fixpoint.
+#ifndef GDLOG_GREEDY_DIJKSTRA_H_
+#define GDLOG_GREEDY_DIJKSTRA_H_
+
+#include <memory>
+
+#include "api/engine.h"
+#include "workload/graph.h"
+
+namespace gdlog {
+
+extern const char kDijkstraProgram[];
+
+struct SettledNode {
+  int64_t node = 0, distance = 0, stage = 0;
+};
+
+struct DeclarativeSssp {
+  std::vector<SettledNode> settled;  // in stage (= distance) order
+  std::unique_ptr<Engine> engine;
+};
+
+/// Shortest distances from `root` over `graph` (undirected reading,
+/// non-negative weights). Unreachable nodes are absent.
+Result<DeclarativeSssp> DijkstraSssp(const Graph& graph, uint32_t root = 0,
+                                     const EngineOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GREEDY_DIJKSTRA_H_

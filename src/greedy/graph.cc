@@ -1,0 +1,29 @@
+#include "greedy/graph.h"
+
+namespace gdlog {
+
+Status LoadGraphEdges(Engine* engine, const Graph& graph,
+                      const GraphLoadOptions& options) {
+  for (const GraphEdge& e : graph.edges) {
+    const Value u = Value::Int(e.u);
+    const Value v = Value::Int(e.v);
+    const Value w = Value::Int(e.w);
+    if (!options.exclude_target || *options.exclude_target != e.v) {
+      GDLOG_RETURN_IF_ERROR(engine->AddFact("g", {u, v, w}));
+    }
+    if (options.both_directions &&
+        (!options.exclude_target || *options.exclude_target != e.u)) {
+      GDLOG_RETURN_IF_ERROR(engine->AddFact("g", {v, u, w}));
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadGraphNodes(Engine* engine, const Graph& graph) {
+  for (uint32_t i = 0; i < graph.num_nodes; ++i) {
+    GDLOG_RETURN_IF_ERROR(engine->AddFact("node", {Value::Int(i)}));
+  }
+  return Status::OK();
+}
+
+}  // namespace gdlog

@@ -1,0 +1,48 @@
+#include "greedy/kruskal.h"
+
+#include <algorithm>
+
+#include "greedy/graph.h"
+
+namespace gdlog {
+
+const char kKruskalProgram[] = R"(
+  kruskal(nil, nil, 0, 0).
+  conn(X, X, 0) <- node(X).
+  conn(X, Y, I) <- kruskal(A, B, _, I), conn(A, X, J1), J1 < I,
+                   conn(B, Y, J2), J2 < I.
+  conn(X, Y, I) <- kruskal(A, B, _, I), conn(B, X, J1), J1 < I,
+                   conn(A, Y, J2), J2 < I.
+  kruskal(X, Y, C, I) <- next(I), g(X, Y, C), least(C, I),
+                         not (conn(X, Y, J), J < I).
+)";
+
+Result<DeclarativeMst> KruskalMst(const Graph& graph,
+                                  const EngineOptions& options) {
+  auto engine = std::make_unique<Engine>(options);
+  GDLOG_RETURN_IF_ERROR(engine->LoadProgram(kKruskalProgram));
+  // One direction per edge suffices: conn is maintained symmetrically.
+  GraphLoadOptions load;
+  load.both_directions = false;
+  GDLOG_RETURN_IF_ERROR(LoadGraphEdges(engine.get(), graph, load));
+  GDLOG_RETURN_IF_ERROR(LoadGraphNodes(engine.get(), graph));
+  GDLOG_RETURN_IF_ERROR(engine->Run());
+
+  DeclarativeMst out;
+  for (const auto& row : engine->Query("kruskal", 4)) {
+    if (row[0].is_nil()) continue;  // stage-0 seed
+    MstEdge e;
+    e.parent = row[0].AsInt();
+    e.node = row[1].AsInt();
+    e.cost = row[2].AsInt();
+    e.stage = row[3].AsInt();
+    out.total_cost += e.cost;
+    out.edges.push_back(e);
+  }
+  std::sort(out.edges.begin(), out.edges.end(),
+            [](const MstEdge& a, const MstEdge& b) { return a.stage < b.stage; });
+  out.engine = std::move(engine);
+  return out;
+}
+
+}  // namespace gdlog

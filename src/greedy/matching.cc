@@ -1,0 +1,46 @@
+#include "greedy/matching.h"
+
+#include <algorithm>
+
+#include "greedy/graph.h"
+
+namespace gdlog {
+
+// The seed fact matching(nil, nil, 0, 0) is the paper's: it anchors the
+// stage dimension at 0, so the first chosen arc's stage (1) has a
+// predecessor and the stable-model rewriting's implicit
+// matching(_,_,_,I1), I = I1 + 1 goal is satisfiable.
+const char kMatchingProgram[] = R"(
+  matching(nil, nil, 0, 0).
+  matching(X, Y, C, I) <- next(I), g(X, Y, C), least(C, I),
+                          choice(Y, X), choice(X, Y).
+)";
+
+Result<DeclarativeMatching> GreedyMatching(const Graph& graph,
+                                           const EngineOptions& options) {
+  auto engine = std::make_unique<Engine>(options);
+  GDLOG_RETURN_IF_ERROR(engine->LoadProgram(kMatchingProgram));
+  GraphLoadOptions load;
+  load.both_directions = false;  // arcs are directed
+  GDLOG_RETURN_IF_ERROR(LoadGraphEdges(engine.get(), graph, load));
+  GDLOG_RETURN_IF_ERROR(engine->Run());
+
+  DeclarativeMatching out;
+  for (const auto& row : engine->Query("matching", 4)) {
+    if (row[0].is_nil()) continue;  // seed
+    MatchingArc a;
+    a.source = row[0].AsInt();
+    a.target = row[1].AsInt();
+    a.cost = row[2].AsInt();
+    a.stage = row[3].AsInt();
+    out.total_cost += a.cost;
+    out.arcs.push_back(a);
+  }
+  std::sort(
+      out.arcs.begin(), out.arcs.end(),
+      [](const MatchingArc& a, const MatchingArc& b) { return a.stage < b.stage; });
+  out.engine = std::move(engine);
+  return out;
+}
+
+}  // namespace gdlog

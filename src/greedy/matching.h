@@ -1,0 +1,38 @@
+// Minimum-cost greedy matching — the paper's Example 7.
+//
+//   matching(X, Y, C, I) <- next(I), g(X, Y, C), least(C, I),
+//                           choice(Y, X), choice(X, Y).
+//
+// The two choice FDs make every node usable once as a source and once
+// as a target; on bipartite inputs (sources disjoint from targets) the
+// result is a matching in the classical sense. Arcs enter in ascending
+// cost order, stamped with the selection stage.
+#ifndef GDLOG_GREEDY_MATCHING_H_
+#define GDLOG_GREEDY_MATCHING_H_
+
+#include <memory>
+
+#include "api/engine.h"
+#include "workload/graph.h"
+
+namespace gdlog {
+
+extern const char kMatchingProgram[];
+
+struct MatchingArc {
+  int64_t source = 0, target = 0, cost = 0, stage = 0;
+};
+
+struct DeclarativeMatching {
+  int64_t total_cost = 0;
+  std::vector<MatchingArc> arcs;  // in stage (selection) order
+  std::unique_ptr<Engine> engine;
+};
+
+/// Runs Example 7 on the directed arcs of `graph`.
+Result<DeclarativeMatching> GreedyMatching(const Graph& graph,
+                                           const EngineOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GREEDY_MATCHING_H_

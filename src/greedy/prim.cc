@@ -1,0 +1,44 @@
+#include "greedy/prim.h"
+
+#include <algorithm>
+
+#include "greedy/graph.h"
+
+namespace gdlog {
+
+const char kPrimProgramRules[] = R"(
+  prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I,
+                     least(C, I), choice(Y, X).
+  new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+)";
+
+Result<DeclarativeMst> PrimMst(const Graph& graph, uint32_t root,
+                               const EngineOptions& options) {
+  auto engine = std::make_unique<Engine>(options);
+  GDLOG_RETURN_IF_ERROR(engine->LoadProgram(kPrimProgramRules));
+  GraphLoadOptions load;
+  load.exclude_target = root;
+  GDLOG_RETURN_IF_ERROR(LoadGraphEdges(engine.get(), graph, load));
+  // Seed fact: the root enters the tree at stage 0 with no parent.
+  GDLOG_RETURN_IF_ERROR(engine->AddFact(
+      "prm", {Value::Nil(), Value::Int(root), Value::Int(0), Value::Int(0)}));
+  GDLOG_RETURN_IF_ERROR(engine->Run());
+
+  DeclarativeMst out;
+  for (const auto& row : engine->Query("prm", 4)) {
+    if (row[0].is_nil()) continue;  // root seed
+    MstEdge e;
+    e.parent = row[0].AsInt();
+    e.node = row[1].AsInt();
+    e.cost = row[2].AsInt();
+    e.stage = row[3].AsInt();
+    out.total_cost += e.cost;
+    out.edges.push_back(e);
+  }
+  std::sort(out.edges.begin(), out.edges.end(),
+            [](const MstEdge& a, const MstEdge& b) { return a.stage < b.stage; });
+  out.engine = std::move(engine);
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,46 @@
+// Prim's algorithm as a declarative choice program — the paper's
+// Example 4, run on the gdlog engine.
+//
+//   prm(nil, root, 0, 0).
+//   prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I,
+//                      least(C, I), choice(Y, X).
+//   new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+//
+// The engine evaluates this with the (R,Q,L) structure of Section 6:
+// candidates are new_g tuples keyed by cost, r-congruent on Y (the
+// choice key), giving the paper's O(e log e) bound.
+#ifndef GDLOG_GREEDY_PRIM_H_
+#define GDLOG_GREEDY_PRIM_H_
+
+#include <memory>
+
+#include "api/engine.h"
+#include "workload/graph.h"
+
+namespace gdlog {
+
+/// The program text (with a ROOT placeholder fact added by PrimMst).
+extern const char kPrimProgramRules[];
+
+struct MstEdge {
+  int64_t parent = 0;
+  int64_t node = 0;
+  int64_t cost = 0;
+  int64_t stage = 0;
+};
+
+struct DeclarativeMst {
+  int64_t total_cost = 0;
+  std::vector<MstEdge> edges;  // in stage order (root seed excluded)
+  std::unique_ptr<Engine> engine;
+};
+
+/// Runs Example 4 on `graph` (undirected) from `root`. The graph must be
+/// connected for a spanning tree; otherwise the reachable component is
+/// spanned.
+Result<DeclarativeMst> PrimMst(const Graph& graph, uint32_t root = 0,
+                               const EngineOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GREEDY_PRIM_H_

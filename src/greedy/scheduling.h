@@ -1,0 +1,46 @@
+// Activity selection (interval scheduling) as a stage-stratified
+// program — one of the "several scheduling algorithms" the paper's
+// Section 5 reports expressing in this style.
+//
+//   sched(nil, 0, 0).
+//   sched(S, F, I) <- next(I), job(S, F), least(F, I),
+//                     not (sched(_, F2, J), J < I, F2 > S).
+//
+// Stages pick jobs in increasing finish time; a candidate is admissible
+// iff no already-selected job finishes after its start — the classical
+// earliest-finish-first rule, which maximizes the number of compatible
+// activities. The negated conjunction mentions the stage variable, so
+// the engine evaluates it when the candidate pops (and a failure is
+// permanent: selected jobs only accumulate).
+#ifndef GDLOG_GREEDY_SCHEDULING_H_
+#define GDLOG_GREEDY_SCHEDULING_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+
+namespace gdlog {
+
+extern const char kSchedulingProgram[];
+
+struct ScheduledJob {
+  int64_t start = 0, finish = 0, stage = 0;
+};
+
+struct DeclarativeSchedule {
+  std::vector<ScheduledJob> jobs;  // in stage (= finish) order
+  std::unique_ptr<Engine> engine;
+};
+
+/// Selects a maximum set of pairwise-compatible jobs (half-open
+/// intervals [start, finish)).
+Result<DeclarativeSchedule> SelectActivities(
+    const std::vector<std::pair<int64_t, int64_t>>& jobs,
+    const EngineOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GREEDY_SCHEDULING_H_

@@ -1,0 +1,32 @@
+// Relation sorting as a stage-stratified program — the paper's
+// Example 5. The fixpoint implementation is a heap-sort: all tuples
+// enter the priority queue, and each stage extracts the minimum.
+//
+//   sp(nil, 0, 0).
+//   sp(X, C, I) <- next(I), p(X, C), least(C, I).
+#ifndef GDLOG_GREEDY_SORT_H_
+#define GDLOG_GREEDY_SORT_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+
+namespace gdlog {
+
+extern const char kSortProgram[];
+
+struct DeclarativeSortResult {
+  // (id, cost) in ascending stage order — i.e. ascending cost.
+  std::vector<std::pair<int64_t, int64_t>> sorted;
+  std::unique_ptr<Engine> engine;
+};
+
+Result<DeclarativeSortResult> SortRelation(
+    const std::vector<std::pair<int64_t, int64_t>>& tuples,
+    const EngineOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GREEDY_SORT_H_

@@ -1,0 +1,31 @@
+#include "greedy/spanning_tree.h"
+
+#include "greedy/graph.h"
+
+namespace gdlog {
+
+const char kSpanningTreeProgram[] = R"(
+  st(X, Y, C) <- st(_, X, _), g(X, Y, C), choice(Y, (X, C)).
+)";
+
+Result<DeclarativeSpanningTree> ComputeSpanningTree(
+    const Graph& graph, uint32_t root, const EngineOptions& options) {
+  auto engine = std::make_unique<Engine>(options);
+  GDLOG_RETURN_IF_ERROR(engine->LoadProgram(kSpanningTreeProgram));
+  GraphLoadOptions load;
+  load.exclude_target = root;
+  GDLOG_RETURN_IF_ERROR(LoadGraphEdges(engine.get(), graph, load));
+  GDLOG_RETURN_IF_ERROR(engine->AddFact(
+      "st", {Value::Nil(), Value::Int(root), Value::Int(0)}));
+  GDLOG_RETURN_IF_ERROR(engine->Run());
+
+  DeclarativeSpanningTree out;
+  for (const auto& row : engine->Query("st", 3)) {
+    if (row[0].is_nil()) continue;
+    out.edges.push_back({row[0].AsInt(), row[1].AsInt(), row[2].AsInt()});
+  }
+  out.engine = std::move(engine);
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,34 @@
+// Arbitrary (not minimum) spanning tree via pure choice — the paper's
+// Example 3, in the form without stage variables. This exercises the
+// plain Choice Fixpoint of Section 2: a recursive rule with choice but
+// neither next nor extrema.
+//
+//   st(nil, root, 0).
+//   st(X, Y, C) <- st(_, X, _), g(X, Y, C), choice(Y, (X, C)).
+#ifndef GDLOG_GREEDY_SPANNING_TREE_H_
+#define GDLOG_GREEDY_SPANNING_TREE_H_
+
+#include <memory>
+
+#include "api/engine.h"
+#include "workload/graph.h"
+
+namespace gdlog {
+
+extern const char kSpanningTreeProgram[];
+
+struct SpanningTreeEdge {
+  int64_t parent = 0, node = 0, cost = 0;
+};
+
+struct DeclarativeSpanningTree {
+  std::vector<SpanningTreeEdge> edges;
+  std::unique_ptr<Engine> engine;
+};
+
+Result<DeclarativeSpanningTree> ComputeSpanningTree(
+    const Graph& graph, uint32_t root = 0, const EngineOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GREEDY_SPANNING_TREE_H_

@@ -1,0 +1,48 @@
+#include "greedy/tsp.h"
+
+#include <algorithm>
+
+#include "greedy/graph.h"
+
+namespace gdlog {
+
+// Deviation from the paper's text (see tsp.h): the next rule carries a
+// pop-time guard "Y not already entered". The exit rule's
+// choice((), (X, Y)) and the next rule's choice(Y, X) are *separate*
+// chosen predicates (the paper's footnote 1), so without the guard the
+// exit arc's target can be re-entered later — a stable model of the
+// paper's program, but not the intended greedy chain.
+const char kTspProgram[] = R"(
+  tsp_chain(X, Y, C, 1) <- least_arcs(X, Y, C), choice((), (X, Y)).
+  tsp_chain(X, Y, C, I) <- next(I), new_g(X, Y, C, J), I = J + 1,
+                           least(C, I),
+                           not (tsp_chain(_, Y, _, J2), J2 < I),
+                           choice(Y, X).
+  new_g(X, Y, C, J) <- tsp_chain(_, X, _, J), g(X, Y, C).
+  least_arcs(X, Y, C) <- g(X, Y, C), least(C).
+)";
+
+Result<DeclarativeTsp> GreedyTspChain(const Graph& graph,
+                                      const EngineOptions& options) {
+  auto engine = std::make_unique<Engine>(options);
+  GDLOG_RETURN_IF_ERROR(engine->LoadProgram(kTspProgram));
+  GDLOG_RETURN_IF_ERROR(LoadGraphEdges(engine.get(), graph, {}));
+  GDLOG_RETURN_IF_ERROR(engine->Run());
+
+  DeclarativeTsp out;
+  for (const auto& row : engine->Query("tsp_chain", 4)) {
+    TspArc a;
+    a.from = row[0].AsInt();
+    a.to = row[1].AsInt();
+    a.cost = row[2].AsInt();
+    a.stage = row[3].AsInt();
+    out.total_cost += a.cost;
+    out.chain.push_back(a);
+  }
+  std::sort(out.chain.begin(), out.chain.end(),
+            [](const TspArc& a, const TspArc& b) { return a.stage < b.stage; });
+  out.engine = std::move(engine);
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,39 @@
+// Greedy TSP chain — the paper's "Computation of Sub-Optimals"
+// program (Section 5): a greedy approximation that starts from the
+// globally cheapest arc and repeatedly extends the chain's endpoint
+// with the cheapest arc to a node not yet entered.
+//
+//   tsp_chain(X, Y, C, 1) <- least_arcs(X, Y, C), choice((), (X, Y)).
+//   tsp_chain(X, Y, C, I) <- next(I), new_g(X, Y, C, J), I = J + 1,
+//                            least(C, I), choice(Y, X).
+//   new_g(X, Y, C, J) <- tsp_chain(_, X, _, J), g(X, Y, C).
+//   least_arcs(X, Y, C) <- g(X, Y, C), least(C).
+#ifndef GDLOG_GREEDY_TSP_H_
+#define GDLOG_GREEDY_TSP_H_
+
+#include <memory>
+
+#include "api/engine.h"
+#include "workload/graph.h"
+
+namespace gdlog {
+
+extern const char kTspProgram[];
+
+struct TspArc {
+  int64_t from = 0, to = 0, cost = 0, stage = 0;
+};
+
+struct DeclarativeTsp {
+  int64_t total_cost = 0;
+  std::vector<TspArc> chain;  // in stage order
+  std::unique_ptr<Engine> engine;
+};
+
+/// Runs the greedy chain on `graph` (undirected reading).
+Result<DeclarativeTsp> GreedyTspChain(const Graph& graph,
+                                      const EngineOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GREEDY_TSP_H_

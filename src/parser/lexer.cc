@@ -1,0 +1,275 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace gdlog {
+
+std::string_view TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kArrow:
+      return "'<-'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    for (;;) {
+      GDLOG_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      if (AtEnd()) {
+        tok.kind = TokenKind::kEof;
+        out.push_back(std::move(tok));
+        return out;
+      }
+      const char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        GDLOG_RETURN_IF_ERROR(LexInteger(&tok));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        LexWord(&tok);
+      } else if (c == '"') {
+        GDLOG_RETURN_IF_ERROR(LexString(&tok));
+      } else {
+        GDLOG_RETURN_IF_ERROR(LexPunct(&tok));
+      }
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(column_));
+  }
+
+  Status SkipWhitespaceAndComments() {
+    for (;;) {
+      while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      if (Peek() == '%' || (Peek() == '/' && Peek(1) == '/')) {
+        while (!AtEnd() && Peek() != '\n') Advance();
+        continue;
+      }
+      if (Peek() == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+        if (AtEnd()) return Error("unterminated block comment");
+        Advance();
+        Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status LexInteger(Token* tok) {
+    tok->kind = TokenKind::kInteger;
+    int64_t v = 0;
+    bool overflow = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      const int d = Advance() - '0';
+      if (v > (INT64_MAX - d) / 10) overflow = true;
+      if (!overflow) v = v * 10 + d;
+    }
+    if (overflow) return Error("integer literal overflows 63 bits");
+    tok->int_value = v;
+    return Status::OK();
+  }
+
+  void LexWord(Token* tok) {
+    std::string word;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      word += Advance();
+    }
+    const char first = word[0];
+    tok->kind = (std::isupper(static_cast<unsigned char>(first)) || first == '_')
+                    ? TokenKind::kVariable
+                    : TokenKind::kIdent;
+    tok->text = std::move(word);
+  }
+
+  Status LexString(Token* tok) {
+    Advance();  // opening quote
+    std::string content;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Advance();
+      if (c == '\\' && !AtEnd()) {
+        const char esc = Advance();
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case '\\':
+            c = '\\';
+            break;
+          case '"':
+            c = '"';
+            break;
+          default:
+            return Error(std::string("unknown escape '\\") + esc + "'");
+        }
+      }
+      content += c;
+    }
+    if (AtEnd()) return Error("unterminated string literal");
+    Advance();  // closing quote
+    tok->kind = TokenKind::kString;
+    tok->text = std::move(content);
+    return Status::OK();
+  }
+
+  Status LexPunct(Token* tok) {
+    const char c = Advance();
+    switch (c) {
+      case '(':
+        tok->kind = TokenKind::kLParen;
+        return Status::OK();
+      case ')':
+        tok->kind = TokenKind::kRParen;
+        return Status::OK();
+      case ',':
+        tok->kind = TokenKind::kComma;
+        return Status::OK();
+      case '.':
+        tok->kind = TokenKind::kDot;
+        return Status::OK();
+      case '+':
+        tok->kind = TokenKind::kPlus;
+        return Status::OK();
+      case '-':
+        tok->kind = TokenKind::kMinus;
+        return Status::OK();
+      case '*':
+        tok->kind = TokenKind::kStar;
+        return Status::OK();
+      case '/':
+        tok->kind = TokenKind::kSlash;
+        return Status::OK();
+      case '=':
+        tok->kind = TokenKind::kEq;
+        return Status::OK();
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kNe;
+          return Status::OK();
+        }
+        return Error("expected '=' after '!'");
+      case ':':
+        if (Peek() == '-') {
+          Advance();
+          tok->kind = TokenKind::kArrow;
+          return Status::OK();
+        }
+        return Error("expected '-' after ':'");
+      case '<':
+        if (Peek() == '-') {
+          Advance();
+          tok->kind = TokenKind::kArrow;
+          return Status::OK();
+        }
+        if (Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kLe;
+          return Status::OK();
+        }
+        if (Peek() == '>') {
+          Advance();
+          tok->kind = TokenKind::kNe;
+          return Status::OK();
+        }
+        tok->kind = TokenKind::kLt;
+        return Status::OK();
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kGe;
+          return Status::OK();
+        }
+        tok->kind = TokenKind::kGt;
+        return Status::OK();
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace gdlog

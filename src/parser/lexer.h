@@ -1,0 +1,58 @@
+// Lexer for the choice-Datalog surface syntax.
+//
+// Token classes: lowercase identifiers (predicate/functor/constant names
+// and the keywords not/nil/choice/least/most/next/mod/min/max), variables
+// (uppercase or `_` start), integers, double-quoted strings, and
+// punctuation. Comments: `%` and `//` to end of line, `/* ... */`.
+#ifndef GDLOG_PARSER_LEXER_H_
+#define GDLOG_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gdlog {
+
+enum class TokenKind : uint8_t {
+  kIdent,     // lowercase-start identifier
+  kVariable,  // uppercase- or underscore-start identifier
+  kInteger,
+  kString,    // "..." (content without quotes)
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kArrow,     // <- or :-
+  kEq,        // =
+  kNe,        // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEof,
+};
+
+std::string_view TokenKindName(TokenKind k);
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier / variable / string content
+  int64_t int_value = 0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `source` completely (appending a kEof token), or returns a
+/// ParseError naming the offending line/column.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_PARSER_LEXER_H_

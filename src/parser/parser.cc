@@ -1,0 +1,329 @@
+#include "parser/parser.h"
+
+#include <optional>
+
+#include "parser/lexer.h"
+
+namespace gdlog {
+
+namespace {
+
+bool IsComparisonToken(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEq:
+    case TokenKind::kNe:
+    case TokenKind::kLt:
+    case TokenKind::kLe:
+    case TokenKind::kGt:
+    case TokenKind::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ComparisonOp ToComparisonOp(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEq:
+      return ComparisonOp::kEq;
+    case TokenKind::kNe:
+      return ComparisonOp::kNe;
+    case TokenKind::kLt:
+      return ComparisonOp::kLt;
+    case TokenKind::kLe:
+      return ComparisonOp::kLe;
+    case TokenKind::kGt:
+      return ComparisonOp::kGt;
+    default:
+      return ComparisonOp::kGe;
+  }
+}
+
+class Parser {
+ public:
+  Parser(ValueStore* store, std::vector<Token> tokens)
+      : store_(store), tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program prog;
+    while (!Check(TokenKind::kEof)) {
+      GDLOG_ASSIGN_OR_RETURN(Rule rule, ParseOneRule());
+      prog.rules.push_back(std::move(rule));
+    }
+    return prog;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    GDLOG_ASSIGN_OR_RETURN(Rule rule, ParseOneRule());
+    if (!Check(TokenKind::kEof)) {
+      return Error("trailing input after rule");
+    }
+    return rule;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Previous() const { return tokens_[pos_ - 1]; }
+  bool Check(TokenKind k) const { return Peek().kind == k; }
+  bool Match(TokenKind k) {
+    if (!Check(k)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Error(const std::string& what) const {
+    const Token& t = Peek();
+    return Status::ParseError(what + " at line " + std::to_string(t.line) +
+                              ", column " + std::to_string(t.column) +
+                              " (found " +
+                              std::string(TokenKindName(t.kind)) + ")");
+  }
+
+  Status Expect(TokenKind k, const char* context) {
+    if (Match(k)) return Status::OK();
+    return Error(std::string("expected ") + std::string(TokenKindName(k)) +
+                 " " + context);
+  }
+
+  std::string FreshAnonymous() {
+    return "_G" + std::to_string(anon_counter_++);
+  }
+
+  Result<Rule> ParseOneRule() {
+    anon_counter_ = 0;
+    GDLOG_ASSIGN_OR_RETURN(Literal head, ParseAtom(/*negated=*/false));
+    Rule rule;
+    rule.head = std::move(head);
+    if (Match(TokenKind::kArrow)) {
+      GDLOG_ASSIGN_OR_RETURN(rule.body, ParseBody());
+    }
+    GDLOG_RETURN_IF_ERROR(Expect(TokenKind::kDot, "to end rule"));
+    return rule;
+  }
+
+  Result<std::vector<Literal>> ParseBody() {
+    std::vector<Literal> body;
+    do {
+      GDLOG_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+      body.push_back(std::move(lit));
+    } while (Match(TokenKind::kComma));
+    return body;
+  }
+
+  Result<Literal> ParseLiteral() {
+    if (Check(TokenKind::kIdent)) {
+      const std::string& word = Peek().text;
+      if (word == "not") {
+        ++pos_;
+        if (Match(TokenKind::kLParen)) {
+          GDLOG_ASSIGN_OR_RETURN(std::vector<Literal> conj, ParseBody());
+          GDLOG_RETURN_IF_ERROR(
+              Expect(TokenKind::kRParen, "to close 'not ('"));
+          // `not (single_atom)` is just a negated atom.
+          if (conj.size() == 1 && conj[0].kind == LiteralKind::kAtom &&
+              !conj[0].negated) {
+            conj[0].negated = true;
+            return std::move(conj[0]);
+          }
+          return Literal::NotExists(std::move(conj));
+        }
+        return ParseAtom(/*negated=*/true);
+      }
+      if (word == "choice") {
+        ++pos_;
+        GDLOG_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after 'choice'"));
+        GDLOG_ASSIGN_OR_RETURN(TermNode left, ParseExpr());
+        GDLOG_RETURN_IF_ERROR(
+            Expect(TokenKind::kComma, "between choice arguments"));
+        GDLOG_ASSIGN_OR_RETURN(TermNode right, ParseExpr());
+        GDLOG_RETURN_IF_ERROR(
+            Expect(TokenKind::kRParen, "to close 'choice('"));
+        return Literal::Choice(std::move(left), std::move(right));
+      }
+      if (word == "least" || word == "most") {
+        const bool is_least = word == "least";
+        ++pos_;
+        GDLOG_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after extremum"));
+        GDLOG_ASSIGN_OR_RETURN(TermNode cost, ParseExpr());
+        TermNode group = TermNode::Tuple({});
+        if (Match(TokenKind::kComma)) {
+          GDLOG_ASSIGN_OR_RETURN(group, ParseExpr());
+        }
+        GDLOG_RETURN_IF_ERROR(
+            Expect(TokenKind::kRParen, "to close extremum goal"));
+        return is_least ? Literal::Least(std::move(cost), std::move(group))
+                        : Literal::Most(std::move(cost), std::move(group));
+      }
+      if (word == "next") {
+        ++pos_;
+        GDLOG_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after 'next'"));
+        if (!Check(TokenKind::kVariable)) {
+          return Error("next(...) takes a single variable");
+        }
+        TermNode var = TermNode::Var(Peek().text == "_" ? FreshAnonymous()
+                                                        : Peek().text);
+        ++pos_;
+        GDLOG_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close 'next('"));
+        return Literal::Next(std::move(var));
+      }
+    }
+    // Either an atom or a comparison. Parse an expression first; if a
+    // comparison operator follows, it is a comparison. Otherwise the
+    // expression must have the shape of an atom.
+    GDLOG_ASSIGN_OR_RETURN(TermNode expr, ParseExpr());
+    if (IsComparisonToken(Peek().kind)) {
+      const ComparisonOp op = ToComparisonOp(Peek().kind);
+      ++pos_;
+      GDLOG_ASSIGN_OR_RETURN(TermNode rhs, ParseExpr());
+      return Literal::Comparison(op, std::move(expr), std::move(rhs));
+    }
+    // Atom shape: a compound with a non-arithmetic, non-tuple functor, or
+    // a bare lowercase identifier (0-ary predicate, parsed as constant).
+    if (expr.is_compound() && !expr.is_tuple() &&
+        !IsArithmeticFunctor(expr.name)) {
+      return Literal::Atom(expr.name, std::move(expr.args));
+    }
+    if (expr.is_const() && expr.constant.is_symbol()) {
+      return Literal::Atom(std::string(store_->SymbolName(expr.constant)), {});
+    }
+    return Error("expected an atom or a comparison");
+  }
+
+  Result<Literal> ParseAtom(bool negated) {
+    if (!Check(TokenKind::kIdent)) {
+      return Error("expected a predicate name");
+    }
+    std::string name = Peek().text;
+    ++pos_;
+    std::vector<TermNode> args;
+    if (Match(TokenKind::kLParen)) {
+      if (!Check(TokenKind::kRParen)) {
+        do {
+          GDLOG_ASSIGN_OR_RETURN(TermNode arg, ParseExpr());
+          args.push_back(std::move(arg));
+        } while (Match(TokenKind::kComma));
+      }
+      GDLOG_RETURN_IF_ERROR(
+          Expect(TokenKind::kRParen, "to close argument list"));
+    }
+    return Literal::Atom(std::move(name), std::move(args), negated);
+  }
+
+  // expr := mul { (+|-) mul }
+  Result<TermNode> ParseExpr() {
+    GDLOG_ASSIGN_OR_RETURN(TermNode lhs, ParseMul());
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      const std::string op = Check(TokenKind::kPlus) ? "+" : "-";
+      ++pos_;
+      GDLOG_ASSIGN_OR_RETURN(TermNode rhs, ParseMul());
+      std::vector<TermNode> args;
+      args.push_back(std::move(lhs));
+      args.push_back(std::move(rhs));
+      lhs = TermNode::Compound(op, std::move(args));
+    }
+    return lhs;
+  }
+
+  // mul := primary { (*|/|mod) primary }
+  Result<TermNode> ParseMul() {
+    GDLOG_ASSIGN_OR_RETURN(TermNode lhs, ParsePrimary());
+    for (;;) {
+      std::string op;
+      if (Check(TokenKind::kStar)) {
+        op = "*";
+      } else if (Check(TokenKind::kSlash)) {
+        op = "/";
+      } else if (Check(TokenKind::kIdent) && Peek().text == "mod") {
+        op = "mod";
+      } else {
+        break;
+      }
+      ++pos_;
+      GDLOG_ASSIGN_OR_RETURN(TermNode rhs, ParsePrimary());
+      std::vector<TermNode> args;
+      args.push_back(std::move(lhs));
+      args.push_back(std::move(rhs));
+      lhs = TermNode::Compound(op, std::move(args));
+    }
+    return lhs;
+  }
+
+  Result<TermNode> ParsePrimary() {
+    if (Check(TokenKind::kInteger)) {
+      const int64_t v = Peek().int_value;
+      ++pos_;
+      return TermNode::Const(Value::Int(v));
+    }
+    if (Match(TokenKind::kMinus)) {
+      GDLOG_ASSIGN_OR_RETURN(TermNode inner, ParsePrimary());
+      if (inner.is_const() && inner.constant.is_int()) {
+        return TermNode::Const(Value::Int(-inner.constant.AsInt()));
+      }
+      std::vector<TermNode> args;
+      args.push_back(TermNode::Const(Value::Int(0)));
+      args.push_back(std::move(inner));
+      return TermNode::Compound("-", std::move(args));
+    }
+    if (Check(TokenKind::kVariable)) {
+      std::string name = Peek().text;
+      ++pos_;
+      if (name == "_") name = FreshAnonymous();
+      return TermNode::Var(std::move(name));
+    }
+    if (Check(TokenKind::kString)) {
+      TermNode t = TermNode::Const(store_->MakeSymbol(Peek().text));
+      ++pos_;
+      return t;
+    }
+    if (Check(TokenKind::kIdent)) {
+      std::string name = Peek().text;
+      ++pos_;
+      if (name == "nil") return TermNode::Const(Value::Nil());
+      if (Match(TokenKind::kLParen)) {
+        std::vector<TermNode> args;
+        if (!Check(TokenKind::kRParen)) {
+          do {
+            GDLOG_ASSIGN_OR_RETURN(TermNode arg, ParseExpr());
+            args.push_back(std::move(arg));
+          } while (Match(TokenKind::kComma));
+        }
+        GDLOG_RETURN_IF_ERROR(
+            Expect(TokenKind::kRParen, "to close argument list"));
+        return TermNode::Compound(std::move(name), std::move(args));
+      }
+      return TermNode::Const(store_->MakeSymbol(name));
+    }
+    if (Match(TokenKind::kLParen)) {
+      // () is the empty tuple; (e) is grouping; (e1, e2, ...) is a tuple.
+      if (Match(TokenKind::kRParen)) return TermNode::Tuple({});
+      std::vector<TermNode> elems;
+      do {
+        GDLOG_ASSIGN_OR_RETURN(TermNode e, ParseExpr());
+        elems.push_back(std::move(e));
+      } while (Match(TokenKind::kComma));
+      GDLOG_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close tuple"));
+      if (elems.size() == 1) return std::move(elems[0]);
+      return TermNode::Tuple(std::move(elems));
+    }
+    return Error("expected a term");
+  }
+
+  ValueStore* store_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int anon_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(ValueStore* store, std::string_view source) {
+  GDLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(store, std::move(tokens)).ParseProgram();
+}
+
+Result<Rule> ParseRule(ValueStore* store, std::string_view source) {
+  GDLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(store, std::move(tokens)).ParseSingleRule();
+}
+
+}  // namespace gdlog

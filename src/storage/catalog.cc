@@ -1,0 +1,32 @@
+#include "storage/catalog.h"
+
+namespace gdlog {
+
+std::string Catalog::Key(std::string_view name, uint32_t arity) {
+  std::string k(name);
+  k += '/';
+  k += std::to_string(arity);
+  return k;
+}
+
+PredicateId Catalog::Ensure(std::string_view name, uint32_t arity) {
+  const std::string key = Key(name, arity);
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) return it->second;
+  const auto id = static_cast<PredicateId>(relations_.size());
+  relations_.push_back(std::make_unique<Relation>(std::string(name), arity));
+  by_name_.emplace(key, id);
+  return id;
+}
+
+PredicateId Catalog::Lookup(std::string_view name, uint32_t arity) const {
+  auto it = by_name_.find(Key(name, arity));
+  return it == by_name_.end() ? kNoPredicate : it->second;
+}
+
+std::string Catalog::DisplayName(PredicateId id) const {
+  const Relation& r = *relations_[id];
+  return r.name() + "/" + std::to_string(r.arity());
+}
+
+}  // namespace gdlog

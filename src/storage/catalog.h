@@ -1,0 +1,53 @@
+// Catalog: maps predicate name/arity pairs to Relation storage.
+//
+// A predicate is identified by (name, arity) — p/2 and p/3 are distinct,
+// as in standard Datalog practice.
+#ifndef GDLOG_STORAGE_CATALOG_H_
+#define GDLOG_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace gdlog {
+
+using PredicateId = uint32_t;
+inline constexpr PredicateId kNoPredicate = UINT32_MAX;
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Returns the id for predicate name/arity, creating its relation on
+  /// first sight.
+  PredicateId Ensure(std::string_view name, uint32_t arity);
+
+  /// Returns the id or kNoPredicate.
+  PredicateId Lookup(std::string_view name, uint32_t arity) const;
+
+  Relation& relation(PredicateId id) { return *relations_[id]; }
+  const Relation& relation(PredicateId id) const { return *relations_[id]; }
+
+  size_t size() const { return relations_.size(); }
+
+  /// "name/arity" display string for diagnostics.
+  std::string DisplayName(PredicateId id) const;
+
+ private:
+  static std::string Key(std::string_view name, uint32_t arity);
+
+  std::unordered_map<std::string, PredicateId> by_name_;
+  std::vector<std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_STORAGE_CATALOG_H_

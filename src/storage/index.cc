@@ -1,0 +1,69 @@
+#include "storage/index.h"
+
+#include "common/logging.h"
+
+namespace gdlog {
+
+Index::Index(std::vector<uint32_t> columns) : columns_(std::move(columns)) {
+  buckets_.assign(64, kNoRow);
+  bucket_mask_ = buckets_.size() - 1;
+}
+
+uint64_t Index::HashKey(TupleView key) {
+  uint64_t h = 0xabcdef0123456789ull ^ key.size();
+  for (Value v : key) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+uint64_t Index::HashRowKey(TupleView tuple) const {
+  uint64_t h = 0xabcdef0123456789ull ^ columns_.size();
+  for (uint32_t c : columns_) {
+    GDLOG_CHECK_LT(c, tuple.size());
+    h = HashCombine(h, tuple[c].Hash());
+  }
+  return h;
+}
+
+void Index::Rehash(size_t new_bucket_count) {
+  buckets_.assign(new_bucket_count, kNoRow);
+  bucket_mask_ = new_bucket_count - 1;
+  // Rebuild chains; iterate in reverse so chains keep insertion order.
+  for (size_t e = rows_.size(); e-- > 0;) {
+    size_t slot = hashes_[e] & bucket_mask_;
+    next_[e] = buckets_[slot];
+    buckets_[slot] = static_cast<uint32_t>(e);
+  }
+}
+
+void Index::Insert(RowId row, TupleView tuple) {
+  const uint64_t h = HashRowKey(tuple);
+  const auto entry = static_cast<uint32_t>(rows_.size());
+  rows_.push_back(row);
+  hashes_.push_back(h);
+  const size_t slot = h & bucket_mask_;
+  next_.push_back(buckets_[slot]);
+  buckets_[slot] = entry;
+  if (rows_.size() * 10 > buckets_.size() * 7) Rehash(buckets_.size() * 2);
+}
+
+Index::MatchIterator::MatchIterator(const Index* index, uint64_t hash)
+    : index_(index), hash_(hash) {
+  const size_t slot = hash & index->bucket_mask_;
+  current_ = index->buckets_[slot];
+  // Skip non-matching hashes at the head.
+  while (current_ != kNoRow && index_->hashes_[current_] != hash_) {
+    current_ = index_->next_[current_];
+  }
+}
+
+RowId Index::MatchIterator::Next() {
+  if (current_ == kNoRow) return kNoRow;
+  const RowId row = index_->rows_[current_];
+  current_ = index_->next_[current_];
+  while (current_ != kNoRow && index_->hashes_[current_] != hash_) {
+    current_ = index_->next_[current_];
+  }
+  return row;
+}
+
+}  // namespace gdlog

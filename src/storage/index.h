@@ -1,0 +1,73 @@
+// Hash index over a subset of a relation's columns.
+//
+// The complexity results of Section 6 assume "availability of indices":
+// each join goal probes the indexed columns bound by earlier goals in
+// O(1) expected per matching row. Indices are append-only, mirroring the
+// append-only fact store of a fixpoint evaluation: buckets hold chain
+// heads into a parallel next[] array, so insertion never moves entries.
+#ifndef GDLOG_STORAGE_INDEX_H_
+#define GDLOG_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace gdlog {
+
+using RowId = uint32_t;
+inline constexpr RowId kNoRow = UINT32_MAX;
+
+class Index {
+ public:
+  /// `columns` are the indexed column positions, in probe-key order.
+  explicit Index(std::vector<uint32_t> columns);
+
+  const std::vector<uint32_t>& columns() const { return columns_; }
+
+  /// Registers `row` (whose full tuple is `tuple`) under its key columns.
+  void Insert(RowId row, TupleView tuple);
+
+  /// Iterates the chain of candidate rows whose key hash matches `key`.
+  /// Callers must re-verify column equality on the full tuple (hash
+  /// collisions are possible); MatchIterator exposes the raw chain.
+  class MatchIterator {
+   public:
+    MatchIterator(const Index* index, uint64_t hash);
+    /// Next candidate row id, or kNoRow when exhausted.
+    RowId Next();
+
+   private:
+    const Index* index_;
+    uint64_t hash_;
+    RowId current_;
+  };
+
+  /// Hash of a probe key (one Value per indexed column, in order).
+  static uint64_t HashKey(TupleView key);
+
+  /// Extracts this index's key hash from a full tuple.
+  uint64_t HashRowKey(TupleView tuple) const;
+
+  MatchIterator Probe(uint64_t key_hash) const {
+    return MatchIterator(this, key_hash);
+  }
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  friend class MatchIterator;
+
+  void Rehash(size_t new_bucket_count);
+
+  std::vector<uint32_t> columns_;
+  std::vector<RowId> rows_;       // entry -> row id
+  std::vector<uint64_t> hashes_;  // entry -> key hash
+  std::vector<uint32_t> next_;    // entry -> next entry in chain (or kNoRow)
+  std::vector<uint32_t> buckets_; // bucket -> chain head entry (or kNoRow)
+  size_t bucket_mask_ = 0;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_STORAGE_INDEX_H_

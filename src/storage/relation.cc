@@ -1,0 +1,91 @@
+#include "storage/relation.h"
+
+#include "common/logging.h"
+
+namespace gdlog {
+
+Relation::Relation(std::string name, uint32_t arity)
+    : name_(std::move(name)), arity_(arity) {
+  set_buckets_.assign(64, kNoRow);
+  set_mask_ = set_buckets_.size() - 1;
+}
+
+void Relation::RehashSet(size_t new_bucket_count) {
+  set_buckets_.assign(new_bucket_count, kNoRow);
+  set_mask_ = new_bucket_count - 1;
+  for (RowId r = 0; r < num_rows_; ++r) {
+    size_t slot = row_hashes_[r] & set_mask_;
+    while (set_buckets_[slot] != kNoRow) slot = (slot + 1) & set_mask_;
+    set_buckets_[slot] = r;
+  }
+}
+
+Relation::InsertResult Relation::Insert(TupleView tuple) {
+  GDLOG_CHECK_EQ(tuple.size(), arity_);
+  const uint64_t h = HashTuple(tuple);
+  size_t slot = h & set_mask_;
+  while (set_buckets_[slot] != kNoRow) {
+    const RowId r = set_buckets_[slot];
+    if (row_hashes_[r] == h && TupleEquals(Row(r), tuple)) {
+      return {r, false};
+    }
+    slot = (slot + 1) & set_mask_;
+  }
+  const auto row = static_cast<RowId>(num_rows_);
+  // `tuple` may alias data_ (copying a row of this relation); stage it
+  // locally so the potentially-reallocating insert is safe.
+  Value local[16];
+  std::vector<Value> heap_local;
+  TupleView staged = tuple;
+  if (tuple.size() <= 16) {
+    for (size_t i = 0; i < tuple.size(); ++i) local[i] = tuple[i];
+    staged = TupleView(local, tuple.size());
+  } else {
+    heap_local.assign(tuple.begin(), tuple.end());
+    staged = TupleView(heap_local.data(), heap_local.size());
+  }
+  data_.insert(data_.end(), staged.begin(), staged.end());
+  row_hashes_.push_back(h);
+  ++num_rows_;
+  set_buckets_[slot] = row;
+  if (num_rows_ * 10 > set_buckets_.size() * 7) RehashSet(set_buckets_.size() * 2);
+  for (auto& idx : indices_) idx->Insert(row, Row(row));
+  return {row, true};
+}
+
+RowId Relation::Find(TupleView tuple) const {
+  if (tuple.size() != arity_) return kNoRow;
+  const uint64_t h = HashTuple(tuple);
+  size_t slot = h & set_mask_;
+  while (set_buckets_[slot] != kNoRow) {
+    const RowId r = set_buckets_[slot];
+    if (row_hashes_[r] == h && TupleEquals(Row(r), tuple)) return r;
+    slot = (slot + 1) & set_mask_;
+  }
+  return kNoRow;
+}
+
+bool Relation::Contains(TupleView tuple) const { return Find(tuple) != kNoRow; }
+
+size_t Relation::AdvanceEpoch() {
+  delta_begin_ = delta_end_;
+  delta_end_ = static_cast<RowId>(num_rows_);
+  return delta_end_ - delta_begin_;
+}
+
+void Relation::SealEpoch() {
+  delta_begin_ = static_cast<RowId>(num_rows_);
+  delta_end_ = delta_begin_;
+}
+
+size_t Relation::EnsureIndex(const std::vector<uint32_t>& columns) {
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    if (indices_[i]->columns() == columns) return i;
+  }
+  auto idx = std::make_unique<Index>(columns);
+  for (RowId r = 0; r < num_rows_; ++r) idx->Insert(r, Row(r));
+  indices_.push_back(std::move(idx));
+  return indices_.size() - 1;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,97 @@
+// Append-only relation with set semantics, delta tracking for seminaive
+// evaluation, and attached hash indices.
+//
+// Fixpoint evaluation only ever adds facts, so rows are stored in arrival
+// order in one flat Value array. Three watermarks partition the rows for
+// the seminaive discipline:
+//
+//   [0, delta_begin)        "old"   — facts known before the last round
+//   [delta_begin, delta_end) "delta" — facts derived in the last round
+//   [delta_end, size)        "new"   — facts derived in the current round
+//
+// AdvanceEpoch() rolls new into delta and delta into old.
+#ifndef GDLOG_STORAGE_RELATION_H_
+#define GDLOG_STORAGE_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/index.h"
+#include "storage/tuple.h"
+
+namespace gdlog {
+
+class Relation {
+ public:
+  Relation(std::string name, uint32_t arity);
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint32_t arity() const { return arity_; }
+
+  /// Inserts a tuple if not already present. Returns the row id and
+  /// whether the tuple was new.
+  struct InsertResult {
+    RowId row;
+    bool inserted;
+  };
+  InsertResult Insert(TupleView tuple);
+
+  /// True iff the tuple is present.
+  bool Contains(TupleView tuple) const;
+  /// Row id of the tuple, or kNoRow.
+  RowId Find(TupleView tuple) const;
+
+  TupleView Row(RowId row) const {
+    return TupleView(data_.data() + static_cast<size_t>(row) * arity_, arity_);
+  }
+
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  // -- Seminaive watermarks ----------------------------------------------
+  RowId delta_begin() const { return delta_begin_; }
+  RowId delta_end() const { return delta_end_; }
+  size_t delta_size() const { return delta_end_ - delta_begin_; }
+  size_t new_size() const { return num_rows_ - delta_end_; }
+  /// Rolls [delta_end, size) into the delta window and the previous delta
+  /// into old. Returns the new delta's size.
+  size_t AdvanceEpoch();
+  /// Makes every current row "old" and empties the delta (used when a
+  /// stratum is saturated before the next stratum starts).
+  void SealEpoch();
+
+  // -- Indices -------------------------------------------------------------
+  /// Ensures a hash index exists on `columns` (probe-key order); returns
+  /// its position among this relation's indices. Existing rows are
+  /// back-filled. Column lists are deduplicated structurally.
+  size_t EnsureIndex(const std::vector<uint32_t>& columns);
+  const Index& index(size_t i) const { return *indices_[i]; }
+  size_t num_indices() const { return indices_.size(); }
+
+ private:
+  void RehashSet(size_t new_bucket_count);
+
+  std::string name_;
+  uint32_t arity_;
+
+  std::vector<Value> data_;       // flat rows
+  size_t num_rows_ = 0;
+
+  // Open-addressing set of row ids for duplicate elimination.
+  std::vector<uint32_t> set_buckets_;
+  std::vector<uint64_t> row_hashes_;  // row -> content hash
+  size_t set_mask_ = 0;
+
+  RowId delta_begin_ = 0;
+  RowId delta_end_ = 0;
+
+  std::vector<std::unique_ptr<Index>> indices_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_STORAGE_RELATION_H_

@@ -1,0 +1,18 @@
+#include "storage/tuple.h"
+
+#include <sstream>
+
+namespace gdlog {
+
+std::string TupleToString(const ValueStore& store, TupleView t) {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i) out << ", ";
+    out << store.ToString(t[i]);
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace gdlog

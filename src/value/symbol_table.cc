@@ -1,0 +1,56 @@
+#include "value/symbol_table.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace gdlog {
+
+SymbolTable::SymbolTable() {
+  buckets_.assign(64, kEmpty);
+  bucket_mask_ = buckets_.size() - 1;
+}
+
+void SymbolTable::Rehash(size_t new_bucket_count) {
+  buckets_.assign(new_bucket_count, kEmpty);
+  bucket_mask_ = new_bucket_count - 1;
+  for (uint32_t id = 0; id < names_.size(); ++id) {
+    size_t slot = hashes_[id] & bucket_mask_;
+    while (buckets_[slot] != kEmpty) slot = (slot + 1) & bucket_mask_;
+    buckets_[slot] = id;
+  }
+}
+
+uint32_t SymbolTable::Intern(std::string_view name) {
+  const uint64_t h = HashString(name);
+  size_t slot = h & bucket_mask_;
+  while (buckets_[slot] != kEmpty) {
+    uint32_t id = buckets_[slot];
+    if (hashes_[id] == h && names_[id] == name) return id;
+    slot = (slot + 1) & bucket_mask_;
+  }
+  const auto id = static_cast<uint32_t>(names_.size());
+  names_.push_back(arena_.CopyString(name));
+  hashes_.push_back(h);
+  buckets_[slot] = id;
+  // Keep load factor under 0.7.
+  if (names_.size() * 10 > buckets_.size() * 7) Rehash(buckets_.size() * 2);
+  return id;
+}
+
+uint32_t SymbolTable::Lookup(std::string_view name) const {
+  const uint64_t h = HashString(name);
+  size_t slot = h & bucket_mask_;
+  while (buckets_[slot] != kEmpty) {
+    uint32_t id = buckets_[slot];
+    if (hashes_[id] == h && names_[id] == name) return id;
+    slot = (slot + 1) & bucket_mask_;
+  }
+  return kEmpty;
+}
+
+std::string_view SymbolTable::Name(uint32_t id) const {
+  GDLOG_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+}  // namespace gdlog

@@ -1,0 +1,47 @@
+// Hash-consing table for symbols (constants and functor names).
+#ifndef GDLOG_VALUE_SYMBOL_TABLE_H_
+#define GDLOG_VALUE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+
+namespace gdlog {
+
+/// Interns strings to dense 32-bit ids. Names live in an arena owned by
+/// the table; returned string_views stay valid for the table's lifetime.
+/// Open-addressing (linear probing) over a power-of-two bucket array.
+class SymbolTable {
+ public:
+  SymbolTable();
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `name`, interning it on first sight.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id for `name` or UINT32_MAX if never interned.
+  uint32_t Lookup(std::string_view name) const;
+
+  std::string_view Name(uint32_t id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  void Rehash(size_t new_bucket_count);
+
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  Arena arena_;
+  std::vector<std::string_view> names_;  // id -> name
+  std::vector<uint64_t> hashes_;         // id -> precomputed hash
+  std::vector<uint32_t> buckets_;        // open addressing: id or kEmpty
+  size_t bucket_mask_ = 0;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_VALUE_SYMBOL_TABLE_H_

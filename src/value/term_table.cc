@@ -1,0 +1,81 @@
+#include "value/term_table.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace gdlog {
+
+TermTable::TermTable() {
+  buckets_.assign(64, kEmpty);
+  bucket_mask_ = buckets_.size() - 1;
+}
+
+uint64_t TermTable::ContentHash(SymbolId functor,
+                                std::span<const Value> args) const {
+  uint64_t h = Mix64(0xfeedface00000000ull ^ functor);
+  for (Value v : args) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+bool TermTable::Equals(TermId id, SymbolId functor,
+                       std::span<const Value> args) const {
+  const Header& hd = headers_[id];
+  if (hd.functor != functor || hd.arity != args.size()) return false;
+  const Value* stored = args_.data() + hd.args_offset;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (stored[i] != args[i]) return false;
+  }
+  return true;
+}
+
+void TermTable::Rehash(size_t new_bucket_count) {
+  buckets_.assign(new_bucket_count, kEmpty);
+  bucket_mask_ = new_bucket_count - 1;
+  for (uint32_t id = 0; id < headers_.size(); ++id) {
+    size_t slot = headers_[id].hash & bucket_mask_;
+    while (buckets_[slot] != kEmpty) slot = (slot + 1) & bucket_mask_;
+    buckets_[slot] = id;
+  }
+}
+
+TermId TermTable::Intern(SymbolId functor, std::span<const Value> args) {
+  const uint64_t h = ContentHash(functor, args);
+  size_t slot = h & bucket_mask_;
+  while (buckets_[slot] != kEmpty) {
+    uint32_t id = buckets_[slot];
+    if (headers_[id].hash == h && Equals(id, functor, args)) return id;
+    slot = (slot + 1) & bucket_mask_;
+  }
+  Header hd;
+  hd.functor = functor;
+  hd.arity = static_cast<uint32_t>(args.size());
+  hd.args_offset = args_.size();
+  hd.hash = h;
+  // `args` may alias args_ (e.g. a term built from another term's args), so
+  // copy through a local buffer before the potentially-reallocating insert.
+  std::vector<Value> local(args.begin(), args.end());
+  args_.insert(args_.end(), local.begin(), local.end());
+  const auto id = static_cast<uint32_t>(headers_.size());
+  headers_.push_back(hd);
+  buckets_[slot] = id;
+  if (headers_.size() * 10 > buckets_.size() * 7) Rehash(buckets_.size() * 2);
+  return id;
+}
+
+SymbolId TermTable::Functor(TermId id) const {
+  GDLOG_CHECK_LT(id, headers_.size());
+  return headers_[id].functor;
+}
+
+std::span<const Value> TermTable::Args(TermId id) const {
+  GDLOG_CHECK_LT(id, headers_.size());
+  const Header& hd = headers_[id];
+  return std::span<const Value>(args_.data() + hd.args_offset, hd.arity);
+}
+
+uint32_t TermTable::Arity(TermId id) const {
+  GDLOG_CHECK_LT(id, headers_.size());
+  return headers_[id].arity;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,54 @@
+// Hash-consing table for ground functor terms, e.g. the Huffman tree
+// constructor t(t(a,b), c). Interning makes deep term equality a 64-bit
+// compare, which keeps tuple storage flat and the choice runtime O(1)
+// per FD probe even when choice keys are structured values.
+#ifndef GDLOG_VALUE_TERM_TABLE_H_
+#define GDLOG_VALUE_TERM_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "value/value.h"
+
+namespace gdlog {
+
+class TermTable {
+ public:
+  TermTable();
+
+  TermTable(const TermTable&) = delete;
+  TermTable& operator=(const TermTable&) = delete;
+
+  /// Interns functor(args...) and returns its dense id.
+  TermId Intern(SymbolId functor, std::span<const Value> args);
+
+  SymbolId Functor(TermId id) const;
+  std::span<const Value> Args(TermId id) const;
+  uint32_t Arity(TermId id) const;
+
+  size_t size() const { return headers_.size(); }
+
+ private:
+  struct Header {
+    SymbolId functor;
+    uint32_t arity;
+    uint64_t args_offset;  // into args_ backing store
+    uint64_t hash;
+  };
+
+  uint64_t ContentHash(SymbolId functor, std::span<const Value> args) const;
+  bool Equals(TermId id, SymbolId functor, std::span<const Value> args) const;
+  void Rehash(size_t new_bucket_count);
+
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  std::vector<Header> headers_;
+  std::vector<Value> args_;      // flattened argument storage
+  std::vector<uint32_t> buckets_;
+  size_t bucket_mask_ = 0;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_VALUE_TERM_TABLE_H_

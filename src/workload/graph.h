@@ -1,0 +1,26 @@
+// Shared weighted-graph type for the greedy library, the procedural
+// baselines, and the workload generators. Nodes are dense ids [0, n).
+#ifndef GDLOG_WORKLOAD_GRAPH_H_
+#define GDLOG_WORKLOAD_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gdlog {
+
+struct GraphEdge {
+  uint32_t u = 0;
+  uint32_t v = 0;
+  int64_t w = 0;
+};
+
+/// Edge list; interpretation (directed vs undirected) is up to the
+/// consumer — generators document what they produce.
+struct Graph {
+  uint32_t num_nodes = 0;
+  std::vector<GraphEdge> edges;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_WORKLOAD_GRAPH_H_

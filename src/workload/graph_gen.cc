@@ -1,0 +1,128 @@
+#include "workload/graph_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace gdlog {
+
+namespace {
+
+/// Draws edge weights; with unique_weights, weight = draw * E + index,
+/// which preserves the random order while making all weights distinct.
+class WeightDrawer {
+ public:
+  WeightDrawer(Rng* rng, const GraphGenOptions& options, size_t num_edges)
+      : rng_(rng), options_(options), num_edges_(num_edges) {}
+
+  int64_t Next() {
+    const int64_t base = rng_->NextInt(1, options_.max_weight);
+    if (!options_.unique_weights) return base;
+    return base * static_cast<int64_t>(num_edges_ + 1) +
+           static_cast<int64_t>(index_++);
+  }
+
+ private:
+  Rng* rng_;
+  const GraphGenOptions& options_;
+  size_t num_edges_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Graph ConnectedRandomGraph(uint32_t n, uint32_t extra_edges,
+                           const GraphGenOptions& options) {
+  GDLOG_CHECK_GE(n, 1u);
+  Rng rng(options.seed);
+  Graph g;
+  g.num_nodes = n;
+  const size_t total = (n > 0 ? n - 1 : 0) + extra_edges;
+  WeightDrawer weights(&rng, options, total);
+
+  // Random spanning chain over a shuffled node order.
+  std::vector<uint32_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  // Parallel edges are excluded: the paper's choice(Y, X) goals assume
+  // one cost per arc (see the remark below Example 3), and a duplicate
+  // (X, Y) pair with two costs would admit two entries for Y.
+  std::unordered_set<uint64_t> seen;
+  auto pair_key = [](uint32_t a, uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  for (uint32_t i = 1; i < n; ++i) {
+    // Attach to a random earlier node for a tree rather than a path.
+    const uint32_t parent = order[rng.NextBounded(i)];
+    seen.insert(pair_key(parent, order[i]));
+    g.edges.push_back({parent, order[i], weights.Next()});
+  }
+  uint32_t added = 0, attempts = 0;
+  while (added < extra_edges && attempts < 20 * extra_edges + 100) {
+    ++attempts;
+    const uint32_t a = static_cast<uint32_t>(rng.NextBounded(n));
+    const uint32_t b = static_cast<uint32_t>(rng.NextBounded(n));
+    if (a == b) continue;
+    if (!seen.insert(pair_key(a, b)).second) continue;
+    g.edges.push_back({a, b, weights.Next()});
+    ++added;
+  }
+  return g;
+}
+
+Graph CompleteGraph(uint32_t n, const GraphGenOptions& options) {
+  Rng rng(options.seed);
+  Graph g;
+  g.num_nodes = n;
+  const size_t total = static_cast<size_t>(n) * (n - 1) / 2;
+  WeightDrawer weights(&rng, options, total);
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = a + 1; b < n; ++b) {
+      g.edges.push_back({a, b, weights.Next()});
+    }
+  }
+  return g;
+}
+
+Graph BipartiteGraph(uint32_t left, uint32_t right, uint32_t m,
+                     const GraphGenOptions& options) {
+  Rng rng(options.seed);
+  Graph g;
+  g.num_nodes = left + right;
+  WeightDrawer weights(&rng, options, m);
+  std::unordered_set<uint64_t> seen;
+  uint32_t attempts = 0;
+  while (g.edges.size() < m && attempts < 20 * m + 100) {
+    ++attempts;
+    const uint32_t a = static_cast<uint32_t>(rng.NextBounded(left));
+    const uint32_t b =
+        left + static_cast<uint32_t>(rng.NextBounded(right));
+    const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    if (!seen.insert(key).second) continue;
+    g.edges.push_back({a, b, weights.Next()});
+  }
+  return g;
+}
+
+Graph GridGraph(uint32_t rows, uint32_t cols,
+                const GraphGenOptions& options) {
+  Rng rng(options.seed);
+  Graph g;
+  g.num_nodes = rows * cols;
+  const size_t total =
+      static_cast<size_t>(rows) * (cols - 1) + static_cast<size_t>(cols) * (rows - 1);
+  WeightDrawer weights(&rng, options, total);
+  auto id = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.edges.push_back({id(r, c), id(r, c + 1), weights.Next()});
+      if (r + 1 < rows) g.edges.push_back({id(r, c), id(r + 1, c), weights.Next()});
+    }
+  }
+  return g;
+}
+
+}  // namespace gdlog

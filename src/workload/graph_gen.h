@@ -1,0 +1,41 @@
+// Seeded random graph generators for tests and benchmarks.
+//
+// All generators are deterministic in (parameters, seed). With
+// `unique_weights` every edge weight is distinct, which makes greedy
+// outcomes tie-free and lets tests compare the declarative engine with
+// the procedural baselines tuple-for-tuple.
+#ifndef GDLOG_WORKLOAD_GRAPH_GEN_H_
+#define GDLOG_WORKLOAD_GRAPH_GEN_H_
+
+#include "common/rng.h"
+#include "workload/graph.h"
+
+namespace gdlog {
+
+struct GraphGenOptions {
+  uint64_t seed = 1;
+  int64_t max_weight = 1'000'000;
+  bool unique_weights = true;
+};
+
+/// Connected undirected graph: a random spanning chain plus
+/// `extra_edges` random non-self-loop edges (parallel edges possible,
+/// harmless for MST). Total edges = n - 1 + extra_edges.
+Graph ConnectedRandomGraph(uint32_t n, uint32_t extra_edges,
+                           const GraphGenOptions& options = {});
+
+/// Complete undirected graph on n nodes (n*(n-1)/2 edges).
+Graph CompleteGraph(uint32_t n, const GraphGenOptions& options = {});
+
+/// Directed bipartite graph: sources [0, left), targets [left,
+/// left+right), m random arcs (duplicates filtered).
+Graph BipartiteGraph(uint32_t left, uint32_t right, uint32_t m,
+                     const GraphGenOptions& options = {});
+
+/// rows x cols grid, 4-neighbour undirected edges.
+Graph GridGraph(uint32_t rows, uint32_t cols,
+                const GraphGenOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_WORKLOAD_GRAPH_GEN_H_

@@ -1,0 +1,22 @@
+#include "workload/interval_gen.h"
+
+#include "common/rng.h"
+
+namespace gdlog {
+
+std::vector<std::pair<int64_t, int64_t>> RandomIntervals(
+    uint32_t n, const IntervalGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::pair<int64_t, int64_t>> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const int64_t start = rng.NextInt(0, options.horizon - 1);
+    int64_t finish = start + rng.NextInt(1, options.max_duration);
+    if (options.unique_finish_times) finish = finish * (n + 1) + i;
+    out.push_back({options.unique_finish_times ? start * (n + 1) : start,
+                   finish});
+  }
+  return out;
+}
+
+}  // namespace gdlog

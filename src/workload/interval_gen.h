@@ -1,0 +1,24 @@
+// Random interval (job) generators for the scheduling experiments.
+#ifndef GDLOG_WORKLOAD_INTERVAL_GEN_H_
+#define GDLOG_WORKLOAD_INTERVAL_GEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gdlog {
+
+struct IntervalGenOptions {
+  uint64_t seed = 1;
+  int64_t horizon = 1'000'000;   // starts drawn from [0, horizon)
+  int64_t max_duration = 50'000;
+  bool unique_finish_times = true;
+};
+
+/// n half-open intervals [start, finish).
+std::vector<std::pair<int64_t, int64_t>> RandomIntervals(
+    uint32_t n, const IntervalGenOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_WORKLOAD_INTERVAL_GEN_H_

@@ -1,0 +1,20 @@
+#include "workload/relation_gen.h"
+
+#include "common/rng.h"
+
+namespace gdlog {
+
+std::vector<std::pair<int64_t, int64_t>> RandomCostedRelation(
+    uint32_t n, const RelationGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::pair<int64_t, int64_t>> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int64_t c = rng.NextInt(1, options.max_cost);
+    if (options.unique_costs) c = c * (n + 1) + i;
+    out.emplace_back(i, c);
+  }
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,24 @@
+// Random relation generators (the p(X, C) inputs of Example 5's sort).
+#ifndef GDLOG_WORKLOAD_RELATION_GEN_H_
+#define GDLOG_WORKLOAD_RELATION_GEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gdlog {
+
+struct RelationGenOptions {
+  uint64_t seed = 1;
+  int64_t max_cost = 1'000'000;
+  bool unique_costs = true;
+};
+
+/// n tuples (id, cost); ids are 0..n-1, costs random (distinct when
+/// unique_costs).
+std::vector<std::pair<int64_t, int64_t>> RandomCostedRelation(
+    uint32_t n, const RelationGenOptions& options = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_WORKLOAD_RELATION_GEN_H_

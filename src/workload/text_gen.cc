@@ -1,0 +1,38 @@
+#include "workload/text_gen.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+
+namespace gdlog {
+
+std::vector<std::pair<std::string, int64_t>> ZipfLetterFrequencies(
+    uint32_t k, const TextGenOptions& options) {
+  Rng rng(options.seed);
+  double norm = 0;
+  for (uint32_t r = 1; r <= k; ++r) norm += 1.0 / std::pow(r, options.zipf_s);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(k);
+  for (uint32_t r = 1; r <= k; ++r) {
+    const double share = (1.0 / std::pow(r, options.zipf_s)) / norm;
+    int64_t f = static_cast<int64_t>(share * options.total_occurrences);
+    if (f < 1) f = 1;
+    // Jitter so equal tails differ, then force uniqueness if requested.
+    f += static_cast<int64_t>(rng.NextBounded(7));
+    if (options.unique_frequencies) f = f * (k + 1) + r;
+    out.emplace_back("l" + std::to_string(r - 1), f);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> CountLetterFrequencies(
+    const std::string& text) {
+  std::map<char, int64_t> counts;
+  for (char c : text) ++counts[c];
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const auto& [c, n] : counts) out.emplace_back(std::string(1, c), n);
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,31 @@
+// Letter-frequency generators for the Huffman experiments (Example 6).
+#ifndef GDLOG_WORKLOAD_TEXT_GEN_H_
+#define GDLOG_WORKLOAD_TEXT_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gdlog {
+
+struct TextGenOptions {
+  uint64_t seed = 1;
+  // Zipf exponent for the frequency distribution.
+  double zipf_s = 1.1;
+  int64_t total_occurrences = 1'000'000;
+  bool unique_frequencies = true;
+};
+
+/// k symbols ("l0", "l1", ...) with Zipf-distributed frequencies summing
+/// roughly to total_occurrences; with unique_frequencies, all distinct.
+std::vector<std::pair<std::string, int64_t>> ZipfLetterFrequencies(
+    uint32_t k, const TextGenOptions& options = {});
+
+/// Frequencies counted from a concrete string (for the example app).
+std::vector<std::pair<std::string, int64_t>> CountLetterFrequencies(
+    const std::string& text);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_WORKLOAD_TEXT_GEN_H_

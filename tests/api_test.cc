@@ -1,0 +1,175 @@
+// Tests for the Engine facade: lifecycle, error paths, queries,
+// introspection, and engine options.
+#include "api/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace gdlog {
+namespace {
+
+TEST(Api, QueryUnknownPredicateIsEmpty) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram("p(1).").ok());
+  ASSERT_TRUE(e.Run().ok());
+  EXPECT_TRUE(e.Query("nope", 3).empty());
+  EXPECT_EQ(e.Find("nope", 3), nullptr);
+  // Arity is part of the predicate identity.
+  EXPECT_TRUE(e.Query("p", 2).empty());
+  EXPECT_EQ(e.Query("p", 1).size(), 1u);
+}
+
+TEST(Api, LoadTwiceRejected) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram("p(1).").ok());
+  EXPECT_FALSE(e.LoadProgram("q(1).").ok());
+}
+
+TEST(Api, RunWithoutProgramRejected) {
+  Engine e;
+  EXPECT_FALSE(e.Run().ok());
+}
+
+TEST(Api, VerifyBeforeRunRejected) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram("p(1).").ok());
+  EXPECT_FALSE(e.VerifyStableModel().ok());
+}
+
+TEST(Api, ParseErrorsSurface) {
+  Engine e;
+  const Status st = e.LoadProgram("p(X <- q(X).");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(Api, AnalysisErrorsSurface) {
+  Engine e;
+  const Status st = e.LoadProgram(R"(
+    p(X) <- q(X), not p(X).
+    q(1).
+  )");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kAnalysisError);
+}
+
+TEST(Api, UnsafeRuleRejectedAtRun) {
+  // Head variable never bound: caught at compile (Run) time.
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram("p(X, Y) <- q(X).").ok());
+  const Status st = e.Run();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kAnalysisError);
+}
+
+TEST(Api, FactsViaTextAndApiAgree) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram(R"(
+    q(7).
+    r(X) <- q(X).
+  )").ok());
+  ASSERT_TRUE(e.AddFact("q", {Value::Int(8)}).ok());
+  ASSERT_TRUE(e.Run().ok());
+  EXPECT_EQ(e.Query("r", 1).size(), 2u);
+}
+
+TEST(Api, SymbolAndNilValues) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram("out(X, Y) <- in(X, Y).").ok());
+  ASSERT_TRUE(e.AddFact("in", {e.Sym("hello"), e.Nil()}).ok());
+  ASSERT_TRUE(e.Run().ok());
+  const auto rows = e.Query("out", 2);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(e.store().SymbolName(rows[0][0]), "hello");
+  EXPECT_TRUE(rows[0][1].is_nil());
+}
+
+TEST(Api, StatsAvailableAfterRun) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram(R"(
+    edge(1, 2). edge(2, 3). edge(3, 4).
+    tc(X, Y) <- edge(X, Y).
+    tc(X, Z) <- tc(X, Y), edge(Y, Z).
+  )").ok());
+  EXPECT_EQ(e.stats(), nullptr);
+  ASSERT_TRUE(e.Run().ok());
+  ASSERT_NE(e.stats(), nullptr);
+  EXPECT_GT(e.stats()->exec.inserts, 0u);
+  EXPECT_GT(e.stats()->saturation_rounds, 0u);
+}
+
+TEST(Api, AnalysisIntrospection) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram(R"(
+    sp(nil, 0, 0).
+    sp(X, C, I) <- next(I), p(X, C), least(C, I).
+  )").ok());
+  ASSERT_NE(e.analysis(), nullptr);
+  bool found_stage_clique = false;
+  for (const CliqueStageInfo& cl : e.analysis()->cliques) {
+    if (cl.cls == CliqueClass::kStageStratified) found_stage_clique = true;
+  }
+  EXPECT_TRUE(found_stage_clique);
+}
+
+TEST(Api, StrictModeRejectsRelaxedPrograms) {
+  EngineOptions opts;
+  opts.stage.allow_relaxed_flat_rules = false;
+  Engine e(opts);
+  const Status st = e.LoadProgram(R"(
+    p(nil, 0).
+    p(X, I) <- next(I), cand(X, J), J < I, choice((), X).
+    cand(X, J) <- p(_, J), q(X), not blocked(X, J).
+    blocked(X, J) <- p(X, J).
+  )");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(Api, RelaxedModeAcceptsAndRuns) {
+  Engine e;  // allow_relaxed_flat_rules defaults to true
+  ASSERT_TRUE(e.LoadProgram(R"(
+    q(10). q(20).
+    p(nil, 0).
+    p(X, I) <- next(I), cand(X, J), J < I, choice((), X).
+    cand(X, J) <- p(_, J), q(X), not blocked(X, J).
+    blocked(X, J) <- p(X, J).
+  )").ok());
+  ASSERT_TRUE(e.Run().ok());
+  EXPECT_GE(e.Query("p", 2).size(), 2u);  // seed + at least one firing
+}
+
+TEST(Api, IntValueRange) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram("big(X) <- v(X).").ok());
+  ASSERT_TRUE(e.AddFact("v", {Value::Int(Value::kMaxInt)}).ok());
+  ASSERT_TRUE(e.Run().ok());
+  EXPECT_EQ(e.Query("big", 1)[0][0].AsInt(), Value::kMaxInt);
+}
+
+TEST(Api, NegativeArithmetic) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram(R"(
+    v(5).
+    w(Y) <- v(X), Y = X - 12.
+    z(Y) <- w(X), Y = X * -2.
+  )").ok());
+  ASSERT_TRUE(e.Run().ok());
+  EXPECT_EQ(e.Query("w", 1)[0][0].AsInt(), -7);
+  EXPECT_EQ(e.Query("z", 1)[0][0].AsInt(), 14);
+}
+
+TEST(Api, DivisionAndModulo) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram(R"(
+    v(17).
+    d(Y) <- v(X), Y = X / 5.
+    m(Y) <- v(X), Y = X mod 5.
+    never(Y) <- v(X), Y = X / 0.
+  )").ok());
+  ASSERT_TRUE(e.Run().ok());
+  EXPECT_EQ(e.Query("d", 1)[0][0].AsInt(), 3);
+  EXPECT_EQ(e.Query("m", 1)[0][0].AsInt(), 2);
+  EXPECT_TRUE(e.Query("never", 1).empty());  // division by zero: no match
+}
+
+}  // namespace
+}  // namespace gdlog

@@ -1,0 +1,127 @@
+// Unit tests for the common substrate: Status/Result, hashing, Rng,
+// Arena.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/arena.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace gdlog {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("unexpected token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: unexpected token");
+}
+
+TEST(Result, ValueAccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, ErrorPropagation) {
+  auto f = []() -> Result<int> { return Status::NotFound("nope"); };
+  auto g = [&]() -> Result<int> {
+    GDLOG_ASSIGN_OR_RETURN(int v, f());
+    return v + 1;
+  };
+  Result<int> r = g();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Hash, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const uint64_t a = Mix64(0x1234);
+  const uint64_t b = Mix64(0x1235);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(Hash, StringsStable) {
+  EXPECT_EQ(HashString("hello"), HashString("hello"));
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Arena, AllocationsDistinctAndAligned) {
+  Arena arena(128);  // small blocks to force growth
+  std::unordered_set<void*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(24, 8);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    EXPECT_TRUE(ptrs.insert(p).second);
+  }
+  EXPECT_GE(arena.bytes_allocated(), 2400u);
+}
+
+TEST(Arena, CopyStringNullTerminatedAndStable) {
+  Arena arena;
+  std::string s = "transient";
+  std::string_view view = arena.CopyString(s);
+  s = "clobbered";
+  EXPECT_EQ(view, "transient");
+  EXPECT_EQ(view.data()[view.size()], '\0');
+}
+
+TEST(Arena, LargeAllocationGetsOwnBlock) {
+  Arena arena(64);
+  void* p = arena.Allocate(10'000);
+  EXPECT_NE(p, nullptr);
+}
+
+}  // namespace
+}  // namespace gdlog

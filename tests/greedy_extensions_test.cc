@@ -1,0 +1,158 @@
+// Tests for the extension algorithms beyond the paper's printed list:
+// activity selection (Section 5's "scheduling algorithms") and Dijkstra
+// single-source shortest paths.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/dijkstra.h"
+#include "baselines/scheduling.h"
+#include "greedy/dijkstra.h"
+#include "greedy/scheduling.h"
+#include "workload/graph_gen.h"
+#include "workload/interval_gen.h"
+
+namespace gdlog {
+namespace {
+
+TEST(Scheduling, TextbookInstance) {
+  // CLRS activity-selection instance; optimum picks 4 activities.
+  const std::vector<std::pair<int64_t, int64_t>> jobs = {
+      {1, 4}, {3, 5}, {0, 6}, {5, 7}, {3, 9}, {5, 9},
+      {6, 10}, {8, 11}, {8, 12}, {2, 14}, {12, 16}};
+  auto result = SelectActivities(jobs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->jobs.size(), 4u);
+  EXPECT_EQ(result->jobs[0].finish, 4);
+  EXPECT_EQ(result->jobs.back().finish, 16);
+}
+
+TEST(Scheduling, MatchesBaselineOnRandomIntervals) {
+  for (uint64_t seed : {2u, 47u, 301u}) {
+    IntervalGenOptions opts;
+    opts.seed = seed;
+    const auto jobs = RandomIntervals(120, opts);
+    auto result = SelectActivities(jobs);
+    ASSERT_TRUE(result.ok());
+    const auto base = BaselineSelectActivities(jobs);
+    ASSERT_EQ(result->jobs.size(), base.size()) << "seed " << seed;
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(result->jobs[i].start, base[i].first);
+      EXPECT_EQ(result->jobs[i].finish, base[i].second);
+    }
+  }
+}
+
+TEST(Scheduling, SelectionIsCompatibleAndMaximal) {
+  IntervalGenOptions opts;
+  opts.seed = 9;
+  const auto jobs = RandomIntervals(80, opts);
+  auto result = SelectActivities(jobs);
+  ASSERT_TRUE(result.ok());
+  // Pairwise compatible (selected in finish order).
+  for (size_t i = 1; i < result->jobs.size(); ++i) {
+    EXPECT_GE(result->jobs[i].start, result->jobs[i - 1].finish);
+  }
+  // Maximal: every unselected job overlaps some selected one.
+  for (const auto& [s, f] : jobs) {
+    bool selected = false, conflicts = false;
+    for (const ScheduledJob& j : result->jobs) {
+      if (j.start == s && j.finish == f) selected = true;
+      if (s < j.finish && j.start < f) conflicts = true;
+    }
+    EXPECT_TRUE(selected || conflicts) << "[" << s << "," << f << ")";
+  }
+}
+
+TEST(Scheduling, EmptyAndSingle) {
+  auto empty = SelectActivities({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->jobs.empty());
+  auto one = SelectActivities({{3, 8}});
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->jobs.size(), 1u);
+}
+
+TEST(Scheduling, StableModelVerified) {
+  auto result = SelectActivities({{1, 4}, {3, 5}, {5, 7}, {6, 10}});
+  ASSERT_TRUE(result.ok());
+  auto check = result->engine->VerifyStableModel();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->stable) << check->diagnostic;
+}
+
+TEST(Dijkstra, TinyGraph) {
+  Graph g;
+  g.num_nodes = 4;
+  g.edges = {{0, 1, 10}, {0, 2, 3}, {2, 1, 4}, {1, 3, 2}, {2, 3, 8}};
+  auto result = DijkstraSssp(g, 0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::map<int64_t, int64_t> dist;
+  for (const SettledNode& s : result->settled) dist[s.node] = s.distance;
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[2], 3);
+  EXPECT_EQ(dist[1], 7);   // via 2
+  EXPECT_EQ(dist[3], 9);   // via 2, 1
+}
+
+TEST(Dijkstra, MatchesBaselineOnRandomGraphs) {
+  for (uint64_t seed : {6u, 60u, 600u}) {
+    GraphGenOptions opts;
+    opts.seed = seed;
+    const Graph g = ConnectedRandomGraph(60, 180, opts);
+    auto result = DijkstraSssp(g, 0);
+    ASSERT_TRUE(result.ok());
+    const auto base = BaselineDijkstra(g, 0);
+    ASSERT_EQ(result->settled.size(), g.num_nodes);
+    for (const SettledNode& s : result->settled) {
+      EXPECT_EQ(s.distance, base[s.node]) << "node " << s.node;
+    }
+  }
+}
+
+TEST(Dijkstra, SettlingOrderIsNonDecreasingDistance) {
+  GraphGenOptions opts;
+  opts.seed = 77;
+  const Graph g = ConnectedRandomGraph(40, 120, opts);
+  auto result = DijkstraSssp(g, 0);
+  ASSERT_TRUE(result.ok());
+  int64_t prev = -1;
+  for (const SettledNode& s : result->settled) {
+    EXPECT_GE(s.distance, prev);
+    prev = s.distance;
+  }
+}
+
+TEST(Dijkstra, EachNodeSettledOnce) {
+  GraphGenOptions opts;
+  opts.seed = 12;
+  const Graph g = ConnectedRandomGraph(30, 90, opts);
+  auto result = DijkstraSssp(g, 0);
+  ASSERT_TRUE(result.ok());
+  std::map<int64_t, int> count;
+  for (const SettledNode& s : result->settled) ++count[s.node];
+  for (const auto& [node, c] : count) EXPECT_EQ(c, 1) << "node " << node;
+}
+
+TEST(Dijkstra, UnreachableNodesAbsent) {
+  Graph g;
+  g.num_nodes = 4;
+  g.edges = {{0, 1, 5}};  // 2 and 3 isolated
+  auto result = DijkstraSssp(g, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->settled.size(), 2u);
+}
+
+TEST(Dijkstra, StableModelVerified) {
+  Graph g;
+  g.num_nodes = 5;
+  g.edges = {{0, 1, 2}, {1, 2, 3}, {0, 2, 9}, {2, 3, 1}, {3, 4, 4}};
+  auto result = DijkstraSssp(g, 0);
+  ASSERT_TRUE(result.ok());
+  auto check = result->engine->VerifyStableModel();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->stable) << check->diagnostic;
+}
+
+}  // namespace
+}  // namespace gdlog

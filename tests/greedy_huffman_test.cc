@@ -1,0 +1,87 @@
+// E5 correctness: declarative Huffman (Example 6) against the
+// procedural priority-queue construction.
+#include "greedy/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/huffman.h"
+#include "workload/text_gen.h"
+
+namespace gdlog {
+namespace {
+
+TEST(GreedyHuffman, ClassicTextbookExample) {
+  // Frequencies 5, 9, 12, 13, 16, 45 — the CLRS example; the optimal
+  // weighted path length is 224.
+  const std::vector<std::pair<std::string, int64_t>> freqs = {
+      {"f", 5}, {"e", 9}, {"c", 12}, {"b", 13}, {"d", 16}, {"a", 45}};
+  auto result = HuffmanTree(freqs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_cost, 224);
+  EXPECT_EQ(result->merges, freqs.size() - 1);
+  EXPECT_EQ(result->codes.size(), freqs.size());
+  // 'a' dominates: its code must be a single bit.
+  EXPECT_EQ(result->codes.at("a").size(), 1u);
+}
+
+TEST(GreedyHuffman, MatchesBaselineCostOnZipfInputs) {
+  for (uint64_t seed : {1u, 44u}) {
+    TextGenOptions opts;
+    opts.seed = seed;
+    const auto freqs = ZipfLetterFrequencies(12, opts);
+    auto result = HuffmanTree(freqs);
+    ASSERT_TRUE(result.ok());
+    const BaselineHuffmanResult base = BaselineHuffman(freqs);
+    EXPECT_EQ(result->total_cost, base.total_cost) << "seed " << seed;
+  }
+}
+
+TEST(GreedyHuffman, CodesArePrefixFree) {
+  TextGenOptions opts;
+  opts.seed = 9;
+  const auto freqs = ZipfLetterFrequencies(10, opts);
+  auto result = HuffmanTree(freqs);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->codes.size(), freqs.size());
+  for (const auto& [la, ca] : result->codes) {
+    for (const auto& [lb, cb] : result->codes) {
+      if (la == lb) continue;
+      EXPECT_NE(cb.rfind(ca, 0), 0u)
+          << ca << " (" << la << ") prefixes " << cb << " (" << lb << ")";
+    }
+  }
+}
+
+TEST(GreedyHuffman, KraftEqualityHolds) {
+  // A full binary code tree satisfies sum 2^-len == 1.
+  const auto freqs = ZipfLetterFrequencies(8, {});
+  auto result = HuffmanTree(freqs);
+  ASSERT_TRUE(result.ok());
+  double kraft = 0;
+  for (const auto& [l, code] : result->codes) {
+    kraft += std::pow(2.0, -static_cast<double>(code.size()));
+  }
+  EXPECT_NEAR(kraft, 1.0, 1e-9);
+}
+
+TEST(GreedyHuffman, TwoLetters) {
+  auto result = HuffmanTree({{"x", 3}, {"y", 7}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_cost, 10);
+  EXPECT_EQ(result->codes.at("x").size(), 1u);
+  EXPECT_EQ(result->codes.at("y").size(), 1u);
+}
+
+TEST(GreedyHuffman, StableModelVerified) {
+  auto result = HuffmanTree({{"a", 5}, {"b", 7}, {"c", 10}, {"d", 15}});
+  ASSERT_TRUE(result.ok());
+  auto check = result->engine->VerifyStableModel();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->stable) << check->diagnostic;
+}
+
+}  // namespace
+}  // namespace gdlog

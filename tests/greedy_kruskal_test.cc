@@ -1,0 +1,104 @@
+// E4 correctness: declarative Kruskal (Example 8, conn-reformulated)
+// against procedural union-find Kruskal.
+#include "greedy/kruskal.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/kruskal.h"
+#include "baselines/union_find.h"
+#include "workload/graph_gen.h"
+
+namespace gdlog {
+namespace {
+
+TEST(GreedyKruskal, TinyTriangle) {
+  Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1, 10}, {1, 2, 5}, {0, 2, 20}};
+  auto result = KruskalMst(g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_cost, 15);
+  ASSERT_EQ(result->edges.size(), 2u);
+  // Kruskal picks edges in ascending cost order.
+  EXPECT_EQ(result->edges[0].cost, 5);
+  EXPECT_EQ(result->edges[1].cost, 10);
+}
+
+TEST(GreedyKruskal, MatchesBaselineOnRandomGraphs) {
+  for (uint64_t seed : {11u, 52u, 1000u}) {
+    GraphGenOptions opts;
+    opts.seed = seed;
+    const Graph g = ConnectedRandomGraph(30, 60, opts);
+    auto result = KruskalMst(g);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const BaselineMst base = BaselineKruskal(g);
+    EXPECT_EQ(result->total_cost, base.total_cost) << "seed " << seed;
+    EXPECT_EQ(result->edges.size(), g.num_nodes - 1);
+  }
+}
+
+TEST(GreedyKruskal, EdgesAscendAndFormForest) {
+  GraphGenOptions opts;
+  opts.seed = 9;
+  const Graph g = ConnectedRandomGraph(25, 75, opts);
+  auto result = KruskalMst(g);
+  ASSERT_TRUE(result.ok());
+  UnionFind uf(g.num_nodes);
+  int64_t prev = -1;
+  for (const MstEdge& e : result->edges) {  // stage order
+    EXPECT_GT(e.cost, prev);  // unique weights: strictly ascending
+    prev = e.cost;
+    EXPECT_TRUE(uf.Union(static_cast<uint32_t>(e.parent),
+                         static_cast<uint32_t>(e.node)))
+        << "edge closes a cycle";
+  }
+  EXPECT_EQ(uf.num_components(), 1u);
+}
+
+TEST(GreedyKruskal, DisconnectedGraphGivesForest) {
+  // Two components: a triangle and an edge.
+  Graph g;
+  g.num_nodes = 5;
+  g.edges = {{0, 1, 3}, {1, 2, 4}, {0, 2, 9}, {3, 4, 1}};
+  auto result = KruskalMst(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edges.size(), 3u);  // 2 + 1 forest edges
+  EXPECT_EQ(result->total_cost, 3 + 4 + 1);
+}
+
+TEST(GreedyKruskal, ProgramIsFullyStageStratified) {
+  // The conn reformulation must pass the strict Section 4 test — no
+  // relaxed cliques.
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram(kKruskalProgram).ok());
+  for (const CliqueStageInfo& cl : e.analysis()->cliques) {
+    EXPECT_NE(cl.cls, CliqueClass::kRelaxedStage) << cl.diagnostic;
+    EXPECT_NE(cl.cls, CliqueClass::kRejected) << cl.diagnostic;
+  }
+}
+
+TEST(GreedyKruskal, StableModelVerified) {
+  GraphGenOptions opts;
+  opts.seed = 4;
+  const Graph g = ConnectedRandomGraph(7, 7, opts);
+  auto result = KruskalMst(g);
+  ASSERT_TRUE(result.ok());
+  auto check = result->engine->VerifyStableModel();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->stable) << check->diagnostic;
+}
+
+TEST(GreedyKruskal, AgreesWithPrimWeight) {
+  GraphGenOptions opts;
+  opts.seed = 31;
+  const Graph g = ConnectedRandomGraph(20, 40, opts);
+  auto kruskal = KruskalMst(g);
+  ASSERT_TRUE(kruskal.ok());
+  const BaselineMst prim_base = BaselineKruskal(g);
+  EXPECT_EQ(kruskal->total_cost, prim_base.total_cost);
+}
+
+}  // namespace
+}  // namespace gdlog

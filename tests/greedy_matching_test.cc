@@ -1,0 +1,98 @@
+// E3 correctness: declarative matching (Example 7) against the
+// procedural sorted-greedy baseline.
+#include "greedy/matching.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/matching.h"
+#include "workload/graph_gen.h"
+
+namespace gdlog {
+namespace {
+
+TEST(GreedyMatching, SmallFixed) {
+  Graph g;
+  g.num_nodes = 4;
+  // Arcs 0->2 (5), 0->3 (1), 1->2 (2).
+  g.edges = {{0, 2, 5}, {0, 3, 1}, {1, 2, 2}};
+  auto result = GreedyMatching(g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Greedy: (0,3) cost 1, then (1,2) cost 2; (0,2) blocked.
+  ASSERT_EQ(result->arcs.size(), 2u);
+  EXPECT_EQ(result->total_cost, 3);
+  EXPECT_EQ(result->arcs[0].cost, 1);
+  EXPECT_EQ(result->arcs[1].cost, 2);
+}
+
+TEST(GreedyMatching, MatchesBaselineOnBipartiteGraphs) {
+  for (uint64_t seed : {3u, 88u, 512u}) {
+    GraphGenOptions opts;
+    opts.seed = seed;
+    const Graph g = BipartiteGraph(20, 20, 120, opts);
+    auto result = GreedyMatching(g);
+    ASSERT_TRUE(result.ok());
+    const BaselineMatching base = BaselineGreedyMatching(g);
+    EXPECT_EQ(result->total_cost, base.total_cost) << "seed " << seed;
+    EXPECT_EQ(result->arcs.size(), base.arcs.size());
+  }
+}
+
+TEST(GreedyMatching, ArcSelectionOrderAscends) {
+  GraphGenOptions opts;
+  opts.seed = 6;
+  const Graph g = BipartiteGraph(15, 15, 90, opts);
+  auto result = GreedyMatching(g);
+  ASSERT_TRUE(result.ok());
+  int64_t prev = -1;
+  for (const MatchingArc& a : result->arcs) {
+    EXPECT_GT(a.cost, prev);
+    prev = a.cost;
+  }
+}
+
+TEST(GreedyMatching, FunctionalDependenciesHold) {
+  GraphGenOptions opts;
+  opts.seed = 13;
+  const Graph g = BipartiteGraph(25, 25, 200, opts);
+  auto result = GreedyMatching(g);
+  ASSERT_TRUE(result.ok());
+  std::set<int64_t> sources, targets;
+  for (const MatchingArc& a : result->arcs) {
+    EXPECT_TRUE(sources.insert(a.source).second) << "source reused";
+    EXPECT_TRUE(targets.insert(a.target).second) << "target reused";
+  }
+}
+
+TEST(GreedyMatching, Maximality) {
+  // No remaining arc has both endpoints free.
+  GraphGenOptions opts;
+  opts.seed = 21;
+  const Graph g = BipartiteGraph(12, 12, 60, opts);
+  auto result = GreedyMatching(g);
+  ASSERT_TRUE(result.ok());
+  std::set<int64_t> sources, targets;
+  for (const MatchingArc& a : result->arcs) {
+    sources.insert(a.source);
+    targets.insert(a.target);
+  }
+  for (const GraphEdge& e : g.edges) {
+    EXPECT_TRUE(sources.count(e.u) || targets.count(e.v))
+        << "arc " << e.u << "->" << e.v << " could extend the matching";
+  }
+}
+
+TEST(GreedyMatching, StableModelVerified) {
+  GraphGenOptions opts;
+  opts.seed = 2;
+  const Graph g = BipartiteGraph(5, 5, 12, opts);
+  auto result = GreedyMatching(g);
+  ASSERT_TRUE(result.ok());
+  auto check = result->engine->VerifyStableModel();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->stable) << check->diagnostic;
+}
+
+}  // namespace
+}  // namespace gdlog

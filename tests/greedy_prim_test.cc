@@ -1,0 +1,116 @@
+// E1 correctness: declarative Prim (Example 4) against the procedural
+// heap-based Prim on random connected graphs.
+#include "greedy/prim.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/prim.h"
+#include "workload/graph_gen.h"
+
+namespace gdlog {
+namespace {
+
+TEST(GreedyPrim, TinyTriangle) {
+  Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1, 10}, {1, 2, 5}, {0, 2, 20}};
+  auto result = PrimMst(g, /*root=*/0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_cost, 15);
+  ASSERT_EQ(result->edges.size(), 2u);
+  // Stages must be consecutive 1, 2 from the seed at 0.
+  EXPECT_EQ(result->edges[0].stage, 1);
+  EXPECT_EQ(result->edges[1].stage, 2);
+}
+
+TEST(GreedyPrim, MatchesBaselineWeightOnRandomGraphs) {
+  for (uint64_t seed : {7u, 21u, 99u}) {
+    GraphGenOptions opts;
+    opts.seed = seed;
+    const Graph g = ConnectedRandomGraph(40, 80, opts);
+    auto result = PrimMst(g, 0);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const BaselineMst base = BaselinePrim(g, 0);
+    EXPECT_EQ(result->total_cost, base.total_cost) << "seed " << seed;
+    EXPECT_EQ(result->edges.size(), base.edges.size());
+    EXPECT_EQ(result->edges.size(), g.num_nodes - 1);
+  }
+}
+
+TEST(GreedyPrim, TreeIsValid) {
+  GraphGenOptions opts;
+  opts.seed = 5;
+  const Graph g = ConnectedRandomGraph(30, 60, opts);
+  auto result = PrimMst(g, 0);
+  ASSERT_TRUE(result.ok());
+  // Each non-root node entered exactly once, parent already in tree.
+  std::set<int64_t> in_tree{0};
+  for (const MstEdge& e : result->edges) {  // stage order
+    EXPECT_TRUE(in_tree.count(e.parent))
+        << "parent " << e.parent << " not yet in tree";
+    EXPECT_FALSE(in_tree.count(e.node)) << "node " << e.node << " re-entered";
+    in_tree.insert(e.node);
+  }
+  EXPECT_EQ(in_tree.size(), g.num_nodes);
+}
+
+TEST(GreedyPrim, EdgeSelectionMatchesBaselineExactly) {
+  // Unique weights make the MST unique: compare edge sets, not just cost.
+  GraphGenOptions opts;
+  opts.seed = 1234;
+  const Graph g = ConnectedRandomGraph(25, 50, opts);
+  auto result = PrimMst(g, 0);
+  ASSERT_TRUE(result.ok());
+  const BaselineMst base = BaselinePrim(g, 0);
+  std::set<std::pair<int64_t, int64_t>> engine_edges, base_edges;
+  for (const MstEdge& e : result->edges) {
+    engine_edges.insert({std::min(e.parent, e.node), std::max(e.parent, e.node)});
+  }
+  for (const GraphEdge& e : base.edges) {
+    base_edges.insert({std::min<int64_t>(e.u, e.v), std::max<int64_t>(e.u, e.v)});
+  }
+  EXPECT_EQ(engine_edges, base_edges);
+}
+
+TEST(GreedyPrim, CongruenceMergeKeepsQueueSmall) {
+  // The paper's r-congruence: Q_r holds at most one candidate per target
+  // node Y, so the queue high-water mark is bounded by n, not e.
+  GraphGenOptions opts;
+  opts.seed = 77;
+  const Graph g = CompleteGraph(24, opts);  // e = 276 >> n = 24
+  auto result = PrimMst(g, 0);
+  ASSERT_TRUE(result.ok());
+  const CandidateQueueStats* qs = result->engine->QueueStats(0);
+  ASSERT_NE(qs, nullptr);
+  EXPECT_LE(qs->max_queue, static_cast<size_t>(g.num_nodes));
+  EXPECT_GT(qs->inserted, static_cast<uint64_t>(g.num_nodes));
+}
+
+TEST(GreedyPrim, FullModeStillCorrect) {
+  EngineOptions eopts;
+  eopts.eval.use_merge_congruence = false;
+  GraphGenOptions opts;
+  opts.seed = 42;
+  const Graph g = ConnectedRandomGraph(30, 90, opts);
+  auto merged = PrimMst(g, 0);
+  auto full = PrimMst(g, 0, eopts);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(merged->total_cost, full->total_cost);
+}
+
+TEST(GreedyPrim, StableModelVerified) {
+  GraphGenOptions opts;
+  opts.seed = 3;
+  const Graph g = ConnectedRandomGraph(8, 8, opts);
+  auto result = PrimMst(g, 0);
+  ASSERT_TRUE(result.ok());
+  auto check = result->engine->VerifyStableModel();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->stable) << check->diagnostic;
+}
+
+}  // namespace
+}  // namespace gdlog

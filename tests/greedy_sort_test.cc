@@ -1,0 +1,84 @@
+// E2 correctness: declarative sort (Example 5) against procedural
+// heap-sort.
+#include "greedy/sort.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/heapsort.h"
+#include "workload/relation_gen.h"
+
+namespace gdlog {
+namespace {
+
+TEST(GreedySort, SmallFixed) {
+  auto result = SortRelation({{1, 30}, {2, 10}, {3, 20}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->sorted.size(), 3u);
+  EXPECT_EQ(result->sorted[0].second, 10);
+  EXPECT_EQ(result->sorted[1].second, 20);
+  EXPECT_EQ(result->sorted[2].second, 30);
+}
+
+TEST(GreedySort, MatchesHeapSortOnRandomInputs) {
+  for (uint64_t seed : {1u, 17u, 400u}) {
+    RelationGenOptions opts;
+    opts.seed = seed;
+    const auto tuples = RandomCostedRelation(200, opts);
+    auto result = SortRelation(tuples);
+    ASSERT_TRUE(result.ok());
+    const auto expected = BaselineHeapSort(tuples);
+    ASSERT_EQ(result->sorted.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(result->sorted[i].second, expected[i].second) << "at " << i;
+      EXPECT_EQ(result->sorted[i].first, expected[i].first) << "at " << i;
+    }
+  }
+}
+
+TEST(GreedySort, DuplicateCostsAllEmitted) {
+  RelationGenOptions opts;
+  opts.seed = 5;
+  opts.unique_costs = false;
+  opts.max_cost = 10;  // force many collisions
+  const auto tuples = RandomCostedRelation(100, opts);
+  auto result = SortRelation(tuples);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sorted.size(), tuples.size());
+  for (size_t i = 1; i < result->sorted.size(); ++i) {
+    EXPECT_LE(result->sorted[i - 1].second, result->sorted[i].second);
+  }
+}
+
+TEST(GreedySort, EmptyAndSingleton) {
+  auto empty = SortRelation({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->sorted.empty());
+  auto one = SortRelation({{42, 7}});
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->sorted.size(), 1u);
+  EXPECT_EQ(one->sorted[0].first, 42);
+}
+
+TEST(GreedySort, QueueHoldsAllTuples) {
+  // Section 6: "the predicate p is first stored as a priority queue" —
+  // congruence classes are singletons, so |Q| peaks at n.
+  const auto tuples = RandomCostedRelation(64, {});
+  auto result = SortRelation(tuples);
+  ASSERT_TRUE(result.ok());
+  const CandidateQueueStats* qs = result->engine->QueueStats(0);
+  ASSERT_NE(qs, nullptr);
+  EXPECT_EQ(qs->max_queue, tuples.size());
+  EXPECT_EQ(qs->fired, tuples.size());
+}
+
+TEST(GreedySort, StableModelVerified) {
+  const auto tuples = RandomCostedRelation(10, {});
+  auto result = SortRelation(tuples);
+  ASSERT_TRUE(result.ok());
+  auto check = result->engine->VerifyStableModel();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->stable) << check->diagnostic;
+}
+
+}  // namespace
+}  // namespace gdlog

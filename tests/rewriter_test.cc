@@ -1,0 +1,194 @@
+// Unit tests for the semantic rewritings of Sections 2-3: next
+// expansion, choice -> chosen/diffChoice, extrema -> negation, and
+// NotExists normalization.
+#include "analysis/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "parser/parser.h"
+
+namespace gdlog {
+namespace {
+
+Program MustParse(ValueStore* store, const char* text) {
+  auto prog = ParseProgram(store, text);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  return std::move(prog).value();
+}
+
+TEST(ExpandNext, SortExample) {
+  ValueStore store;
+  Program p = MustParse(&store, R"(
+    sp(nil, 0, 0).
+    sp(X, C, I) <- next(I), p(X, C), least(C, I).
+  )");
+  auto expanded = ExpandNext(p);
+  ASSERT_TRUE(expanded.ok());
+  const Rule& r = expanded->rules[1];
+  const std::string text = RuleToString(store, r);
+  // The macro expansion of Section 3: sp(_, _, I1), I = I1 + 1,
+  // choice(I, W), choice(W, I).
+  EXPECT_NE(text.find("sp("), std::string::npos);
+  EXPECT_NE(text.find("+ 1"), std::string::npos);
+  EXPECT_NE(text.find("choice(I"), std::string::npos);
+  // W = (X, C) is the head minus the stage argument.
+  EXPECT_NE(text.find(", I)"), std::string::npos);
+  // No next goal remains.
+  for (const Literal& l : r.body) {
+    EXPECT_NE(l.kind, LiteralKind::kNext);
+  }
+}
+
+TEST(ExpandNext, RejectsStageVarNotInHead) {
+  ValueStore store;
+  Program p = MustParse(&store, "q(X) <- next(I), p(X).");
+  auto expanded = ExpandNext(p);
+  EXPECT_FALSE(expanded.ok());
+}
+
+TEST(ExpandNext, RejectsDuplicateStagePosition) {
+  ValueStore store;
+  Program p = MustParse(&store, "q(I, I) <- next(I), p(I).");
+  EXPECT_FALSE(ExpandNext(p).ok());
+}
+
+TEST(RewriteChoice, Example1Structure) {
+  // The paper's Example 2 is the rewriting of Example 1.
+  ValueStore store;
+  Program p = MustParse(&store, R"(
+    a_st(St, Crs, G) <- takes(St, Crs, G), choice(Crs, St), choice(St, Crs).
+  )");
+  ChoiceRewriteInfo info;
+  Program q = RewriteChoice(p, &info);
+  // 1 original (rewritten) + 1 chosen + 2 diffChoice rules.
+  ASSERT_EQ(q.rules.size(), 4u);
+  EXPECT_EQ(q.rules[0].head.predicate, "a_st");
+  EXPECT_EQ(q.rules[1].head.predicate, "chosen$0");
+  EXPECT_EQ(q.rules[2].head.predicate, "diffChoice$0");
+  EXPECT_EQ(q.rules[3].head.predicate, "diffChoice$0");
+  // The chosen rule ends with a negated diffChoice goal.
+  const Literal& last = q.rules[1].body.back();
+  EXPECT_TRUE(last.is_negated_atom());
+  EXPECT_EQ(last.predicate, "diffChoice$0");
+  // Info records both FDs over (Crs, St).
+  ASSERT_EQ(info.entries.size(), 1u);
+  EXPECT_EQ(info.entries[0].arity, 2u);
+  ASSERT_EQ(info.entries[0].goals.size(), 2u);
+}
+
+TEST(RewriteChoice, DistinctIndicesPerRule) {
+  ValueStore store;
+  Program p = MustParse(&store, R"(
+    a(X) <- p(X), choice((), X).
+    b(X) <- q(X), choice((), X).
+  )");
+  ChoiceRewriteInfo info;
+  Program q = RewriteChoice(p, &info);
+  ASSERT_EQ(info.entries.size(), 2u);
+  EXPECT_EQ(info.entries[0].chosen_name, "chosen$0");
+  EXPECT_EQ(info.entries[1].chosen_name, "chosen$1");
+}
+
+TEST(RewriteExtrema, LeastBecomesNegatedCopy) {
+  // Section 2's bttm_st example.
+  ValueStore store;
+  Program p = MustParse(&store, R"(
+    bttm_st(St, Crs, G) <- takes(St, Crs, G), G > 1, least(G, Crs).
+  )");
+  auto q = RewriteExtrema(p);
+  ASSERT_TRUE(q.ok());
+  const Rule& r = q->rules[0];
+  // least goal gone; a NotExists appended.
+  ASSERT_EQ(r.body.back().kind, LiteralKind::kNotExists);
+  const std::vector<Literal>& copy = r.body.back().body;
+  // Copy: takes(St', Crs, G'), G' > 1, G' < G — Crs shared (the group).
+  ASSERT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy[0].predicate, "takes");
+  EXPECT_EQ(copy[0].args[1].name, "Crs");      // shared group var
+  EXPECT_NE(copy[0].args[0].name, "St");       // renamed
+  EXPECT_EQ(copy.back().op, ComparisonOp::kLt);  // G' < G
+}
+
+TEST(RewriteExtrema, MostUsesGreaterThan) {
+  ValueStore store;
+  Program p = MustParse(&store, "m(X, C) <- q(X, C), most(C, ()).");
+  auto q = RewriteExtrema(p);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rules[0].body.back().body.back().op, ComparisonOp::kGt);
+}
+
+TEST(RewriteExtrema, RejectsMultipleExtrema) {
+  ValueStore store;
+  Program p = MustParse(&store, "m(X, C, D) <- q(X, C, D), least(C), most(D).");
+  EXPECT_FALSE(RewriteExtrema(p).ok());
+}
+
+TEST(RewriteExtrema, RejectsNonVariableCost) {
+  ValueStore store;
+  Program p = MustParse(&store, "m(X) <- q(X, C), least(C + 1).");
+  EXPECT_FALSE(RewriteExtrema(p).ok());
+}
+
+TEST(NormalizeNotExists, AuxPredicateIntroduced) {
+  ValueStore store;
+  Program p = MustParse(&store, R"(
+    p(X, I) <- q(X, I), not (r(X, L), L < I).
+  )");
+  Program q = NormalizeNotExists(p);
+  ASSERT_EQ(q.rules.size(), 2u);
+  // aux rule first (innermost-first emission), then the host rule.
+  EXPECT_EQ(q.rules[0].head.predicate, "aux$0");
+  // aux carries the shared variables X and I.
+  EXPECT_EQ(q.rules[0].head.args.size(), 2u);
+  const Literal& neg = q.rules[1].body.back();
+  EXPECT_TRUE(neg.is_negated_atom());
+  EXPECT_EQ(neg.predicate, "aux$0");
+}
+
+TEST(FullSemanticExpansion, PrimIsNormal) {
+  ValueStore store;
+  Program p = MustParse(&store, R"(
+    prm(nil, a, 0, 0).
+    prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I,
+                       least(C, I), choice(Y, X).
+    new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+  )");
+  auto full = FullSemanticExpansion(p);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  // Normal program: no meta goals, no NotExists anywhere.
+  for (const Rule& r : full->rules) {
+    for (const Literal& l : r.body) {
+      EXPECT_NE(l.kind, LiteralKind::kNext);
+      EXPECT_NE(l.kind, LiteralKind::kChoice);
+      EXPECT_NE(l.kind, LiteralKind::kLeast);
+      EXPECT_NE(l.kind, LiteralKind::kMost);
+      EXPECT_NE(l.kind, LiteralKind::kNotExists);
+    }
+  }
+  // chosen$/diffChoice$/aux$ predicates all present.
+  bool has_chosen = false, has_diff = false, has_aux = false;
+  for (const Rule& r : full->rules) {
+    if (r.head.predicate.rfind("chosen$", 0) == 0) has_chosen = true;
+    if (r.head.predicate.rfind("diffChoice$", 0) == 0) has_diff = true;
+    if (r.head.predicate.rfind("aux$", 0) == 0) has_aux = true;
+  }
+  EXPECT_TRUE(has_chosen);
+  EXPECT_TRUE(has_diff);
+  EXPECT_TRUE(has_aux);
+}
+
+TEST(VariableRenamerTest, SharesAndRenames) {
+  VariableRenamer renamer("R$");
+  renamer.Share("G");
+  const TermNode t = TermNode::Compound(
+      "f", {TermNode::Var("G"), TermNode::Var("X")});
+  const TermNode out = renamer.Rename(t);
+  EXPECT_EQ(out.args[0].name, "G");
+  EXPECT_EQ(out.args[1].name, "R$X");
+  // Consistent across occurrences.
+  EXPECT_EQ(renamer.Rename(TermNode::Var("X")).name, "R$X");
+}
+
+}  // namespace
+}  // namespace gdlog

@@ -1,0 +1,155 @@
+// Unit tests for the (R, Q, L) candidate queue of Section 6.
+#include "eval/rql.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gdlog {
+namespace {
+
+class RqlTest : public ::testing::Test {
+ protected:
+  ValueStore store_;
+
+  Value Key(int64_t k) {
+    std::vector<Value> v{Value::Int(k)};
+    return store_.MakeTuple(v);
+  }
+  std::vector<Value> Snap(int64_t a, int64_t b) {
+    return {Value::Int(a), Value::Int(b)};
+  }
+};
+
+TEST_F(RqlTest, MinOrderPopsAscending) {
+  CandidateQueue q(&store_, CandidateQueue::Order::kMin, /*merge=*/false);
+  q.Push(Value::Int(30), Key(1), Snap(1, 30));
+  q.Push(Value::Int(10), Key(2), Snap(2, 10));
+  q.Push(Value::Int(20), Key(3), Snap(3, 20));
+  EXPECT_EQ(q.Pop()->cost.AsInt(), 10);
+  EXPECT_EQ(q.Pop()->cost.AsInt(), 20);
+  EXPECT_EQ(q.Pop()->cost.AsInt(), 30);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST_F(RqlTest, MaxOrderPopsDescending) {
+  CandidateQueue q(&store_, CandidateQueue::Order::kMax, false);
+  q.Push(Value::Int(30), Key(1), Snap(1, 30));
+  q.Push(Value::Int(10), Key(2), Snap(2, 10));
+  EXPECT_EQ(q.Pop()->cost.AsInt(), 30);
+  EXPECT_EQ(q.Pop()->cost.AsInt(), 10);
+}
+
+TEST_F(RqlTest, FifoPreservesInsertionOrder) {
+  CandidateQueue q(&store_, CandidateQueue::Order::kFifo, false);
+  for (int i = 0; i < 5; ++i) q.Push(Value::Int(0), Key(i), Snap(i, 0));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.Pop()->snapshot[0].AsInt(), i);
+  }
+}
+
+TEST_F(RqlTest, TieSeedPerturbsOrder) {
+  CandidateQueue a(&store_, CandidateQueue::Order::kFifo, false, 0);
+  CandidateQueue b(&store_, CandidateQueue::Order::kFifo, false, 12345);
+  for (int i = 0; i < 16; ++i) {
+    a.Push(Value::Int(0), Key(i), Snap(i, 0));
+    b.Push(Value::Int(0), Key(i), Snap(i, 0));
+  }
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Pop()->snapshot[0] != b.Pop()->snapshot[0]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(RqlTest, DuplicateKeysDroppedInFullMode) {
+  CandidateQueue q(&store_, CandidateQueue::Order::kMin, false);
+  q.Push(Value::Int(10), Key(1), Snap(1, 10));
+  q.Push(Value::Int(10), Key(1), Snap(1, 10));  // exact duplicate
+  EXPECT_TRUE(q.Pop().has_value());
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_EQ(q.stats().merged, 1u);
+}
+
+TEST_F(RqlTest, MergeKeepsCheaperCandidate) {
+  // The paper's insertion rule: a congruent, costlier fact goes to R;
+  // a cheaper one supersedes the queued entry.
+  CandidateQueue q(&store_, CandidateQueue::Order::kMin, /*merge=*/true);
+  q.Push(Value::Int(50), Key(7), Snap(7, 50));
+  q.Push(Value::Int(80), Key(7), Snap(7, 80));  // worse: to R
+  q.Push(Value::Int(30), Key(7), Snap(7, 30));  // better: supersedes
+  auto c = q.Pop();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->cost.AsInt(), 30);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_EQ(q.stats().merged, 2u);
+}
+
+TEST_F(RqlTest, MergeMaxQueueCountsClasses) {
+  CandidateQueue q(&store_, CandidateQueue::Order::kMin, true);
+  for (int round = 0; round < 10; ++round) {
+    for (int k = 0; k < 4; ++k) {
+      q.Push(Value::Int(100 - round * 10 + k), Key(k), Snap(k, round));
+    }
+  }
+  // Only 4 congruence classes are ever live.
+  EXPECT_EQ(q.stats().max_queue, 4u);
+}
+
+TEST_F(RqlTest, FiredClassBlocksReinsertion) {
+  CandidateQueue q(&store_, CandidateQueue::Order::kMin, true);
+  q.Push(Value::Int(10), Key(1), Snap(1, 10));
+  auto c = q.Pop();
+  q.MarkFired(*c);
+  q.Push(Value::Int(5), Key(1), Snap(1, 5));  // L-hit at insertion
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_EQ(q.stats().fired, 1u);
+}
+
+TEST_F(RqlTest, RedundantClassBlockedInMergeMode) {
+  CandidateQueue q(&store_, CandidateQueue::Order::kMin, true);
+  q.Push(Value::Int(10), Key(1), Snap(1, 10));
+  auto c = q.Pop();
+  q.MarkRedundant(*c);  // FD-rejected: the whole class is dead
+  q.Push(Value::Int(5), Key(1), Snap(1, 5));
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST_F(RqlTest, LinearScanModeSameResults) {
+  CandidateQueue heap(&store_, CandidateQueue::Order::kMin, false, 0, false);
+  CandidateQueue lin(&store_, CandidateQueue::Order::kMin, false, 0, true);
+  Rng rng(3);
+  std::vector<int64_t> costs;
+  for (int i = 0; i < 100; ++i) costs.push_back(rng.NextInt(0, 1000) * 100 + i);
+  for (int64_t c : costs) {
+    heap.Push(Value::Int(c), Key(c), Snap(c, 0));
+    lin.Push(Value::Int(c), Key(c), Snap(c, 0));
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto a = heap.Pop();
+    auto b = lin.Pop();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->cost, b->cost) << "at pop " << i;
+  }
+}
+
+TEST_F(RqlTest, LargeVolumeHeapProperty) {
+  CandidateQueue q(&store_, CandidateQueue::Order::kMin, false);
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t c = rng.NextInt(0, 1'000'000) * 10'000 + i;
+    q.Push(Value::Int(c), Key(c), Snap(c, 0));
+  }
+  int64_t prev = -1;
+  size_t popped = 0;
+  while (auto c = q.Pop()) {
+    EXPECT_GE(c->cost.AsInt(), prev);
+    prev = c->cost.AsInt();
+    ++popped;
+  }
+  EXPECT_EQ(popped, 5000u);
+}
+
+}  // namespace
+}  // namespace gdlog

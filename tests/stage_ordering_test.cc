@@ -1,0 +1,147 @@
+// Edge cases of the per-rule ordering proofs behind the Section 4
+// stage-stratification test: stage arithmetic, max/min, constants, and
+// transitive chains.
+#include <gtest/gtest.h>
+
+#include "analysis/stage.h"
+#include "parser/parser.h"
+
+namespace gdlog {
+namespace {
+
+CliqueClass ClassOf(const char* text, const char* pred, uint32_t arity) {
+  ValueStore store;
+  auto prog = ParseProgram(&store, text);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  auto a = AnalyzeStages(*prog);
+  EXPECT_TRUE(a.ok()) << a.status().ToString();
+  const PredIndex p = a->graph->Lookup(pred, arity);
+  EXPECT_NE(p, kNoPred);
+  return a->cliques[a->graph->scc_of(p)].cls;
+}
+
+TEST(StageOrdering, PlusTwoIsStrict) {
+  // I = J + 2 proves J < I just as well as J + 1.
+  EXPECT_EQ(ClassOf(R"(
+    p(nil, 0).
+    p(X, I) <- next(I), q(X, J), I = J + 2, least(X, I).
+    q(X, J) <- p(X, J), r(X).
+  )", "p", 2),
+            CliqueClass::kStageStratified);
+}
+
+TEST(StageOrdering, ExplicitLessEqualOnNextRuleIsNotStrict) {
+  // J <= I alone does not prove J < I for a next rule: rejected.
+  EXPECT_EQ(ClassOf(R"(
+    p(nil, 0).
+    p(X, I) <- next(I), q(X, J), J <= I, least(X, I).
+    q(X, J) <- p(X, J), r(X).
+  )", "p", 2),
+            CliqueClass::kRejected);
+}
+
+TEST(StageOrdering, TransitiveChainProves) {
+  // J < K and K <= I chains to J < I.
+  EXPECT_EQ(ClassOf(R"(
+    p(nil, 0).
+    p(X, I) <- next(I), q(X, J), aux(K), J < K, K <= I, least(X, I).
+    q(X, J) <- p(X, J), r(X).
+  )", "p", 2),
+            CliqueClass::kStageStratified);
+}
+
+TEST(StageOrdering, MaxGivesNonStrictForFlatRules) {
+  // Huffman's shape: I = max(J, K) satisfies the flat-rule (non-strict)
+  // obligation for both J and K.
+  EXPECT_EQ(ClassOf(R"(
+    h(X, 0) <- base(X).
+    h(X, I) <- next(I), f(X, J), J < I, least(X, I).
+    f(t(X, Y), I) <- h(X, J), h(Y, K), I = max(J, K), X != Y.
+  )", "h", 2),
+            CliqueClass::kStageStratified);
+}
+
+TEST(StageOrdering, MaxAloneInsufficientForNextRules) {
+  // I = max(J, K) only proves J <= I: a next rule needs strictness.
+  EXPECT_EQ(ClassOf(R"(
+    p(nil, 0).
+    p(X, I) <- next(I), q(X, J), aux(K), I = max(J, K), least(X, I).
+    q(X, J) <- p(X, J), r(X).
+  )", "p", 2),
+            CliqueClass::kRejected);
+}
+
+TEST(StageOrdering, ConstantStageInFlatHead) {
+  // comp(X, 0) <- base(X): constant 0 head with no clique goals in the
+  // tail is trivially fine.
+  EXPECT_EQ(ClassOf(R"(
+    c(X, 0) <- base(X).
+    c(X, I) <- next(I), d(X, J), J < I, least(X, I).
+    d(X, J) <- c(X, J), e(X).
+  )", "c", 2),
+            CliqueClass::kStageStratified);
+}
+
+TEST(StageOrdering, ConstantVsConstantComparison) {
+  // A flat rule whose head and body stages are both integer constants:
+  // the obligation 0 <= 0 is discharged from the constants alone.
+  EXPECT_EQ(ClassOf(R"(
+    c(X, 0) <- base(X).
+    c(X, I) <- next(I), d(X, J), J < I, least(X, I).
+    d(X, 0) <- c(X, 0), f(X).
+    d(X, J) <- c(X, J), e(X).
+  )", "c", 2),
+            CliqueClass::kStageStratified);
+}
+
+TEST(StageOrdering, MixedNextAndFlatForOnePredicateRejected) {
+  // The same program with the constant-stage rule on the NEXT predicate
+  // violates the stage-clique condition (rules of one predicate must be
+  // all next or all flat).
+  EXPECT_EQ(ClassOf(R"(
+    c(X, 0) <- base(X).
+    c(X, 1) <- c(X, 0), f(X).
+    c(X, I) <- next(I), d(X, J), J < I, least(X, I).
+    d(X, J) <- c(X, J), e(X).
+  )", "c", 2),
+            CliqueClass::kRejected);
+}
+
+TEST(StageOrdering, MinusOnePointsTheWrongWay) {
+  // I = J - 1 proves I < J — the body stage EXCEEDS the head: rejected.
+  EXPECT_EQ(ClassOf(R"(
+    p(nil, 0).
+    p(X, I) <- next(I), q(X, J), I = J - 1, least(X, I).
+    q(X, J) <- p(X, J), r(X).
+  )", "p", 2),
+            CliqueClass::kRejected);
+}
+
+TEST(StageOrdering, NegatedGoalNeedsStrict) {
+  // A flat rule with J <= I on a NEGATED clique goal: negated goals need
+  // strict stratification, so <= downgrades the clique.
+  ValueStore store;
+  auto prog = ParseProgram(&store, R"(
+    p(nil, 0).
+    p(X, I) <- next(I), d(X, J), J < I, least(X, I).
+    d(X, I) <- p(X, I), base(X), not (p(X, J2), J2 <= I).
+  )");
+  ASSERT_TRUE(prog.ok());
+  auto a = AnalyzeStages(*prog);
+  ASSERT_TRUE(a.ok());
+  const PredIndex p = a->graph->Lookup("p", 2);
+  EXPECT_EQ(a->cliques[a->graph->scc_of(p)].cls, CliqueClass::kRelaxedStage);
+}
+
+TEST(StageOrdering, EqualityPropagatesBothWays) {
+  // K = J, J < I proves K < I.
+  EXPECT_EQ(ClassOf(R"(
+    p(nil, 0).
+    p(X, I) <- next(I), q(X, J), K = J, K < I, least(X, I).
+    q(X, J) <- p(X, J), r(X).
+  )", "p", 2),
+            CliqueClass::kStageStratified);
+}
+
+}  // namespace
+}  // namespace gdlog

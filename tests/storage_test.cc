@@ -1,0 +1,134 @@
+// Unit tests for relations, indices, delta windows, and the catalog.
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/index.h"
+#include "storage/relation.h"
+
+namespace gdlog {
+namespace {
+
+std::vector<Value> Row2(int64_t a, int64_t b) {
+  return {Value::Int(a), Value::Int(b)};
+}
+
+TEST(Relation, InsertDeduplicates) {
+  Relation rel("r", 2);
+  EXPECT_TRUE(rel.Insert(TupleView(Row2(1, 2))).inserted);
+  EXPECT_FALSE(rel.Insert(TupleView(Row2(1, 2))).inserted);
+  EXPECT_TRUE(rel.Insert(TupleView(Row2(2, 1))).inserted);
+  EXPECT_EQ(rel.size(), 2u);
+}
+
+TEST(Relation, ContainsAndFind) {
+  Relation rel("r", 2);
+  rel.Insert(TupleView(Row2(5, 6)));
+  EXPECT_TRUE(rel.Contains(TupleView(Row2(5, 6))));
+  EXPECT_FALSE(rel.Contains(TupleView(Row2(6, 5))));
+  EXPECT_NE(rel.Find(TupleView(Row2(5, 6))), kNoRow);
+}
+
+TEST(Relation, ManyRowsSurviveRehash) {
+  Relation rel("r", 2);
+  for (int i = 0; i < 5000; ++i) rel.Insert(TupleView(Row2(i, i * 2)));
+  EXPECT_EQ(rel.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(rel.Contains(TupleView(Row2(i, i * 2)))) << i;
+  }
+}
+
+TEST(Relation, EpochWindows) {
+  Relation rel("r", 1);
+  auto row1 = std::vector<Value>{Value::Int(1)};
+  auto row2 = std::vector<Value>{Value::Int(2)};
+  auto row3 = std::vector<Value>{Value::Int(3)};
+  rel.Insert(TupleView(row1));
+  rel.Insert(TupleView(row2));
+  EXPECT_EQ(rel.AdvanceEpoch(), 2u);  // both become the delta
+  EXPECT_EQ(rel.delta_begin(), 0u);
+  EXPECT_EQ(rel.delta_end(), 2u);
+  rel.Insert(TupleView(row3));
+  EXPECT_EQ(rel.new_size(), 1u);
+  EXPECT_EQ(rel.AdvanceEpoch(), 1u);  // row3 becomes the delta
+  EXPECT_EQ(rel.delta_begin(), 2u);
+  EXPECT_EQ(rel.delta_end(), 3u);
+  rel.SealEpoch();
+  EXPECT_EQ(rel.delta_size(), 0u);
+}
+
+TEST(Relation, RowViewMatchesInsertion) {
+  Relation rel("r", 3);
+  std::vector<Value> row{Value::Int(7), Value::Nil(), Value::Int(9)};
+  const auto res = rel.Insert(TupleView(row));
+  const TupleView view = rel.Row(res.row);
+  EXPECT_TRUE(TupleEquals(view, TupleView(row)));
+}
+
+TEST(Index, ProbeFindsAllMatches) {
+  Relation rel("r", 2);
+  const size_t idx = rel.EnsureIndex({0});
+  for (int k = 0; k < 50; ++k) {
+    for (int v = 0; v < 4; ++v) rel.Insert(TupleView(Row2(k, v)));
+  }
+  const Index& index = rel.index(idx);
+  std::vector<Value> key{Value::Int(7)};
+  auto it = index.Probe(Index::HashKey(TupleView(key)));
+  int found = 0;
+  for (RowId row = it.Next(); row != kNoRow; row = it.Next()) {
+    if (rel.Row(row)[0] == Value::Int(7)) ++found;
+  }
+  EXPECT_EQ(found, 4);
+}
+
+TEST(Index, BackfillOnLateCreation) {
+  Relation rel("r", 2);
+  for (int k = 0; k < 20; ++k) rel.Insert(TupleView(Row2(k, k)));
+  const size_t idx = rel.EnsureIndex({1});
+  std::vector<Value> key{Value::Int(13)};
+  auto it = rel.index(idx).Probe(Index::HashKey(TupleView(key)));
+  int found = 0;
+  for (RowId row = it.Next(); row != kNoRow; row = it.Next()) {
+    if (rel.Row(row)[1] == Value::Int(13)) ++found;
+  }
+  EXPECT_EQ(found, 1);
+}
+
+TEST(Index, EnsureIndexDeduplicates) {
+  Relation rel("r", 3);
+  EXPECT_EQ(rel.EnsureIndex({0, 2}), rel.EnsureIndex({0, 2}));
+  EXPECT_NE(rel.EnsureIndex({0}), rel.EnsureIndex({0, 2}));
+  EXPECT_EQ(rel.num_indices(), 2u);
+}
+
+TEST(Index, MultiColumnKey) {
+  Relation rel("r", 3);
+  const size_t idx = rel.EnsureIndex({0, 1});
+  for (int a = 0; a < 10; ++a) {
+    for (int b = 0; b < 10; ++b) {
+      std::vector<Value> row{Value::Int(a), Value::Int(b), Value::Int(a + b)};
+      rel.Insert(TupleView(row));
+    }
+  }
+  std::vector<Value> key{Value::Int(3), Value::Int(4)};
+  auto it = rel.index(idx).Probe(Index::HashKey(TupleView(key)));
+  int found = 0;
+  for (RowId row = it.Next(); row != kNoRow; row = it.Next()) {
+    const TupleView t = rel.Row(row);
+    if (t[0] == Value::Int(3) && t[1] == Value::Int(4)) ++found;
+  }
+  EXPECT_EQ(found, 1);
+}
+
+TEST(Catalog, EnsureAndLookup) {
+  Catalog cat;
+  const PredicateId p2 = cat.Ensure("p", 2);
+  const PredicateId p3 = cat.Ensure("p", 3);
+  EXPECT_NE(p2, p3);  // arity distinguishes predicates
+  EXPECT_EQ(cat.Ensure("p", 2), p2);
+  EXPECT_EQ(cat.Lookup("p", 2), p2);
+  EXPECT_EQ(cat.Lookup("q", 1), kNoPredicate);
+  EXPECT_EQ(cat.DisplayName(p3), "p/3");
+}
+
+}  // namespace
+}  // namespace gdlog

@@ -1,0 +1,152 @@
+// Unit tests for the value/term system: tagged handles, interning,
+// ordering, printing.
+#include "value/value.h"
+
+#include <gtest/gtest.h>
+
+namespace gdlog {
+namespace {
+
+TEST(Value, IntRoundTrip) {
+  EXPECT_EQ(Value::Int(0).AsInt(), 0);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Int(-42).AsInt(), -42);
+  EXPECT_EQ(Value::Int(Value::kMaxInt).AsInt(), Value::kMaxInt);
+  EXPECT_EQ(Value::Int(Value::kMinInt).AsInt(), Value::kMinInt);
+}
+
+TEST(Value, KindsAreDistinct) {
+  ValueStore store;
+  const Value i = Value::Int(1);
+  const Value s = store.MakeSymbol("1");
+  const Value n = Value::Nil();
+  EXPECT_NE(i, s);
+  EXPECT_NE(i, n);
+  EXPECT_NE(s, n);
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(s.is_symbol());
+  EXPECT_TRUE(n.is_nil());
+}
+
+TEST(ValueStore, SymbolInterning) {
+  ValueStore store;
+  const Value a1 = store.MakeSymbol("alpha");
+  const Value a2 = store.MakeSymbol("alpha");
+  const Value b = store.MakeSymbol("beta");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(store.SymbolName(a1), "alpha");
+}
+
+TEST(ValueStore, ManySymbolsSurviveRehash) {
+  ValueStore store;
+  std::vector<Value> symbols;
+  for (int i = 0; i < 2000; ++i) {
+    symbols.push_back(store.MakeSymbol("sym" + std::to_string(i)));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(store.MakeSymbol("sym" + std::to_string(i)), symbols[i]);
+    EXPECT_EQ(store.SymbolName(symbols[i]), "sym" + std::to_string(i));
+  }
+}
+
+TEST(ValueStore, TermInterning) {
+  ValueStore store;
+  const Value a = store.MakeSymbol("a");
+  const Value b = store.MakeSymbol("b");
+  std::vector<Value> args1{a, b};
+  std::vector<Value> args2{a, b};
+  std::vector<Value> args3{b, a};
+  const Value t1 = store.MakeTerm("t", args1);
+  const Value t2 = store.MakeTerm("t", args2);
+  const Value t3 = store.MakeTerm("t", args3);
+  EXPECT_EQ(t1, t2);
+  EXPECT_NE(t1, t3);  // order matters
+  EXPECT_NE(t1, store.MakeTerm("u", args1));  // functor matters
+}
+
+TEST(ValueStore, NestedTerms) {
+  ValueStore store;
+  const Value a = store.MakeSymbol("a");
+  const Value b = store.MakeSymbol("b");
+  const Value c = store.MakeSymbol("c");
+  std::vector<Value> inner{a, b};
+  const Value t_ab = store.MakeTerm("t", inner);
+  std::vector<Value> outer{t_ab, c};
+  const Value t2 = store.MakeTerm("t", outer);
+  EXPECT_EQ(store.ToString(t2), "t(t(a,b),c)");
+  auto args = store.TermArgs(t2.AsTermId());
+  EXPECT_EQ(args[0], t_ab);
+  EXPECT_EQ(args[1], c);
+}
+
+TEST(ValueStore, ZeroArityTermDistinctFromSymbol) {
+  ValueStore store;
+  const Value sym = store.MakeSymbol("k");
+  const Value term = store.MakeTerm("k", {});
+  EXPECT_NE(sym, term);
+}
+
+TEST(ValueStore, TuplesPrintBare) {
+  ValueStore store;
+  std::vector<Value> elems{Value::Int(1), Value::Int(2)};
+  const Value t = store.MakeTuple(elems);
+  EXPECT_TRUE(store.IsTuple(t));
+  EXPECT_EQ(store.ToString(t), "(1,2)");
+  EXPECT_EQ(store.ToString(store.MakeTuple({})), "()");
+}
+
+TEST(ValueStore, CompareCrossKind) {
+  ValueStore store;
+  const Value n = Value::Nil();
+  const Value i = Value::Int(5);
+  const Value s = store.MakeSymbol("a");
+  const Value t = store.MakeTerm("t", {});
+  // nil < int < symbol < term.
+  EXPECT_LT(store.Compare(n, i), 0);
+  EXPECT_LT(store.Compare(i, s), 0);
+  EXPECT_LT(store.Compare(s, t), 0);
+  EXPECT_GT(store.Compare(t, n), 0);
+}
+
+TEST(ValueStore, CompareInts) {
+  ValueStore store;
+  EXPECT_LT(store.Compare(Value::Int(-3), Value::Int(2)), 0);
+  EXPECT_EQ(store.Compare(Value::Int(7), Value::Int(7)), 0);
+  EXPECT_GT(store.Compare(Value::Int(100), Value::Int(99)), 0);
+}
+
+TEST(ValueStore, CompareSymbolsLexicographic) {
+  ValueStore store;
+  const Value a = store.MakeSymbol("apple");
+  const Value b = store.MakeSymbol("banana");
+  EXPECT_LT(store.Compare(a, b), 0);
+  EXPECT_EQ(store.Compare(a, store.MakeSymbol("apple")), 0);
+}
+
+TEST(ValueStore, CompareTermsStructural) {
+  ValueStore store;
+  const Value a = store.MakeSymbol("a");
+  const Value b = store.MakeSymbol("b");
+  std::vector<Value> aa{a, a};
+  std::vector<Value> ab{a, b};
+  std::vector<Value> a1{a};
+  const Value taa = store.MakeTerm("t", aa);
+  const Value tab = store.MakeTerm("t", ab);
+  const Value ta = store.MakeTerm("t", a1);
+  EXPECT_LT(store.Compare(taa, tab), 0);  // arg order
+  EXPECT_LT(store.Compare(ta, taa), 0);   // arity before args
+  EXPECT_LT(store.Compare(store.MakeTerm("s", aa), taa), 0);  // functor
+}
+
+TEST(ValueStore, HashEqualityConsistent) {
+  ValueStore store;
+  std::vector<Value> args{Value::Int(1)};
+  const Value x = store.MakeTerm("f", args);
+  const Value y = store.MakeTerm("f", args);
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(x.Hash(), y.Hash());
+}
+
+}  // namespace
+}  // namespace gdlog

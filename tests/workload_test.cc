@@ -1,0 +1,133 @@
+// Unit tests for the workload generators: determinism, structural
+// invariants, uniqueness guarantees.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/union_find.h"
+#include "workload/graph_gen.h"
+#include "workload/interval_gen.h"
+#include "workload/relation_gen.h"
+#include "workload/text_gen.h"
+
+namespace gdlog {
+namespace {
+
+TEST(GraphGen, DeterministicForSeed) {
+  GraphGenOptions opts;
+  opts.seed = 5;
+  const Graph a = ConnectedRandomGraph(20, 30, opts);
+  const Graph b = ConnectedRandomGraph(20, 30, opts);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].u, b.edges[i].u);
+    EXPECT_EQ(a.edges[i].v, b.edges[i].v);
+    EXPECT_EQ(a.edges[i].w, b.edges[i].w);
+  }
+}
+
+TEST(GraphGen, ConnectedGraphIsConnected) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    GraphGenOptions opts;
+    opts.seed = seed;
+    const Graph g = ConnectedRandomGraph(50, 20, opts);
+    UnionFind uf(g.num_nodes);
+    for (const GraphEdge& e : g.edges) uf.Union(e.u, e.v);
+    EXPECT_EQ(uf.num_components(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(GraphGen, NoParallelEdgesOrSelfLoops) {
+  GraphGenOptions opts;
+  opts.seed = 8;
+  const Graph g = ConnectedRandomGraph(30, 200, opts);
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (const GraphEdge& e : g.edges) {
+    EXPECT_NE(e.u, e.v);
+    const auto key = std::minmax(e.u, e.v);
+    EXPECT_TRUE(seen.insert(key).second)
+        << "parallel edge " << e.u << "-" << e.v;
+  }
+}
+
+TEST(GraphGen, UniqueWeights) {
+  GraphGenOptions opts;
+  opts.seed = 3;
+  const Graph g = CompleteGraph(20, opts);
+  std::set<int64_t> weights;
+  for (const GraphEdge& e : g.edges) {
+    EXPECT_TRUE(weights.insert(e.w).second);
+    EXPECT_GT(e.w, 0);
+  }
+  EXPECT_EQ(g.edges.size(), 190u);  // 20 choose 2
+}
+
+TEST(GraphGen, BipartitePartitionsRespected) {
+  GraphGenOptions opts;
+  opts.seed = 14;
+  const Graph g = BipartiteGraph(10, 15, 60, opts);
+  EXPECT_EQ(g.num_nodes, 25u);
+  EXPECT_EQ(g.edges.size(), 60u);
+  std::set<std::pair<uint32_t, uint32_t>> arcs;
+  for (const GraphEdge& e : g.edges) {
+    EXPECT_LT(e.u, 10u);
+    EXPECT_GE(e.v, 10u);
+    EXPECT_TRUE(arcs.insert({e.u, e.v}).second);
+  }
+}
+
+TEST(GraphGen, GridHasExpectedShape) {
+  const Graph g = GridGraph(4, 5, {});
+  EXPECT_EQ(g.num_nodes, 20u);
+  EXPECT_EQ(g.edges.size(), 4u * 4 + 3u * 5);  // rows*(cols-1)+cols*(rows-1)
+  for (const GraphEdge& e : g.edges) {
+    const uint32_t d = e.v - e.u;
+    EXPECT_TRUE(d == 1 || d == 5) << e.u << "-" << e.v;
+  }
+}
+
+TEST(RelationGen, UniqueCostsAndIds) {
+  const auto rel = RandomCostedRelation(500, {});
+  std::set<int64_t> ids, costs;
+  for (const auto& [id, cost] : rel) {
+    EXPECT_TRUE(ids.insert(id).second);
+    EXPECT_TRUE(costs.insert(cost).second);
+  }
+  EXPECT_EQ(rel.size(), 500u);
+}
+
+TEST(TextGen, ZipfIsSkewedAndUnique) {
+  const auto freqs = ZipfLetterFrequencies(12, {});
+  EXPECT_EQ(freqs.size(), 12u);
+  std::set<int64_t> values;
+  for (const auto& [name, f] : freqs) {
+    EXPECT_TRUE(values.insert(f).second);
+    EXPECT_GT(f, 0);
+  }
+  // Head symbol strictly dominates the tail symbol.
+  EXPECT_GT(freqs.front().second, 4 * freqs.back().second);
+}
+
+TEST(TextGen, CountsLetters) {
+  const auto freqs = CountLetterFrequencies("abraca");
+  std::map<std::string, int64_t> m(freqs.begin(), freqs.end());
+  EXPECT_EQ(m["a"], 3);
+  EXPECT_EQ(m["b"], 1);
+  EXPECT_EQ(m["r"], 1);
+  EXPECT_EQ(m["c"], 1);
+}
+
+TEST(IntervalGen, ValidUniqueIntervals) {
+  IntervalGenOptions opts;
+  opts.seed = 4;
+  const auto jobs = RandomIntervals(300, opts);
+  EXPECT_EQ(jobs.size(), 300u);
+  std::set<int64_t> finishes;
+  for (const auto& [s, f] : jobs) {
+    EXPECT_LT(s, f);
+    EXPECT_TRUE(finishes.insert(f).second);
+  }
+}
+
+}  // namespace
+}  // namespace gdlog

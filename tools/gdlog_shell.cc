@@ -1,0 +1,186 @@
+// gdlog_shell — command-line driver for the engine.
+//
+//   gdlog_shell PROGRAM.dl [options]
+//
+//   --query pred/arity   print one relation (repeatable; default: all IDB)
+//   --seed N             choice tie-break seed (explore stable models)
+//   --report             print the Section 4 analysis report
+//   --rewrite            print the first-order rewriting (Sections 2-3)
+//   --verify             run the Gelfond-Lifschitz stable-model check
+//   --stats              print evaluation statistics
+//   --no-merge           disable congruence merging ((R,Q,L) ablation)
+//   --linear-least       naive linear-scan retrieval instead of the heap
+//
+// Example:
+//   $ cat prim.dl
+//   prm(nil, 0, 0, 0).
+//   prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I,
+//                      least(C, I), choice(Y, X).
+//   new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+//   g(0, 1, 4). g(1, 0, 4). ...
+//   $ gdlog_shell prim.dl --query prm/4 --verify
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "storage/tuple.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s PROGRAM.dl [--query pred/arity]... [--seed N] "
+               "[--report] [--rewrite] [--verify] [--stats] [--no-merge] "
+               "[--linear-least]\n",
+               argv0);
+}
+
+struct Query {
+  std::string pred;
+  uint32_t arity = 0;
+};
+
+void PrintRelation(const gdlog::Engine& engine, const std::string& pred,
+                   uint32_t arity) {
+  const gdlog::Relation* rel = engine.Find(pred, arity);
+  std::printf("%% %s/%u (%zu facts)\n", pred.c_str(), arity,
+              rel ? rel->size() : 0);
+  if (!rel) return;
+  for (const auto& row : engine.Query(pred, arity)) {
+    std::printf("%s%s.\n", pred.c_str(),
+                gdlog::TupleToString(engine.store(),
+                                     gdlog::TupleView(row))
+                    .c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage(argv[0]);
+    return 2;
+  }
+  const char* path = nullptr;
+  std::vector<Query> queries;
+  bool report = false, rewrite = false, verify = false, stats = false;
+  gdlog::EngineOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--query" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto slash = spec.find('/');
+      if (slash == std::string::npos) {
+        std::fprintf(stderr, "bad --query %s (want pred/arity)\n",
+                     spec.c_str());
+        return 2;
+      }
+      queries.push_back(
+          {spec.substr(0, slash),
+           static_cast<uint32_t>(std::atoi(spec.c_str() + slash + 1))});
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.eval.choice_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--rewrite") {
+      rewrite = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--no-merge") {
+      options.eval.use_merge_congruence = false;
+    } else if (arg == "--linear-least") {
+      options.eval.use_priority_queue = false;
+    } else if (arg[0] == '-') {
+      Usage(argv[0]);
+      return 2;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (!path) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  gdlog::Engine engine(options);
+  gdlog::Status st = engine.LoadProgram(text.str());
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path, st.ToString().c_str());
+    return 1;
+  }
+  if (report) {
+    auto r = engine.AnalysisReport();
+    if (r.ok()) std::printf("%s\n", r->c_str());
+  }
+  if (rewrite) {
+    auto r = engine.RewrittenProgramText();
+    if (r.ok()) std::printf("%% first-order rewriting:\n%s\n", r->c_str());
+  }
+  st = engine.Run();
+  if (!st.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (queries.empty()) {
+    // Default: every predicate that appears in a rule head.
+    std::set<std::pair<std::string, uint32_t>> heads;
+    for (const gdlog::Rule& r : engine.program()->rules) {
+      if (!r.is_fact()) {
+        heads.insert({r.head.predicate,
+                      static_cast<uint32_t>(r.head.args.size())});
+      }
+    }
+    for (const auto& [pred, arity] : heads) {
+      PrintRelation(engine, pred, arity);
+    }
+  } else {
+    for (const Query& q : queries) PrintRelation(engine, q.pred, q.arity);
+  }
+
+  if (stats && engine.stats()) {
+    const gdlog::FixpointStats& s = *engine.stats();
+    std::printf(
+        "%% stats: %llu gamma firings, %llu stages, %llu saturation "
+        "rounds, %llu tuples inserted, %llu rows scanned, Q high-water "
+        "%zu\n",
+        static_cast<unsigned long long>(s.gamma_firings),
+        static_cast<unsigned long long>(s.stages_assigned),
+        static_cast<unsigned long long>(s.saturation_rounds),
+        static_cast<unsigned long long>(s.exec.inserts),
+        static_cast<unsigned long long>(s.exec.scan_rows),
+        s.queues.max_queue);
+  }
+  if (verify) {
+    auto check = engine.VerifyStableModel();
+    if (!check.ok()) {
+      std::fprintf(stderr, "verification error: %s\n",
+                   check.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%% stable model: %s (%zu facts)\n",
+                check->stable ? "yes" : "NO", check->model_facts);
+    if (!check->stable) {
+      std::printf("%%   %s\n", check->diagnostic.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
