@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_choice.dir/bench_choice.cc.o"
+  "CMakeFiles/bench_choice.dir/bench_choice.cc.o.d"
+  "CMakeFiles/bench_choice.dir/bench_util.cc.o"
+  "CMakeFiles/bench_choice.dir/bench_util.cc.o.d"
+  "bench_choice"
+  "bench_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

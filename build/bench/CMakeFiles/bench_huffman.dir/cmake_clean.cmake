@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_huffman.dir/bench_huffman.cc.o"
+  "CMakeFiles/bench_huffman.dir/bench_huffman.cc.o.d"
+  "CMakeFiles/bench_huffman.dir/bench_util.cc.o"
+  "CMakeFiles/bench_huffman.dir/bench_util.cc.o.d"
+  "bench_huffman"
+  "bench_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kruskal.dir/bench_kruskal.cc.o"
+  "CMakeFiles/bench_kruskal.dir/bench_kruskal.cc.o.d"
+  "CMakeFiles/bench_kruskal.dir/bench_util.cc.o"
+  "CMakeFiles/bench_kruskal.dir/bench_util.cc.o.d"
+  "bench_kruskal"
+  "bench_kruskal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kruskal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

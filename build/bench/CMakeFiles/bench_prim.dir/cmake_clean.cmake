@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prim.dir/bench_prim.cc.o"
+  "CMakeFiles/bench_prim.dir/bench_prim.cc.o.d"
+  "CMakeFiles/bench_prim.dir/bench_util.cc.o"
+  "CMakeFiles/bench_prim.dir/bench_util.cc.o.d"
+  "bench_prim"
+  "bench_prim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rql.dir/bench_rql.cc.o"
+  "CMakeFiles/bench_rql.dir/bench_rql.cc.o.d"
+  "CMakeFiles/bench_rql.dir/bench_util.cc.o"
+  "CMakeFiles/bench_rql.dir/bench_util.cc.o.d"
+  "bench_rql"
+  "bench_rql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort.dir/bench_sort.cc.o"
+  "CMakeFiles/bench_sort.dir/bench_sort.cc.o.d"
+  "CMakeFiles/bench_sort.dir/bench_util.cc.o"
+  "CMakeFiles/bench_sort.dir/bench_util.cc.o.d"
+  "bench_sort"
+  "bench_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tsp.dir/bench_tsp.cc.o"
+  "CMakeFiles/bench_tsp.dir/bench_tsp.cc.o.d"
+  "CMakeFiles/bench_tsp.dir/bench_util.cc.o"
+  "CMakeFiles/bench_tsp.dir/bench_util.cc.o.d"
+  "bench_tsp"
+  "bench_tsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

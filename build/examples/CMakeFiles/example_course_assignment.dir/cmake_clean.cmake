@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_course_assignment.dir/course_assignment.cpp.o"
+  "CMakeFiles/example_course_assignment.dir/course_assignment.cpp.o.d"
+  "example_course_assignment"
+  "example_course_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_course_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

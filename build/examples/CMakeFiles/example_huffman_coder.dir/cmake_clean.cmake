@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_huffman_coder.dir/huffman_coder.cpp.o"
+  "CMakeFiles/example_huffman_coder.dir/huffman_coder.cpp.o.d"
+  "example_huffman_coder"
+  "example_huffman_coder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_huffman_coder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

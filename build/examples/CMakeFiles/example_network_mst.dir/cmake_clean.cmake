@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_network_mst.dir/network_mst.cpp.o"
+  "CMakeFiles/example_network_mst.dir/network_mst.cpp.o.d"
+  "example_network_mst"
+  "example_network_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_network_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

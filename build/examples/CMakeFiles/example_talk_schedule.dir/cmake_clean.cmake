@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_talk_schedule.dir/talk_schedule.cpp.o"
+  "CMakeFiles/example_talk_schedule.dir/talk_schedule.cpp.o.d"
+  "example_talk_schedule"
+  "example_talk_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_talk_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tsp_tour.dir/tsp_tour.cpp.o"
+  "CMakeFiles/example_tsp_tour.dir/tsp_tour.cpp.o.d"
+  "example_tsp_tour"
+  "example_tsp_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tsp_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdlog_analysis.dir/analysis/dep_graph.cc.o"
+  "CMakeFiles/gdlog_analysis.dir/analysis/dep_graph.cc.o.d"
+  "CMakeFiles/gdlog_analysis.dir/analysis/greedy_transform.cc.o"
+  "CMakeFiles/gdlog_analysis.dir/analysis/greedy_transform.cc.o.d"
+  "CMakeFiles/gdlog_analysis.dir/analysis/rewriter.cc.o"
+  "CMakeFiles/gdlog_analysis.dir/analysis/rewriter.cc.o.d"
+  "CMakeFiles/gdlog_analysis.dir/analysis/stage.cc.o"
+  "CMakeFiles/gdlog_analysis.dir/analysis/stage.cc.o.d"
+  "libgdlog_analysis.a"
+  "libgdlog_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdlog_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdlog_api.dir/api/engine.cc.o"
+  "CMakeFiles/gdlog_api.dir/api/engine.cc.o.d"
+  "libgdlog_api.a"
+  "libgdlog_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdlog_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

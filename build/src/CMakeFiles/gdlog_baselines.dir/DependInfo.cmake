@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dijkstra.cc" "src/CMakeFiles/gdlog_baselines.dir/baselines/dijkstra.cc.o" "gcc" "src/CMakeFiles/gdlog_baselines.dir/baselines/dijkstra.cc.o.d"
+  "/root/repo/src/baselines/heapsort.cc" "src/CMakeFiles/gdlog_baselines.dir/baselines/heapsort.cc.o" "gcc" "src/CMakeFiles/gdlog_baselines.dir/baselines/heapsort.cc.o.d"
+  "/root/repo/src/baselines/huffman.cc" "src/CMakeFiles/gdlog_baselines.dir/baselines/huffman.cc.o" "gcc" "src/CMakeFiles/gdlog_baselines.dir/baselines/huffman.cc.o.d"
+  "/root/repo/src/baselines/kruskal.cc" "src/CMakeFiles/gdlog_baselines.dir/baselines/kruskal.cc.o" "gcc" "src/CMakeFiles/gdlog_baselines.dir/baselines/kruskal.cc.o.d"
+  "/root/repo/src/baselines/matching.cc" "src/CMakeFiles/gdlog_baselines.dir/baselines/matching.cc.o" "gcc" "src/CMakeFiles/gdlog_baselines.dir/baselines/matching.cc.o.d"
+  "/root/repo/src/baselines/prim.cc" "src/CMakeFiles/gdlog_baselines.dir/baselines/prim.cc.o" "gcc" "src/CMakeFiles/gdlog_baselines.dir/baselines/prim.cc.o.d"
+  "/root/repo/src/baselines/scheduling.cc" "src/CMakeFiles/gdlog_baselines.dir/baselines/scheduling.cc.o" "gcc" "src/CMakeFiles/gdlog_baselines.dir/baselines/scheduling.cc.o.d"
+  "/root/repo/src/baselines/tsp.cc" "src/CMakeFiles/gdlog_baselines.dir/baselines/tsp.cc.o" "gcc" "src/CMakeFiles/gdlog_baselines.dir/baselines/tsp.cc.o.d"
+  "/root/repo/src/baselines/union_find.cc" "src/CMakeFiles/gdlog_baselines.dir/baselines/union_find.cc.o" "gcc" "src/CMakeFiles/gdlog_baselines.dir/baselines/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdlog_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdlog_baselines.dir/baselines/dijkstra.cc.o"
+  "CMakeFiles/gdlog_baselines.dir/baselines/dijkstra.cc.o.d"
+  "CMakeFiles/gdlog_baselines.dir/baselines/heapsort.cc.o"
+  "CMakeFiles/gdlog_baselines.dir/baselines/heapsort.cc.o.d"
+  "CMakeFiles/gdlog_baselines.dir/baselines/huffman.cc.o"
+  "CMakeFiles/gdlog_baselines.dir/baselines/huffman.cc.o.d"
+  "CMakeFiles/gdlog_baselines.dir/baselines/kruskal.cc.o"
+  "CMakeFiles/gdlog_baselines.dir/baselines/kruskal.cc.o.d"
+  "CMakeFiles/gdlog_baselines.dir/baselines/matching.cc.o"
+  "CMakeFiles/gdlog_baselines.dir/baselines/matching.cc.o.d"
+  "CMakeFiles/gdlog_baselines.dir/baselines/prim.cc.o"
+  "CMakeFiles/gdlog_baselines.dir/baselines/prim.cc.o.d"
+  "CMakeFiles/gdlog_baselines.dir/baselines/scheduling.cc.o"
+  "CMakeFiles/gdlog_baselines.dir/baselines/scheduling.cc.o.d"
+  "CMakeFiles/gdlog_baselines.dir/baselines/tsp.cc.o"
+  "CMakeFiles/gdlog_baselines.dir/baselines/tsp.cc.o.d"
+  "CMakeFiles/gdlog_baselines.dir/baselines/union_find.cc.o"
+  "CMakeFiles/gdlog_baselines.dir/baselines/union_find.cc.o.d"
+  "libgdlog_baselines.a"
+  "libgdlog_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdlog_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdlog_common.dir/common/arena.cc.o"
+  "CMakeFiles/gdlog_common.dir/common/arena.cc.o.d"
+  "CMakeFiles/gdlog_common.dir/common/logging.cc.o"
+  "CMakeFiles/gdlog_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/gdlog_common.dir/common/rng.cc.o"
+  "CMakeFiles/gdlog_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/gdlog_common.dir/common/status.cc.o"
+  "CMakeFiles/gdlog_common.dir/common/status.cc.o.d"
+  "libgdlog_common.a"
+  "libgdlog_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdlog_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

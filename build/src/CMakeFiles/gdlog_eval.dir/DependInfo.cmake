@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/binding.cc" "src/CMakeFiles/gdlog_eval.dir/eval/binding.cc.o" "gcc" "src/CMakeFiles/gdlog_eval.dir/eval/binding.cc.o.d"
+  "/root/repo/src/eval/choice_runtime.cc" "src/CMakeFiles/gdlog_eval.dir/eval/choice_runtime.cc.o" "gcc" "src/CMakeFiles/gdlog_eval.dir/eval/choice_runtime.cc.o.d"
+  "/root/repo/src/eval/fixpoint.cc" "src/CMakeFiles/gdlog_eval.dir/eval/fixpoint.cc.o" "gcc" "src/CMakeFiles/gdlog_eval.dir/eval/fixpoint.cc.o.d"
+  "/root/repo/src/eval/rql.cc" "src/CMakeFiles/gdlog_eval.dir/eval/rql.cc.o" "gcc" "src/CMakeFiles/gdlog_eval.dir/eval/rql.cc.o.d"
+  "/root/repo/src/eval/rule_compiler.cc" "src/CMakeFiles/gdlog_eval.dir/eval/rule_compiler.cc.o" "gcc" "src/CMakeFiles/gdlog_eval.dir/eval/rule_compiler.cc.o.d"
+  "/root/repo/src/eval/seminaive.cc" "src/CMakeFiles/gdlog_eval.dir/eval/seminaive.cc.o" "gcc" "src/CMakeFiles/gdlog_eval.dir/eval/seminaive.cc.o.d"
+  "/root/repo/src/eval/stable_model.cc" "src/CMakeFiles/gdlog_eval.dir/eval/stable_model.cc.o" "gcc" "src/CMakeFiles/gdlog_eval.dir/eval/stable_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdlog_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

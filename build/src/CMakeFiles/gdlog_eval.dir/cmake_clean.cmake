@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdlog_eval.dir/eval/binding.cc.o"
+  "CMakeFiles/gdlog_eval.dir/eval/binding.cc.o.d"
+  "CMakeFiles/gdlog_eval.dir/eval/choice_runtime.cc.o"
+  "CMakeFiles/gdlog_eval.dir/eval/choice_runtime.cc.o.d"
+  "CMakeFiles/gdlog_eval.dir/eval/fixpoint.cc.o"
+  "CMakeFiles/gdlog_eval.dir/eval/fixpoint.cc.o.d"
+  "CMakeFiles/gdlog_eval.dir/eval/rql.cc.o"
+  "CMakeFiles/gdlog_eval.dir/eval/rql.cc.o.d"
+  "CMakeFiles/gdlog_eval.dir/eval/rule_compiler.cc.o"
+  "CMakeFiles/gdlog_eval.dir/eval/rule_compiler.cc.o.d"
+  "CMakeFiles/gdlog_eval.dir/eval/seminaive.cc.o"
+  "CMakeFiles/gdlog_eval.dir/eval/seminaive.cc.o.d"
+  "CMakeFiles/gdlog_eval.dir/eval/stable_model.cc.o"
+  "CMakeFiles/gdlog_eval.dir/eval/stable_model.cc.o.d"
+  "libgdlog_eval.a"
+  "libgdlog_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdlog_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

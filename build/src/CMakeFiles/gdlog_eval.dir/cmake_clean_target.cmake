@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgdlog_eval.a"
+)

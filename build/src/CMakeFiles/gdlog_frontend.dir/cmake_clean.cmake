@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdlog_frontend.dir/ast/ast.cc.o"
+  "CMakeFiles/gdlog_frontend.dir/ast/ast.cc.o.d"
+  "CMakeFiles/gdlog_frontend.dir/ast/builder.cc.o"
+  "CMakeFiles/gdlog_frontend.dir/ast/builder.cc.o.d"
+  "CMakeFiles/gdlog_frontend.dir/ast/printer.cc.o"
+  "CMakeFiles/gdlog_frontend.dir/ast/printer.cc.o.d"
+  "CMakeFiles/gdlog_frontend.dir/parser/lexer.cc.o"
+  "CMakeFiles/gdlog_frontend.dir/parser/lexer.cc.o.d"
+  "CMakeFiles/gdlog_frontend.dir/parser/parser.cc.o"
+  "CMakeFiles/gdlog_frontend.dir/parser/parser.cc.o.d"
+  "libgdlog_frontend.a"
+  "libgdlog_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdlog_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/greedy/dijkstra.cc" "src/CMakeFiles/gdlog_greedy.dir/greedy/dijkstra.cc.o" "gcc" "src/CMakeFiles/gdlog_greedy.dir/greedy/dijkstra.cc.o.d"
+  "/root/repo/src/greedy/graph.cc" "src/CMakeFiles/gdlog_greedy.dir/greedy/graph.cc.o" "gcc" "src/CMakeFiles/gdlog_greedy.dir/greedy/graph.cc.o.d"
+  "/root/repo/src/greedy/huffman.cc" "src/CMakeFiles/gdlog_greedy.dir/greedy/huffman.cc.o" "gcc" "src/CMakeFiles/gdlog_greedy.dir/greedy/huffman.cc.o.d"
+  "/root/repo/src/greedy/kruskal.cc" "src/CMakeFiles/gdlog_greedy.dir/greedy/kruskal.cc.o" "gcc" "src/CMakeFiles/gdlog_greedy.dir/greedy/kruskal.cc.o.d"
+  "/root/repo/src/greedy/matching.cc" "src/CMakeFiles/gdlog_greedy.dir/greedy/matching.cc.o" "gcc" "src/CMakeFiles/gdlog_greedy.dir/greedy/matching.cc.o.d"
+  "/root/repo/src/greedy/prim.cc" "src/CMakeFiles/gdlog_greedy.dir/greedy/prim.cc.o" "gcc" "src/CMakeFiles/gdlog_greedy.dir/greedy/prim.cc.o.d"
+  "/root/repo/src/greedy/scheduling.cc" "src/CMakeFiles/gdlog_greedy.dir/greedy/scheduling.cc.o" "gcc" "src/CMakeFiles/gdlog_greedy.dir/greedy/scheduling.cc.o.d"
+  "/root/repo/src/greedy/sort.cc" "src/CMakeFiles/gdlog_greedy.dir/greedy/sort.cc.o" "gcc" "src/CMakeFiles/gdlog_greedy.dir/greedy/sort.cc.o.d"
+  "/root/repo/src/greedy/spanning_tree.cc" "src/CMakeFiles/gdlog_greedy.dir/greedy/spanning_tree.cc.o" "gcc" "src/CMakeFiles/gdlog_greedy.dir/greedy/spanning_tree.cc.o.d"
+  "/root/repo/src/greedy/tsp.cc" "src/CMakeFiles/gdlog_greedy.dir/greedy/tsp.cc.o" "gcc" "src/CMakeFiles/gdlog_greedy.dir/greedy/tsp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdlog_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdlog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdlog_greedy.dir/greedy/dijkstra.cc.o"
+  "CMakeFiles/gdlog_greedy.dir/greedy/dijkstra.cc.o.d"
+  "CMakeFiles/gdlog_greedy.dir/greedy/graph.cc.o"
+  "CMakeFiles/gdlog_greedy.dir/greedy/graph.cc.o.d"
+  "CMakeFiles/gdlog_greedy.dir/greedy/huffman.cc.o"
+  "CMakeFiles/gdlog_greedy.dir/greedy/huffman.cc.o.d"
+  "CMakeFiles/gdlog_greedy.dir/greedy/kruskal.cc.o"
+  "CMakeFiles/gdlog_greedy.dir/greedy/kruskal.cc.o.d"
+  "CMakeFiles/gdlog_greedy.dir/greedy/matching.cc.o"
+  "CMakeFiles/gdlog_greedy.dir/greedy/matching.cc.o.d"
+  "CMakeFiles/gdlog_greedy.dir/greedy/prim.cc.o"
+  "CMakeFiles/gdlog_greedy.dir/greedy/prim.cc.o.d"
+  "CMakeFiles/gdlog_greedy.dir/greedy/scheduling.cc.o"
+  "CMakeFiles/gdlog_greedy.dir/greedy/scheduling.cc.o.d"
+  "CMakeFiles/gdlog_greedy.dir/greedy/sort.cc.o"
+  "CMakeFiles/gdlog_greedy.dir/greedy/sort.cc.o.d"
+  "CMakeFiles/gdlog_greedy.dir/greedy/spanning_tree.cc.o"
+  "CMakeFiles/gdlog_greedy.dir/greedy/spanning_tree.cc.o.d"
+  "CMakeFiles/gdlog_greedy.dir/greedy/tsp.cc.o"
+  "CMakeFiles/gdlog_greedy.dir/greedy/tsp.cc.o.d"
+  "libgdlog_greedy.a"
+  "libgdlog_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdlog_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdlog_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/gdlog_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/gdlog_storage.dir/storage/index.cc.o"
+  "CMakeFiles/gdlog_storage.dir/storage/index.cc.o.d"
+  "CMakeFiles/gdlog_storage.dir/storage/relation.cc.o"
+  "CMakeFiles/gdlog_storage.dir/storage/relation.cc.o.d"
+  "CMakeFiles/gdlog_storage.dir/storage/tuple.cc.o"
+  "CMakeFiles/gdlog_storage.dir/storage/tuple.cc.o.d"
+  "libgdlog_storage.a"
+  "libgdlog_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdlog_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/value/symbol_table.cc" "src/CMakeFiles/gdlog_value.dir/value/symbol_table.cc.o" "gcc" "src/CMakeFiles/gdlog_value.dir/value/symbol_table.cc.o.d"
+  "/root/repo/src/value/term_table.cc" "src/CMakeFiles/gdlog_value.dir/value/term_table.cc.o" "gcc" "src/CMakeFiles/gdlog_value.dir/value/term_table.cc.o.d"
+  "/root/repo/src/value/value.cc" "src/CMakeFiles/gdlog_value.dir/value/value.cc.o" "gcc" "src/CMakeFiles/gdlog_value.dir/value/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdlog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdlog_value.dir/value/symbol_table.cc.o"
+  "CMakeFiles/gdlog_value.dir/value/symbol_table.cc.o.d"
+  "CMakeFiles/gdlog_value.dir/value/term_table.cc.o"
+  "CMakeFiles/gdlog_value.dir/value/term_table.cc.o.d"
+  "CMakeFiles/gdlog_value.dir/value/value.cc.o"
+  "CMakeFiles/gdlog_value.dir/value/value.cc.o.d"
+  "libgdlog_value.a"
+  "libgdlog_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdlog_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdlog_workload.dir/workload/graph_gen.cc.o"
+  "CMakeFiles/gdlog_workload.dir/workload/graph_gen.cc.o.d"
+  "CMakeFiles/gdlog_workload.dir/workload/interval_gen.cc.o"
+  "CMakeFiles/gdlog_workload.dir/workload/interval_gen.cc.o.d"
+  "CMakeFiles/gdlog_workload.dir/workload/relation_gen.cc.o"
+  "CMakeFiles/gdlog_workload.dir/workload/relation_gen.cc.o.d"
+  "CMakeFiles/gdlog_workload.dir/workload/text_gen.cc.o"
+  "CMakeFiles/gdlog_workload.dir/workload/text_gen.cc.o.d"
+  "libgdlog_workload.a"
+  "libgdlog_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdlog_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

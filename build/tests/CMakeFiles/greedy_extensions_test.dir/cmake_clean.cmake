@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_extensions_test.dir/greedy_extensions_test.cc.o"
+  "CMakeFiles/greedy_extensions_test.dir/greedy_extensions_test.cc.o.d"
+  "greedy_extensions_test"
+  "greedy_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_huffman_test.dir/greedy_huffman_test.cc.o"
+  "CMakeFiles/greedy_huffman_test.dir/greedy_huffman_test.cc.o.d"
+  "greedy_huffman_test"
+  "greedy_huffman_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_huffman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

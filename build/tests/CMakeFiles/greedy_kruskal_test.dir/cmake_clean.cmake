@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_kruskal_test.dir/greedy_kruskal_test.cc.o"
+  "CMakeFiles/greedy_kruskal_test.dir/greedy_kruskal_test.cc.o.d"
+  "greedy_kruskal_test"
+  "greedy_kruskal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_kruskal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_prim_test.dir/greedy_prim_test.cc.o"
+  "CMakeFiles/greedy_prim_test.dir/greedy_prim_test.cc.o.d"
+  "greedy_prim_test"
+  "greedy_prim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_prim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_sort_test.dir/greedy_sort_test.cc.o"
+  "CMakeFiles/greedy_sort_test.dir/greedy_sort_test.cc.o.d"
+  "greedy_sort_test"
+  "greedy_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

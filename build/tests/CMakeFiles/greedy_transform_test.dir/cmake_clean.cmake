@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_transform_test.dir/greedy_transform_test.cc.o"
+  "CMakeFiles/greedy_transform_test.dir/greedy_transform_test.cc.o.d"
+  "greedy_transform_test"
+  "greedy_transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

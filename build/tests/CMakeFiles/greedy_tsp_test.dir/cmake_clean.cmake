@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_tsp_test.dir/greedy_tsp_test.cc.o"
+  "CMakeFiles/greedy_tsp_test.dir/greedy_tsp_test.cc.o.d"
+  "greedy_tsp_test"
+  "greedy_tsp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_tsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

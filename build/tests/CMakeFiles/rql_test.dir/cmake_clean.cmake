@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rql_test.dir/rql_test.cc.o"
+  "CMakeFiles/rql_test.dir/rql_test.cc.o.d"
+  "rql_test"
+  "rql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spanning_tree_test.dir/spanning_tree_test.cc.o"
+  "CMakeFiles/spanning_tree_test.dir/spanning_tree_test.cc.o.d"
+  "spanning_tree_test"
+  "spanning_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spanning_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stable_model_test.dir/stable_model_test.cc.o"
+  "CMakeFiles/stable_model_test.dir/stable_model_test.cc.o.d"
+  "stable_model_test"
+  "stable_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stable_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_analysis_test.dir/stage_analysis_test.cc.o"
+  "CMakeFiles/stage_analysis_test.dir/stage_analysis_test.cc.o.d"
+  "stage_analysis_test"
+  "stage_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_ordering_test.dir/stage_ordering_test.cc.o"
+  "CMakeFiles/stage_ordering_test.dir/stage_ordering_test.cc.o.d"
+  "stage_ordering_test"
+  "stage_ordering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdlog_shell.dir/gdlog_shell.cc.o"
+  "CMakeFiles/gdlog_shell.dir/gdlog_shell.cc.o.d"
+  "gdlog_shell"
+  "gdlog_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdlog_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(shell_prim "/root/repo/build/tools/gdlog_shell" "/root/repo/tools/../programs/prim.dl" "--verify" "--stats")
+set_tests_properties(shell_prim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(shell_kruskal "/root/repo/build/tools/gdlog_shell" "/root/repo/tools/../programs/kruskal.dl" "--verify" "--stats")
+set_tests_properties(shell_kruskal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(shell_sort "/root/repo/build/tools/gdlog_shell" "/root/repo/tools/../programs/sort.dl" "--verify" "--stats")
+set_tests_properties(shell_sort PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(shell_huffman "/root/repo/build/tools/gdlog_shell" "/root/repo/tools/../programs/huffman.dl" "--verify" "--stats")
+set_tests_properties(shell_huffman PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(shell_course_assignment "/root/repo/build/tools/gdlog_shell" "/root/repo/tools/../programs/course_assignment.dl" "--verify" "--stats")
+set_tests_properties(shell_course_assignment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(shell_report "/root/repo/build/tools/gdlog_shell" "/root/repo/tools/../programs/prim.dl" "--report" "--rewrite")
+set_tests_properties(shell_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(shell_ablation "/root/repo/build/tools/gdlog_shell" "/root/repo/tools/../programs/prim.dl" "--no-merge" "--linear-least" "--verify")
+set_tests_properties(shell_ablation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(shell_bad_usage "/root/repo/build/tools/gdlog_shell")
+set_tests_properties(shell_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
