@@ -95,6 +95,7 @@ BENCHMARK(BM_ChoiceSpanningTree)->Arg(1000)->Arg(4000)->Arg(16000)
 }  // namespace gdlog
 
 int main(int argc, char** argv) {
+  gdlog::bench::InitBenchReport(&argc, argv);
   gdlog::PrintExperimentTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

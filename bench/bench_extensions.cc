@@ -103,6 +103,7 @@ BENCHMARK(BM_SchedulingEngine)->Arg(500)->Arg(2000)->Arg(8000)
 }  // namespace gdlog
 
 int main(int argc, char** argv) {
+  gdlog::bench::InitBenchReport(&argc, argv);
   gdlog::PrintSsspTable();
   gdlog::PrintSchedulingTable();
   benchmark::Initialize(&argc, argv);

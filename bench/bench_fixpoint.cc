@@ -87,20 +87,39 @@ void PrintSeminaiveAblation() {
     gopts.seed = 45;
     const Graph g = ConnectedRandomGraph(n, 3 * n, gopts);
     int64_t expected = -1;
-    const double semi_s = bench::MeasureSeconds([&] {
+    const auto ms = [](bench::RepStats s) {
+      return bench::RepStats{s.min * 1e3, s.median * 1e3, s.max * 1e3};
+    };
+    const bench::RepStats semi = bench::MeasureRepStats([&] {
       auto r = PrimMst(g, 0);
       GDLOG_CHECK(r.ok());
       expected = r->total_cost;
     }, /*reps=*/2);
     EngineOptions naive;
     naive.eval.use_seminaive = false;
-    const double naive_s = bench::MeasureSeconds([&] {
+    const bench::RepStats naive_r = bench::MeasureRepStats([&] {
       auto r = PrimMst(g, 0, naive);
       GDLOG_CHECK_EQ(r->total_cost, expected);
     }, /*reps=*/1);
-    table.AddRow(n, {semi_s * 1e3, naive_s * 1e3, naive_s / semi_s});
+    table.AddRow(n, {semi.min * 1e3, naive_r.min * 1e3,
+                     naive_r.min / semi.min},
+                 {ms(semi), ms(naive_r)});
   }
   table.Print();
+}
+
+/// One obs-enabled Prim run recorded into ProcessMetrics(), so the JSON
+/// report embeds a representative engine metrics snapshot alongside the
+/// timing tables.
+void RecordInstrumentedRun() {
+  EngineOptions opts;
+  opts.obs.enabled = true;
+  opts.obs.metrics = &bench::ProcessMetrics();
+  GraphGenOptions gopts;
+  gopts.seed = 45;
+  const Graph g = ConnectedRandomGraph(400, 1200, gopts);
+  auto r = PrimMst(g, 0, opts);
+  GDLOG_CHECK(r.ok());
 }
 
 void BM_TransitiveClosure(benchmark::State& state) {
@@ -116,8 +135,10 @@ BENCHMARK(BM_TransitiveClosure)->Arg(250)->Arg(1000)->Arg(2000)
 }  // namespace gdlog
 
 int main(int argc, char** argv) {
+  gdlog::bench::InitBenchReport(&argc, argv);
   gdlog::PrintExperimentTable();
   gdlog::PrintSeminaiveAblation();
+  if (gdlog::bench::JsonReportEnabled()) gdlog::RecordInstrumentedRun();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -71,6 +71,7 @@ BENCHMARK(BM_HuffmanBaseline)->Arg(8)->Arg(32)->Arg(128)->Complexity();
 }  // namespace gdlog
 
 int main(int argc, char** argv) {
+  gdlog::bench::InitBenchReport(&argc, argv);
   gdlog::PrintExperimentTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -85,6 +85,7 @@ BENCHMARK(BM_KruskalBaseline)->Arg(100)->Arg(400)->Arg(800)->Complexity();
 }  // namespace gdlog
 
 int main(int argc, char** argv) {
+  gdlog::bench::InitBenchReport(&argc, argv);
   gdlog::PrintExperimentTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

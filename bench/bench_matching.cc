@@ -72,6 +72,7 @@ BENCHMARK(BM_MatchingBaseline)->Arg(200)->Arg(800)->Arg(3200)->Complexity();
 }  // namespace gdlog
 
 int main(int argc, char** argv) {
+  gdlog::bench::InitBenchReport(&argc, argv);
   gdlog::PrintExperimentTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

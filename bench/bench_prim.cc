@@ -77,6 +77,7 @@ BENCHMARK(BM_PrimBaseline)->Arg(250)->Arg(1000)->Arg(4000)->Complexity();
 }  // namespace gdlog
 
 int main(int argc, char** argv) {
+  gdlog::bench::InitBenchReport(&argc, argv);
   gdlog::PrintExperimentTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -93,6 +93,7 @@ BENCHMARK(BM_PrimLinearScanLeast)->Arg(250)->Arg(1000)->Arg(2000)
 }  // namespace gdlog
 
 int main(int argc, char** argv) {
+  gdlog::bench::InitBenchReport(&argc, argv);
   gdlog::PrintExperimentTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -83,6 +83,7 @@ BENCHMARK(BM_SortHeapBaseline)->Arg(500)->Arg(2000)->Arg(8000)->Complexity();
 }  // namespace gdlog
 
 int main(int argc, char** argv) {
+  gdlog::bench::InitBenchReport(&argc, argv);
   gdlog::PrintExperimentTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -89,6 +89,7 @@ BENCHMARK(BM_TspBaseline)->Arg(20)->Arg(80)->Arg(320)->Complexity();
 }  // namespace gdlog
 
 int main(int argc, char** argv) {
+  gdlog::bench::InitBenchReport(&argc, argv);
   gdlog::PrintExperimentTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

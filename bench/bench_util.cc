@@ -1,21 +1,101 @@
 #include "bench_util.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.h"
 
 namespace gdlog {
 namespace bench {
 
-double MeasureSeconds(const std::function<void()>& fn, int reps) {
-  double best = 1e100;
-  for (int i = 0; i < reps; ++i) {
+namespace {
+
+// These stores are read by the atexit report writer, which runs after
+// function-local statics are destroyed (they are constructed later than
+// the atexit registration, so they die first). Leak them instead.
+std::string* JsonPath() {
+  static std::string* path = new std::string;
+  return path;
+}
+
+std::vector<std::string>* RecordedTables() {
+  static auto* tables = new std::vector<std::string>;
+  return tables;
+}
+
+void WriteJsonReport() {
+  const std::string& path = *JsonPath();
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s\n", path.c_str());
+    return;
+  }
+  // Tables are pre-serialized JSON objects; splice them in raw.
+  std::string out = "{\"schema\":\"gdlog-bench-v1\",\"experiments\":[";
+  const auto& tables = *RecordedTables();
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i) out += ',';
+    out += tables[i];
+  }
+  out += "],\"metrics\":";
+  out += ProcessMetrics().SnapshotJson();
+  out += "}\n";
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "bench: wrote JSON report to %s\n", path.c_str());
+}
+
+}  // namespace
+
+void InitBenchReport(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < *argc) {
+      *JsonPath() = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      *JsonPath() = arg.substr(7);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  if (!JsonPath()->empty()) std::atexit(WriteJsonReport);
+}
+
+bool JsonReportEnabled() { return !JsonPath()->empty(); }
+
+MetricsRegistry& ProcessMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // see JsonPath
+  return *registry;
+}
+
+RepStats MeasureRepStats(const std::function<void()>& fn, int reps) {
+  std::vector<double> samples;
+  samples.reserve(reps < 1 ? 1 : reps);
+  for (int i = 0; i < std::max(reps, 1); ++i) {
     const auto t0 = std::chrono::steady_clock::now();
     fn();
     const auto t1 = std::chrono::steady_clock::now();
-    const double s = std::chrono::duration<double>(t1 - t0).count();
-    if (s < best) best = s;
+    samples.push_back(std::chrono::duration<double>(t1 - t0).count());
   }
-  return best;
+  std::sort(samples.begin(), samples.end());
+  RepStats out;
+  out.min = samples.front();
+  out.max = samples.back();
+  const size_t n = samples.size();
+  out.median = n % 2 == 1 ? samples[n / 2]
+                          : (samples[n / 2 - 1] + samples[n / 2]) / 2;
+  return out;
+}
+
+double MeasureSeconds(const std::function<void()>& fn, int reps) {
+  return MeasureRepStats(fn, reps).min;
 }
 
 ExperimentTable::ExperimentTable(std::string title, std::string x_name,
@@ -25,8 +105,14 @@ ExperimentTable::ExperimentTable(std::string title, std::string x_name,
       columns_(std::move(columns)) {}
 
 void ExperimentTable::AddRow(double x, std::vector<double> values) {
+  AddRow(x, std::move(values), {});
+}
+
+void ExperimentTable::AddRow(double x, std::vector<double> values,
+                             std::vector<RepStats> reps) {
   xs_.push_back(x);
   rows_.push_back(std::move(values));
+  reps_.push_back(std::move(reps));
 }
 
 double ExperimentTable::FitSlope(size_t col) const {
@@ -47,6 +133,42 @@ double ExperimentTable::FitSlope(size_t col) const {
   return (n * sxy - sx * sy) / (n * sxx - sx * sx);
 }
 
+std::string ExperimentTable::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("title").String(title_);
+  w.Key("x_name").String(x_name_);
+  w.Key("columns").BeginArray();
+  for (const std::string& c : columns_) w.String(c);
+  w.EndArray();
+  w.Key("rows").BeginArray();
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    w.BeginObject();
+    w.Key("x").Double(xs_[i]);
+    w.Key("values").BeginArray();
+    for (double v : rows_[i]) w.Double(v);
+    w.EndArray();
+    if (!reps_[i].empty()) {
+      w.Key("reps").BeginArray();
+      for (const RepStats& r : reps_[i]) {
+        w.BeginObject();
+        w.Key("min").Double(r.min);
+        w.Key("median").Double(r.median);
+        w.Key("max").Double(r.max);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("slopes").BeginArray();
+  for (size_t c = 0; c < columns_.size(); ++c) w.Double(FitSlope(c));
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
 void ExperimentTable::Print() const {
   std::printf("\n=== %s ===\n", title_.c_str());
   std::printf("%12s", x_name_.c_str());
@@ -63,6 +185,7 @@ void ExperimentTable::Print() const {
   }
   std::printf("\n");
   std::fflush(stdout);
+  if (JsonReportEnabled()) RecordedTables()->push_back(ToJson());
 }
 
 }  // namespace bench

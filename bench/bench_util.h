@@ -3,6 +3,13 @@
 // Each bench binary prints its experiment table — a scaling series with
 // engine/baseline timings, ratios, and fitted log-log slopes — and then
 // runs its registered google-benchmark micro-benchmarks.
+//
+// JSON mode: call InitBenchReport(&argc, argv) first thing in main. When
+// the user passes `--json out.json`, every ExperimentTable printed
+// afterwards is also recorded and written to the file at process exit as
+// one machine-readable report, together with a snapshot of
+// ProcessMetrics() — so perf runs leave a BENCH_*.json trajectory behind
+// (see docs/OBSERVABILITY.md).
 #ifndef GDLOG_BENCH_BENCH_UTIL_H_
 #define GDLOG_BENCH_BENCH_UTIL_H_
 
@@ -11,8 +18,21 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace gdlog {
 namespace bench {
+
+/// Per-measurement spread over the repetitions of one timed call.
+struct RepStats {
+  double min = 0;
+  double median = 0;
+  double max = 0;
+};
+
+/// Wall-clock seconds of fn over `reps` invocations: minimum (the
+/// traditional best-of metric) plus median/max noise bars.
+RepStats MeasureRepStats(const std::function<void()>& fn, int reps = 3);
 
 /// Wall-clock seconds for one invocation of fn, best of `reps`.
 double MeasureSeconds(const std::function<void()>& fn, int reps = 3);
@@ -25,13 +45,23 @@ class ExperimentTable {
                   std::vector<std::string> columns);
 
   void AddRow(double x, std::vector<double> values);
+  /// Same, with per-column rep spreads (seconds or the column's unit);
+  /// carried into the JSON report as noise bars. `reps` may cover fewer
+  /// columns than `values` (trailing derived columns have no spread).
+  void AddRow(double x, std::vector<double> values,
+              std::vector<RepStats> reps);
 
   /// Fitted slope of log(col) vs log(x) — the empirical complexity
   /// exponent of that column.
   double FitSlope(size_t col) const;
 
-  /// Prints the table and per-column fitted slopes to stdout.
+  /// Prints the table and per-column fitted slopes to stdout; in JSON
+  /// mode also records the table for the end-of-process report.
   void Print() const;
+
+  /// The table as one JSON object (title, columns, rows, rep spreads,
+  /// fitted slopes).
+  std::string ToJson() const;
 
  private:
   std::string title_;
@@ -39,7 +69,19 @@ class ExperimentTable {
   std::vector<std::string> columns_;
   std::vector<double> xs_;
   std::vector<std::vector<double>> rows_;
+  std::vector<std::vector<RepStats>> reps_;  // parallel to rows_
 };
+
+/// Strips `--json PATH` from argv (before google-benchmark sees it) and
+/// arms the end-of-process JSON report. Safe to call when the flag is
+/// absent.
+void InitBenchReport(int* argc, char** argv);
+bool JsonReportEnabled();
+
+/// Process-wide metrics registry, embedded in the JSON report. Bench
+/// code may pass it to engines via EngineOptions::obs.metrics to
+/// accumulate evaluation metrics across runs.
+MetricsRegistry& ProcessMetrics();
 
 }  // namespace bench
 }  // namespace gdlog

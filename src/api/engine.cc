@@ -1,30 +1,68 @@
 #include "api/engine.h"
 
+#include <chrono>
+
 #include "analysis/rewriter.h"
 #include "ast/printer.h"
 #include "common/logging.h"
+#include "obs/json.h"
 #include "parser/parser.h"
 
 namespace gdlog {
 
+namespace {
+
+uint64_t WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double NsToMs(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
 Engine::Engine(EngineOptions options)
-    : options_(options),
+    : options_(std::move(options)),
       store_(std::make_unique<ValueStore>()),
-      catalog_(std::make_unique<Catalog>()) {}
+      catalog_(std::make_unique<Catalog>()) {
+  if (options_.obs.enabled) {
+    tracer_ = std::make_unique<Tracer>(options_.obs.sample_every);
+    if (options_.obs.metrics != nullptr) {
+      metrics_ = options_.obs.metrics;
+    } else {
+      own_metrics_ = std::make_unique<MetricsRegistry>();
+      metrics_ = own_metrics_.get();
+    }
+  }
+}
 
 Engine::~Engine() = default;
 
 Status Engine::LoadProgram(std::string_view text) {
-  GDLOG_ASSIGN_OR_RETURN(Program program, ParseProgram(store_.get(), text));
-  return LoadProgramAst(std::move(program));
+  const uint64_t t0 = WallNowNs();
+  auto parsed = [&] {
+    TraceSpan span(tracer_.get(), "parse", "engine");
+    return ParseProgram(store_.get(), text);
+  }();
+  phase_times_.parse_ns += WallNowNs() - t0;
+  GDLOG_RETURN_IF_ERROR(parsed.status());
+  return LoadProgramAst(std::move(*parsed));
 }
 
 Status Engine::LoadProgramAst(Program program) {
   if (program_) {
     return Status::InvalidArgument("a program is already loaded");
   }
-  GDLOG_ASSIGN_OR_RETURN(StageAnalysis analysis,
-                         AnalyzeStages(program, options_.stage));
+  const uint64_t t0 = WallNowNs();
+  auto analyzed = [&] {
+    TraceSpan span(tracer_.get(), "analyze", "engine");
+    return AnalyzeStages(program, options_.stage);
+  }();
+  phase_times_.analyze_ns += WallNowNs() - t0;
+  GDLOG_RETURN_IF_ERROR(analyzed.status());
+  StageAnalysis analysis = std::move(*analyzed);
   for (const CliqueStageInfo& cl : analysis.cliques) {
     if (cl.cls == CliqueClass::kRejected) {
       return Status::AnalysisError(cl.diagnostic);
@@ -91,15 +129,32 @@ Status Engine::Run() {
     seed_watermarks_[id] = catalog_->relation(id).size();
   }
 
-  GDLOG_ASSIGN_OR_RETURN(
-      std::vector<CompiledRule> compiled,
-      CompileProgram(*program_, *analysis_, catalog_.get(), store_.get()));
-  driver_ = std::make_unique<FixpointDriver>(catalog_.get(), store_.get(),
-                                             analysis_.get(),
-                                             std::move(compiled),
-                                             options_.eval);
-  GDLOG_RETURN_IF_ERROR(driver_->Run());
+  const uint64_t compile_t0 = WallNowNs();
+  auto compiled = [&] {
+    TraceSpan span(tracer_.get(), "compile", "engine");
+    return CompileProgram(*program_, *analysis_, catalog_.get(), store_.get());
+  }();
+  phase_times_.compile_ns += WallNowNs() - compile_t0;
+  GDLOG_RETURN_IF_ERROR(compiled.status());
+
+  driver_ = std::make_unique<FixpointDriver>(
+      catalog_.get(), store_.get(), analysis_.get(), std::move(*compiled),
+      options_.eval, ObsContext{metrics_, tracer_.get()});
+  const uint64_t eval_t0 = WallNowNs();
+  const Status eval_status = [&] {
+    TraceSpan span(tracer_.get(), "eval", "engine");
+    return driver_->Run();
+  }();
+  phase_times_.eval_ns += WallNowNs() - eval_t0;
+  GDLOG_RETURN_IF_ERROR(eval_status);
   ran_ = true;
+
+  if (tracer_ && !options_.obs.trace_path.empty()) {
+    const Status st = WriteTrace(options_.obs.trace_path);
+    if (!st.ok()) {
+      GDLOG_LOG_ERROR << "trace export failed: " << st.ToString();
+    }
+  }
   return Status::OK();
 }
 
@@ -128,6 +183,105 @@ const FixpointStats* Engine::stats() const {
 
 const CandidateQueueStats* Engine::QueueStats(int gamma_index) const {
   return driver_ ? driver_->QueueStats(gamma_index) : nullptr;
+}
+
+const std::vector<RuleProfile>* Engine::RuleProfiles() const {
+  return driver_ ? &driver_->rule_profiles() : nullptr;
+}
+
+Result<std::string> Engine::RunReport() const {
+  if (!ran_) return Status::InvalidArgument("call Run first");
+  const FixpointStats& s = driver_->stats();
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("program").BeginObject();
+  w.Key("rules").UInt(program_->rules.size());
+  w.Key("relations").UInt(catalog_->size());
+  w.EndObject();
+
+  // Options echo: every ablation flag, so a saved report fully describes
+  // the configuration that produced it.
+  w.Key("options").BeginObject();
+  w.Key("choice_seed").UInt(options_.eval.choice_seed);
+  w.Key("use_merge_congruence").Bool(options_.eval.use_merge_congruence);
+  w.Key("use_priority_queue").Bool(options_.eval.use_priority_queue);
+  w.Key("use_seminaive").Bool(options_.eval.use_seminaive);
+  w.Key("obs_enabled").Bool(options_.obs.enabled);
+  w.Key("obs_sample_every").UInt(options_.obs.sample_every);
+  w.EndObject();
+
+  w.Key("phases").BeginObject();
+  w.Key("parse_ms").Double(NsToMs(phase_times_.parse_ns));
+  w.Key("analyze_ms").Double(NsToMs(phase_times_.analyze_ns));
+  w.Key("compile_ms").Double(NsToMs(phase_times_.compile_ns));
+  w.Key("eval_ms").Double(NsToMs(phase_times_.eval_ns));
+  w.Key("saturate_ms").Double(NsToMs(s.saturate_ns));
+  w.Key("gamma_ms").Double(NsToMs(s.gamma_ns));
+  w.EndObject();
+
+  w.Key("fixpoint").BeginObject();
+  w.Key("saturation_rounds").UInt(s.saturation_rounds);
+  w.Key("gamma_firings").UInt(s.gamma_firings);
+  w.Key("stages_assigned").UInt(s.stages_assigned);
+  w.Key("solutions").UInt(s.exec.solutions);
+  w.Key("inserts").UInt(s.exec.inserts);
+  w.Key("scan_rows").UInt(s.exec.scan_rows);
+  w.EndObject();
+
+  w.Key("rules").BeginArray();
+  const std::vector<RuleProfile>& profiles = driver_->rule_profiles();
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    const RuleProfile& p = profiles[i];
+    if (p.head.empty()) continue;  // no compiled rule at this index
+    w.BeginObject();
+    w.Key("rule").UInt(i);
+    w.Key("head").String(p.head);
+    w.Key("kind").String(p.kind);
+    w.Key("recursive").Bool(p.recursive);
+    w.Key("invocations").UInt(p.invocations);
+    w.Key("firings").UInt(p.firings);
+    w.Key("tuples").UInt(p.tuples);
+    w.Key("dedup_hits").UInt(p.dedup_hits);
+    w.Key("candidates").UInt(p.candidates);
+    w.Key("wall_ms").Double(NsToMs(p.wall_ns));
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("queues").BeginArray();
+  for (const CompiledRule& r : driver_->rules()) {
+    if (r.gamma_index < 0) continue;
+    const CandidateQueueStats* q = driver_->QueueStats(r.gamma_index);
+    if (q == nullptr) continue;
+    w.BeginObject();
+    w.Key("gamma").Int(r.gamma_index);
+    w.Key("rule").UInt(r.rule_index);
+    w.Key("inserted").UInt(q->inserted);
+    w.Key("merged").UInt(q->merged);
+    w.Key("redundant").UInt(q->redundant);
+    w.Key("fired").UInt(q->fired);
+    w.Key("max_queue").UInt(q->max_queue);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("metrics");
+  if (metrics_ != nullptr) {
+    metrics_->SnapshotJson(&w);
+  } else {
+    w.Null();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+Status Engine::WriteTrace(const std::string& path) const {
+  if (!tracer_) {
+    return Status::InvalidArgument(
+        "tracing disabled: set EngineOptions::obs.enabled");
+  }
+  return tracer_->WriteChromeTrace(path);
 }
 
 Result<std::string> Engine::RewrittenProgramText() const {

@@ -29,6 +29,8 @@
 #include "common/status.h"
 #include "eval/fixpoint.h"
 #include "eval/stable_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 #include "value/value.h"
 
@@ -37,6 +39,20 @@ namespace gdlog {
 struct EngineOptions {
   EvalOptions eval;
   StageAnalysisOptions stage;
+  /// Observability switches (metrics registry, tracer, trace sampling).
+  /// Disabled by default: the evaluation hot path then pays one branch
+  /// per instrumented site. See docs/OBSERVABILITY.md.
+  ObsOptions obs;
+};
+
+/// Wall time of the coarse engine phases, nanoseconds. Parse/analyze/
+/// compile/eval are always collected (four clock pairs per run); the
+/// saturate/gamma split inside eval requires obs.enabled.
+struct EnginePhaseTimes {
+  uint64_t parse_ns = 0;
+  uint64_t analyze_ns = 0;
+  uint64_t compile_ns = 0;
+  uint64_t eval_ns = 0;
 };
 
 class Engine {
@@ -85,6 +101,27 @@ class Engine {
   /// when out of range.
   const CandidateQueueStats* QueueStats(int gamma_index) const;
 
+  // -- Observability -------------------------------------------------------
+  /// Per-rule evaluation profiles (by rule index); nullptr before Run.
+  const std::vector<RuleProfile>* RuleProfiles() const;
+  /// Coarse phase wall times collected so far.
+  const EnginePhaseTimes& phase_times() const { return phase_times_; }
+  /// The metrics registry in use (external or engine-owned); nullptr
+  /// when obs is disabled.
+  const MetricsRegistry* metrics() const { return metrics_; }
+  /// The tracer; nullptr when obs is disabled.
+  const Tracer* tracer() const { return tracer_.get(); }
+
+  /// Machine-readable run report: one JSON object with the options echo
+  /// (including every EvalOptions ablation flag), per-phase wall times,
+  /// fixpoint totals, per-rule profiles, per-queue statistics, and — when
+  /// obs is enabled — the metrics snapshot. Call after Run.
+  Result<std::string> RunReport() const;
+
+  /// Writes the recorded phase timeline as Chrome trace_event JSON
+  /// (loadable in chrome://tracing and Perfetto). Requires obs.enabled.
+  Status WriteTrace(const std::string& path) const;
+
   /// The first-order rewriting whose stable models define this program's
   /// meaning (Sections 2-3), pretty-printed.
   Result<std::string> RewrittenProgramText() const;
@@ -104,6 +141,13 @@ class Engine {
   std::unique_ptr<Program> program_;
   std::unique_ptr<StageAnalysis> analysis_;
   std::unique_ptr<FixpointDriver> driver_;
+  // Observability: tracer and registry exist only when options_.obs
+  // .enabled; metrics_ points at either own_metrics_ or the external
+  // registry supplied via ObsOptions::metrics.
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  EnginePhaseTimes phase_times_;
   // Rows present per relation before evaluation started (user facts +
   // program facts) — the reduct seeds for VerifyStableModel.
   std::vector<size_t> seed_watermarks_;

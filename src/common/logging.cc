@@ -1,13 +1,48 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace gdlog {
 
 namespace {
 std::atomic<bool> g_verbose{false};
+
+/// ISO-8601 UTC timestamp with millisecond resolution, e.g.
+/// "2026-08-06T14:03:07.123Z".
+void FormatTimestamp(char* buf, size_t len) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char base[32];
+  if (std::strftime(base, sizeof base, "%Y-%m-%dT%H:%M:%S", &tm) == 0) {
+    base[0] = '\0';
+  }
+  std::snprintf(buf, len, "%s.%03dZ", base, static_cast<int>(ms));
+}
+
+const char* SeverityTag(internal::LogSeverity severity) {
+  switch (severity) {
+    case internal::LogSeverity::kInfo:
+      return "INFO";
+    case internal::LogSeverity::kWarning:
+      return "WARN";
+    case internal::LogSeverity::kError:
+      return "ERROR";
+    case internal::LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
 }  // namespace
 
 void SetVerboseLogging(bool enabled) { g_verbose.store(enabled); }
@@ -17,32 +52,25 @@ namespace internal {
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity) {
-  const char* tag = "I";
-  switch (severity) {
-    case LogSeverity::kInfo:
-      tag = "I";
-      break;
-    case LogSeverity::kWarning:
-      tag = "W";
-      break;
-    case LogSeverity::kError:
-      tag = "E";
-      break;
-    case LogSeverity::kFatal:
-      tag = "F";
-      break;
-  }
-  stream_ << "[" << tag << " " << file << ":" << line << "] ";
+  char ts[64];
+  FormatTimestamp(ts, sizeof ts);
+  stream_ << "[" << ts << " " << SeverityTag(severity) << " " << file << ":"
+          << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  const bool quiet =
-      (severity_ == LogSeverity::kInfo || severity_ == LogSeverity::kWarning) &&
-      !VerboseLoggingEnabled();
-  if (!quiet) {
+  // Two independent decisions: *whether* to emit (INFO/WARNING honor the
+  // verbosity switch; ERROR/FATAL always emit) and *where* (ERROR/FATAL
+  // go to stderr unconditionally; informational lines share stderr so
+  // stdout stays clean for program output and bench tables).
+  const bool informational = severity_ == LogSeverity::kInfo ||
+                             severity_ == LogSeverity::kWarning;
+  const bool emit = !informational || VerboseLoggingEnabled();
+  if (emit) {
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }
   if (severity_ == LogSeverity::kFatal) {
+    std::fflush(stderr);
     std::abort();
   }
 }

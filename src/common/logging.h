@@ -1,5 +1,10 @@
 // Minimal logging and invariant-checking macros.
 //
+// Log lines carry an ISO-8601 UTC timestamp and a severity tag:
+//   [2026-08-06T14:03:07.123Z ERROR src/eval/fixpoint.cc:42] message
+// ERROR and FATAL always emit to stderr; INFO and WARNING are gated by
+// SetVerboseLogging (emission and stream choice are independent).
+//
 // CHECK-style macros abort on violation; they guard engine invariants, not
 // user input (user input failures travel through Status).
 #ifndef GDLOG_COMMON_LOGGING_H_

@@ -1,6 +1,7 @@
 #include "eval/fixpoint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstdio>
 #include <unordered_map>
@@ -12,14 +13,36 @@ namespace gdlog {
 FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
                                const StageAnalysis* analysis,
                                std::vector<CompiledRule> rules,
-                               EvalOptions options)
+                               EvalOptions options, ObsContext obs)
     : catalog_(catalog),
       store_(store),
       analysis_(analysis),
       rules_(std::move(rules)),
       options_(options),
       exec_(catalog, store),
-      choice_(store) {
+      choice_(store),
+      obs_(obs),
+      obs_enabled_(obs.enabled()) {
+  uint32_t max_rule = 0;
+  for (const CompiledRule& r : rules_) {
+    max_rule = std::max(max_rule, r.rule_index);
+  }
+  profiles_.resize(rules_.empty() ? 0 : max_rule + 1);
+  for (const CompiledRule& r : rules_) {
+    RuleProfile& p = profiles_[r.rule_index];
+    const Relation& head = catalog_->relation(r.head_pred);
+    p.head = head.name() + "/" + std::to_string(head.arity());
+    p.kind = r.is_next ? "next"
+             : r.is_gamma ? "gamma"
+             : r.has_extremum ? "aggregate"
+                              : "plain";
+    p.recursive = r.recursive;
+    if (obs_.metrics != nullptr) {
+      p.latency = obs_.metrics->GetHistogram(
+          "rule.apply_ns", {{"rule", p.head + "#" +
+                                         std::to_string(r.rule_index)}});
+    }
+  }
   for (const CompiledRule& r : rules_) {
     if (!r.is_gamma) continue;
     choice_.Register(r);
@@ -40,6 +63,10 @@ FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
     g->queue = std::make_unique<CandidateQueue>(
         store_, order, merge, options_.choice_seed,
         /*linear_scan=*/!options_.use_priority_queue);
+    if (obs_.tracer != nullptr) {
+      g->queue->set_tracer(obs_.tracer,
+                           "q" + std::to_string(r.gamma_index));
+    }
     if (gamma_states_.size() <= static_cast<size_t>(r.gamma_index)) {
       gamma_states_.resize(r.gamma_index + 1);
     }
@@ -58,7 +85,61 @@ Status FixpointDriver::Run() {
   exec_stats_view_ = exec_.stats();
   stats_.exec = exec_.stats();
   stats_.queues = AggregateQueueStats();
+  if (obs_.metrics != nullptr) PublishMetrics();
   return Status::OK();
+}
+
+uint64_t FixpointDriver::ObsNowNs() const {
+  if (obs_.tracer != nullptr) return obs_.tracer->NowNs();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void FixpointDriver::RecordApply(RuleProfile* prof, uint64_t start_ns,
+                                 const char* cat) {
+  const uint64_t end_ns = ObsNowNs();
+  const uint64_t dur = end_ns - start_ns;
+  prof->wall_ns += dur;
+  if (prof->latency != nullptr) {
+    prof->latency->Observe(static_cast<double>(dur));
+  }
+  if (obs_.tracer != nullptr && obs_.tracer->Sample()) {
+    obs_.tracer->Complete(prof->head, cat, start_ns, end_ns);
+  }
+}
+
+void FixpointDriver::PublishMetrics() {
+  MetricsRegistry& m = *obs_.metrics;
+  m.GetCounter("fixpoint.saturation_rounds")->Add(stats_.saturation_rounds);
+  m.GetCounter("fixpoint.gamma_firings")->Add(stats_.gamma_firings);
+  m.GetCounter("fixpoint.stages_assigned")->Add(stats_.stages_assigned);
+  m.GetCounter("exec.solutions")->Add(exec_.stats().solutions);
+  m.GetCounter("exec.inserts")->Add(exec_.stats().inserts);
+  m.GetCounter("exec.scan_rows")->Add(exec_.stats().scan_rows);
+  for (const RuleProfile& p : profiles_) {
+    if (p.head.empty()) continue;
+    // Label by head + index so two rules with the same head stay apart.
+    const size_t idx = static_cast<size_t>(&p - profiles_.data());
+    const MetricLabels labels{{"rule", p.head + "#" + std::to_string(idx)}};
+    m.GetCounter("rule.invocations", labels)->Add(p.invocations);
+    m.GetCounter("rule.tuples", labels)->Add(p.tuples);
+    m.GetCounter("rule.dedup_hits", labels)->Add(p.dedup_hits);
+    if (p.firings > 0) m.GetCounter("rule.firings", labels)->Add(p.firings);
+    m.GetCounter("rule.wall_ns", labels)->Add(p.wall_ns);
+  }
+  for (size_t i = 0; i < gamma_states_.size(); ++i) {
+    if (!gamma_states_[i]) continue;
+    const CandidateQueueStats& s = gamma_states_[i]->queue->stats();
+    const MetricLabels labels{{"gamma", std::to_string(i)}};
+    m.GetCounter("queue.inserted", labels)->Add(s.inserted);
+    m.GetCounter("queue.merged", labels)->Add(s.merged);
+    m.GetCounter("queue.redundant", labels)->Add(s.redundant);
+    m.GetCounter("queue.fired", labels)->Add(s.fired);
+    m.GetGauge("queue.max_queue", labels)
+        ->SetMax(static_cast<int64_t>(s.max_queue));
+  }
 }
 
 CandidateQueueStats FixpointDriver::AggregateQueueStats() const {
@@ -98,7 +179,14 @@ void FixpointDriver::EvalPlain(const CompiledRule& rule,
                                uint32_t delta_occurrence) {
   static const bool kTrace = std::getenv("GDLOG_TRACE") != nullptr;
   const uint64_t rows_before = kTrace ? exec_.stats().scan_rows : 0;
-  const size_t n = exec_.ApplyRule(rule, delta_occurrence);
+  RuleProfile& prof = profiles_[rule.rule_index];
+  ++prof.invocations;
+  const uint64_t t0 = obs_enabled_ ? ObsNowNs() : 0;
+  size_t attempted = 0;
+  const size_t n = exec_.ApplyRule(rule, delta_occurrence, &attempted);
+  prof.tuples += n;
+  prof.dedup_hits += attempted - n;
+  if (obs_enabled_) RecordApply(&prof, t0, "rule");
   if (kTrace) {
     const Relation& head = catalog_->relation(rule.head_pred);
     fprintf(stderr,
@@ -114,6 +202,9 @@ void FixpointDriver::EvalPlain(const CompiledRule& rule,
 }
 
 void FixpointDriver::EvalAggregate(const CompiledRule& rule) {
+  RuleProfile& prof = profiles_[rule.rule_index];
+  ++prof.invocations;
+  const uint64_t t0 = obs_enabled_ ? ObsNowNs() : 0;
   // Enumerate the full body; keep, per group value, the extremum cost and
   // every head tuple achieving it (ties all survive, as least/most keep
   // every binding with no strictly better one).
@@ -152,14 +243,24 @@ void FixpointDriver::EvalAggregate(const CompiledRule& rule) {
   Relation& head_rel = catalog_->relation(rule.head_pred);
   for (auto& [group, g] : groups) {
     for (auto& head : g.heads) {
-      if (head_rel.Insert(TupleView(head)).inserted) ++exec_.stats().inserts;
+      if (head_rel.Insert(TupleView(head)).inserted) {
+        ++exec_.stats().inserts;
+        ++prof.tuples;
+      } else {
+        ++prof.dedup_hits;
+      }
     }
   }
+  if (obs_enabled_) RecordApply(&prof, t0, "rule");
 }
 
 void FixpointDriver::InsertCandidates(GammaState* g,
                                       uint32_t delta_occurrence) {
   const CompiledRule& rule = *g->rule;
+  RuleProfile& prof = profiles_[rule.rule_index];
+  ++prof.invocations;
+  const uint64_t t0 = obs_enabled_ ? ObsNowNs() : 0;
+  const uint64_t pushed_before = g->queue->stats().inserted;
   BindingFrame frame(rule.num_slots);
   const std::vector<CompiledLiteral>& plan =
       (delta_occurrence == CompiledScan::kNoOccurrence ||
@@ -193,12 +294,16 @@ void FixpointDriver::InsertCandidates(GammaState* g,
                     g->queue->Push(cost, key, std::move(snapshot));
                     return true;
                   });
+  prof.candidates += g->queue->stats().inserted - pushed_before;
+  if (obs_enabled_) RecordApply(&prof, t0, "rule");
 }
 
 Status FixpointDriver::EvalClique(uint32_t scc) {
   const CliqueStageInfo& cl = analysis_->cliques[scc];
   const DependencyGraph& graph = *analysis_->graph;
 
+  TraceSpan clique_span(obs_.tracer, "clique#" + std::to_string(scc),
+                        "fixpoint");
   CliqueCtx ctx;
   for (PredIndex p : cl.members) {
     const PredicateId id = catalog_->Lookup(graph.name(p), graph.arity(p));
@@ -257,17 +362,22 @@ Status FixpointDriver::EvalClique(uint32_t scc) {
     if (!GammaPhase(&ctx)) break;
   }
 
+  clique_span.AddArg("relations", static_cast<int64_t>(ctx.relations.size()));
+  clique_span.AddArg("stages", ctx.stage_counter);
   for (PredicateId id : ctx.relations) catalog_->relation(id).SealEpoch();
   return Status::OK();
 }
 
 void FixpointDriver::Saturate(CliqueCtx* ctx) {
+  TraceSpan span(obs_.tracer, "Saturate", "fixpoint");
+  const uint64_t t0 = obs_enabled_ ? ObsNowNs() : 0;
+  const uint64_t rounds_before = stats_.saturation_rounds;
   for (;;) {
     bool any_delta = false;
     for (PredicateId id : ctx->relations) {
       if (catalog_->relation(id).AdvanceEpoch() > 0) any_delta = true;
     }
-    if (!any_delta) return;
+    if (!any_delta) break;
     ++stats_.saturation_rounds;
     const bool seminaive = options_.use_seminaive;
     for (const CompiledRule* r : ctx->plain) {
@@ -295,6 +405,9 @@ void FixpointDriver::Saturate(CliqueCtx* ctx) {
       }
     }
   }
+  span.AddArg("rounds",
+              static_cast<int64_t>(stats_.saturation_rounds - rounds_before));
+  if (obs_enabled_) stats_.saturate_ns += ObsNowNs() - t0;
 }
 
 size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
@@ -327,9 +440,19 @@ size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
       continue;
     }
     choice_.Commit(rule, frame);
-    exec_.InsertHead(rule, frame);
+    RuleProfile& prof = profiles_[rule.rule_index];
+    if (exec_.InsertHead(rule, frame)) {
+      ++prof.tuples;
+    } else {
+      ++prof.dedup_hits;
+    }
     g->queue->MarkFired(*cand);
     ++stats_.gamma_firings;
+    ++prof.firings;
+    if (obs_.tracer != nullptr && obs_.tracer->Sample()) {
+      obs_.tracer->Instant("gamma.fire", "gamma",
+                           {{"rule", rule.rule_index}});
+    }
     return 1;
   }
   return 0;
@@ -355,7 +478,12 @@ bool FixpointDriver::TryFireNext(CliqueCtx* ctx, GammaState* g,
                     return false;  // one firing per γ
                   });
   if (fired) {
-    catalog_->relation(rule.head_pred).Insert(TupleView(head));
+    RuleProfile& prof = profiles_[rule.rule_index];
+    if (catalog_->relation(rule.head_pred).Insert(TupleView(head)).inserted) {
+      ++prof.tuples;
+    } else {
+      ++prof.dedup_hits;
+    }
     static const bool kTrace = std::getenv("GDLOG_TRACE") != nullptr;
     if (kTrace) {
       fprintf(stderr, "[gamma] stage=%ld head=%s %s\n", ctx->stage_counter,
@@ -363,6 +491,12 @@ bool FixpointDriver::TryFireNext(CliqueCtx* ctx, GammaState* g,
               TupleToString(*store_, TupleView(head)).c_str());
     }
     g->queue->MarkFired(cand);
+    ++prof.firings;
+    if (obs_.tracer != nullptr && obs_.tracer->Sample()) {
+      obs_.tracer->Instant("stage.advance", "gamma",
+                           {{"rule", rule.rule_index},
+                            {"stage", ctx->stage_counter}});
+    }
     ++ctx->stage_counter;
     ++stats_.gamma_firings;
     ++stats_.stages_assigned;
@@ -373,19 +507,32 @@ bool FixpointDriver::TryFireNext(CliqueCtx* ctx, GammaState* g,
 }
 
 bool FixpointDriver::GammaPhase(CliqueCtx* ctx) {
+  TraceSpan span(obs_.tracer, "GammaPhase", "fixpoint");
+  const uint64_t t0 = obs_enabled_ ? ObsNowNs() : 0;
+  bool fired = false;
   // Non-next choice rules: one firing, then back to saturation.
   for (GammaState* g : ctx->gammas) {
     if (g->rule->is_next) continue;
-    if (DrainChoiceRule(g) > 0) return true;
-  }
-  // Next rules: exactly one firing.
-  for (GammaState* g : ctx->gammas) {
-    if (!g->rule->is_next) continue;
-    while (auto cand = g->queue->Pop()) {
-      if (TryFireNext(ctx, g, *cand)) return true;
+    if (DrainChoiceRule(g) > 0) {
+      fired = true;
+      break;
     }
   }
-  return false;
+  // Next rules: exactly one firing.
+  if (!fired) {
+    for (GammaState* g : ctx->gammas) {
+      if (!g->rule->is_next) continue;
+      while (auto cand = g->queue->Pop()) {
+        if (TryFireNext(ctx, g, *cand)) {
+          fired = true;
+          break;
+        }
+      }
+      if (fired) break;
+    }
+  }
+  if (obs_enabled_) stats_.gamma_ns += ObsNowNs() - t0;
+  return fired;
 }
 
 }  // namespace gdlog

@@ -30,6 +30,8 @@
 #include "eval/rql.h"
 #include "eval/rule_compiler.h"
 #include "eval/seminaive.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gdlog {
 
@@ -54,15 +56,39 @@ struct FixpointStats {
   uint64_t saturation_rounds = 0;
   uint64_t gamma_firings = 0;
   uint64_t stages_assigned = 0;
+  // Wall time split between the two alternating phases; collected only
+  // when observability is enabled (0 otherwise).
+  uint64_t saturate_ns = 0;
+  uint64_t gamma_ns = 0;
   ExecStats exec;
   CandidateQueueStats queues;  // aggregated over all gamma rules
 };
 
+/// Per-rule evaluation profile, indexed by CompiledRule::rule_index.
+/// Counts are always maintained (they are O(1) per rule application);
+/// wall_ns is collected only when observability is enabled.
+struct RuleProfile {
+  std::string head;            // "pred/arity"; empty = no compiled rule
+  const char* kind = "";       // "plain" | "aggregate" | "gamma" | "next"
+  bool recursive = false;
+  uint64_t invocations = 0;    // plan evaluations (delta variants count)
+  uint64_t firings = 0;        // γ firings (gamma rules only)
+  uint64_t tuples = 0;         // new head tuples produced
+  uint64_t dedup_hits = 0;     // head tuples rejected as duplicates
+  uint64_t candidates = 0;     // queue insertions (gamma rules only)
+  uint64_t wall_ns = 0;
+  Histogram* latency = nullptr;  // per-application latency (metrics mode)
+};
+
 class FixpointDriver {
  public:
+  /// `obs` carries the (optional) metrics registry and tracer; default
+  /// both null, in which case every instrumented site reduces to one
+  /// branch.
   FixpointDriver(Catalog* catalog, ValueStore* store,
                  const StageAnalysis* analysis,
-                 std::vector<CompiledRule> rules, EvalOptions options);
+                 std::vector<CompiledRule> rules, EvalOptions options,
+                 ObsContext obs = {});
 
   /// Evaluates the whole program to its (choice) fixpoint.
   Status Run();
@@ -71,6 +97,9 @@ class FixpointDriver {
   const std::vector<CompiledRule>& rules() const { return rules_; }
   const FixpointStats& stats() const { return stats_; }
   const ExecStats& exec_stats() const { return exec_stats_view_; }
+  /// Indexed by rule_index; entries with an empty `head` had no compiled
+  /// rule (program facts).
+  const std::vector<RuleProfile>& rule_profiles() const { return profiles_; }
 
   /// Sums candidate-queue statistics over every gamma rule.
   CandidateQueueStats AggregateQueueStats() const;
@@ -119,6 +148,15 @@ class FixpointDriver {
   /// number of firings.
   size_t DrainChoiceRule(GammaState* g);
 
+  /// Clock for profile timing: tracer time when tracing (so spans and
+  /// profiles share an epoch), raw steady_clock otherwise.
+  uint64_t ObsNowNs() const;
+  /// Closes one timed rule application: profile wall time, latency
+  /// histogram, and a sampled trace span.
+  void RecordApply(RuleProfile* prof, uint64_t start_ns, const char* cat);
+  /// Publishes end-of-run totals into the metrics registry.
+  void PublishMetrics();
+
   Catalog* catalog_;
   ValueStore* store_;
   const StageAnalysis* analysis_;
@@ -130,6 +168,10 @@ class FixpointDriver {
   std::vector<std::unique_ptr<GammaState>> gamma_states_;  // by gamma_index
   FixpointStats stats_;
   ExecStats exec_stats_view_;  // snapshot filled when Run completes
+
+  ObsContext obs_;
+  bool obs_enabled_ = false;  // == obs_.enabled(), cached for the hot path
+  std::vector<RuleProfile> profiles_;  // by rule_index
 };
 
 }  // namespace gdlog

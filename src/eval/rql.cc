@@ -78,6 +78,7 @@ void CandidateQueue::Push(Value cost, Value congruence_key,
     }
   }
   stats_.max_queue = std::max(stats_.max_queue, live_count_);
+  if (tracer_ != nullptr) TraceOp(".push");
 }
 
 void CandidateQueue::SkimDead() {
@@ -88,6 +89,7 @@ void CandidateQueue::SkimDead() {
     const bool l_hit = fired_.count(top.key) > 0;
     if (!stale && !l_hit) return;
     ++stats_.redundant;
+    if (tracer_ != nullptr) TraceOp(".lazy_delete");
     // Remove top: move last to root and sift down.
     heap_[0] = std::move(heap_.back());
     heap_.pop_back();
@@ -127,6 +129,7 @@ std::optional<Candidate> CandidateQueue::Pop() {
   c.congruence_key = top.key;
   c.snapshot = std::move(top.snapshot);
   if (live_count_ > 0) --live_count_;
+  if (tracer_ != nullptr) TraceOp(".pop");
   return c;
 }
 
@@ -172,6 +175,7 @@ std::optional<Candidate> CandidateQueue::PopLinear() {
     c.congruence_key = e.key;
     c.snapshot = std::move(e.snapshot);
     if (live_count_ > 0) --live_count_;
+    if (tracer_ != nullptr) TraceOp(".pop");
     return c;
   }
 }

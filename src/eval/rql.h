@@ -30,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "value/value.h"
 
 namespace gdlog {
@@ -87,6 +88,13 @@ class CandidateQueue {
   size_t QueueSize() const { return heap_.size(); }
   const CandidateQueueStats& stats() const { return stats_; }
 
+  /// Attaches a tracer for sampled push/pop/lazy-delete instant events;
+  /// `tag` prefixes event names (e.g. "q0" -> "q0.push"). Null detaches.
+  void set_tracer(Tracer* tracer, std::string tag) {
+    tracer_ = tracer;
+    trace_tag_ = std::move(tag);
+  }
+
  private:
   struct HeapEntry {
     Value cost;
@@ -118,6 +126,16 @@ class CandidateQueue {
   std::unordered_map<Value, Value, ValueHash> live_cost_;
   std::unordered_set<Value, ValueHash> fired_;  // L
   CandidateQueueStats stats_;
+  Tracer* tracer_ = nullptr;
+  std::string trace_tag_;
+
+  void TraceOp(const char* op) {
+    if (tracer_ != nullptr && tracer_->Sample()) {
+      tracer_->Instant(trace_tag_ + op, "queue",
+                       {{"live", static_cast<int64_t>(live_count_)},
+                        {"heap", static_cast<int64_t>(heap_.size())}});
+    }
+  }
 };
 
 }  // namespace gdlog

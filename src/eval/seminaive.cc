@@ -230,7 +230,7 @@ bool PlanExecutor::InsertHead(const CompiledRule& rule,
 }
 
 size_t PlanExecutor::ApplyRule(const CompiledRule& rule,
-                               uint32_t delta_occurrence) {
+                               uint32_t delta_occurrence, size_t* attempted) {
   // Head tuples are buffered and inserted only after the enumeration
   // finishes: inserting into a relation invalidates any live index
   // iterator on it (a rehash rewrites the chains), and recursive rules
@@ -249,6 +249,7 @@ size_t PlanExecutor::ApplyRule(const CompiledRule& rule,
               if (BuildHead(rule, f, &head)) pending.push_back(std::move(head));
               return true;
             });
+  if (attempted != nullptr) *attempted = pending.size();
   size_t inserted = 0;
   Relation& head_rel = catalog_->relation(rule.head_pred);
   for (const auto& tuple : pending) {

@@ -51,8 +51,11 @@ class PlanExecutor {
                  const std::function<bool(BindingFrame&)>& on_solution);
 
   /// Evaluates a plain rule (no meta behavior) into its head relation.
-  /// Returns the number of new tuples.
-  size_t ApplyRule(const CompiledRule& rule, uint32_t delta_occurrence);
+  /// Returns the number of new tuples; when `attempted` is non-null it
+  /// receives the number of head tuples built before duplicate
+  /// elimination (attempted - returned = dedup hits).
+  size_t ApplyRule(const CompiledRule& rule, uint32_t delta_occurrence,
+                   size_t* attempted = nullptr);
 
   /// Builds and inserts the head tuple under `frame`. Returns true when
   /// the tuple is new.

@@ -1,0 +1,313 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gdlog {
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (first_.empty()) return;
+  if (first_.back()) {
+    first_.back() = false;
+  } else {
+    out_ += ',';
+  }
+}
+
+void JsonWriter::Escaped(std::string_view v) {
+  out_ += '"';
+  for (unsigned char c : v) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += static_cast<char>(c);
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  Separate();
+  Escaped(k);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  Separate();
+  Escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  Separate();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  Separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    GDLOG_ASSIGN_OR_RETURN(JsonValue v, Value());
+    Skip();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing garbage at offset " +
+                                std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void Skip() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Status Err(const std::string& what) {
+    return Status::ParseError("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  bool Eat(char c) {
+    Skip();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> Value() {
+    Skip();
+    if (pos_ >= text_.size()) return Err("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      GDLOG_ASSIGN_OR_RETURN(v.string, String());
+      return v;
+    }
+    if (c == 't' || c == 'f') return Literal(c == 't');
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") return Err("bad literal");
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Number();
+  }
+
+  Result<JsonValue> Literal(bool value) {
+    const std::string_view want = value ? "true" : "false";
+    if (text_.substr(pos_, want.size()) != want) return Err("bad literal");
+    pos_ += want.size();
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = value;
+    return v;
+  }
+
+  Result<JsonValue> Number() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return Err("bad number");
+    }
+    return v;
+  }
+
+  Result<std::string> String() {
+    if (!Eat('"')) return Err("expected string");
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Err("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return Err("bad \\u escape");
+          }
+          // The writer only emits \u00xx for control bytes; decode the
+          // one-byte range and pass anything else through as '?'.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Err("bad escape");
+      }
+    }
+    if (!Eat('"')) return Err("unterminated string");
+    return out;
+  }
+
+  Result<JsonValue> Object() {
+    if (!Eat('{')) return Err("expected object");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    Skip();
+    if (Eat('}')) return v;
+    for (;;) {
+      Skip();
+      GDLOG_ASSIGN_OR_RETURN(std::string key, String());
+      if (!Eat(':')) return Err("expected ':'");
+      GDLOG_ASSIGN_OR_RETURN(JsonValue member, Value());
+      v.fields.emplace_back(std::move(key), std::move(member));
+      if (Eat(',')) continue;
+      if (Eat('}')) return v;
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> Array() {
+    if (!Eat('[')) return Err("expected array");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    Skip();
+    if (Eat(']')) return v;
+    for (;;) {
+      GDLOG_ASSIGN_OR_RETURN(JsonValue item, Value());
+      v.items.push_back(std::move(item));
+      if (Eat(',')) continue;
+      if (Eat(']')) return v;
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace gdlog

@@ -1,0 +1,79 @@
+// Minimal JSON support for the observability layer.
+//
+// JsonWriter is a streaming writer used by the metrics snapshot, the run
+// report, and the Chrome trace exporter; it handles escaping, nesting,
+// and comma placement. ParseJson is a small recursive-descent reader used
+// by tests and tools to round-trip what the writer produced — it is not a
+// general-purpose parser (no streaming, whole document in memory).
+#ifndef GDLOG_OBS_JSON_H_
+#define GDLOG_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gdlog {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; the next value call supplies its value.
+  JsonWriter& Key(std::string_view k);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& UInt(uint64_t v);
+  /// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Separate();
+  void Escaped(std::string_view v);
+
+  std::string out_;
+  // One entry per open container: true until the first element is
+  // written (no comma needed yet).
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document. Objects keep insertion order.
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;                          // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields; // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_OBS_JSON_H_

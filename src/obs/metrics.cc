@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace gdlog {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsNs() {
+  // 250ns, 1us, 4us, ... ~4.2s: 13 buckets spanning every latency the
+  // engine can plausibly produce for one rule application or phase.
+  std::vector<double> b;
+  for (double v = 250; v < 5e9; v *= 4) b.push_back(v);
+  return b;
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (static_cast<double>(seen + counts_[i]) < target) {
+      seen += counts_[i];
+      continue;
+    }
+    // Interpolate inside bucket i. Bucket edges: [lo, hi].
+    const double lo = i == 0 ? min_ : bounds_[i - 1];
+    const double hi = i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+    if (hi <= lo) return hi;
+    const double frac =
+        counts_[i] == 0
+            ? 0
+            : (target - static_cast<double>(seen)) /
+                  static_cast<double>(counts_[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max_;
+}
+
+std::string MetricsRegistry::KeyOf(std::string_view name,
+                                   const MetricLabels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     MetricLabels labels) {
+  const std::string key = KeyOf(name, labels);
+  if (auto it = counter_index_.find(key); it != counter_index_.end()) {
+    return it->second;
+  }
+  counters_.push_back({std::string(name), std::move(labels), Counter{}});
+  Counter* c = &counters_.back().metric;
+  counter_index_.emplace(key, c);
+  return c;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, MetricLabels labels) {
+  const std::string key = KeyOf(name, labels);
+  if (auto it = gauge_index_.find(key); it != gauge_index_.end()) {
+    return it->second;
+  }
+  gauges_.push_back({std::string(name), std::move(labels), Gauge{}});
+  Gauge* g = &gauges_.back().metric;
+  gauge_index_.emplace(key, g);
+  return g;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         MetricLabels labels,
+                                         std::vector<double> bounds) {
+  const std::string key = KeyOf(name, labels);
+  if (auto it = histogram_index_.find(key); it != histogram_index_.end()) {
+    return it->second;
+  }
+  histograms_.push_back(
+      {std::string(name), std::move(labels),
+       bounds.empty() ? Histogram() : Histogram(std::move(bounds))});
+  Histogram* h = &histograms_.back().metric;
+  histogram_index_.emplace(key, h);
+  return h;
+}
+
+namespace {
+
+void WriteLabels(JsonWriter* w, const MetricLabels& labels) {
+  w->Key("labels").BeginObject();
+  for (const auto& [k, v] : labels) w->Key(k).String(v);
+  w->EndObject();
+}
+
+}  // namespace
+
+void MetricsRegistry::SnapshotJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("counters").BeginArray();
+  for (const auto& e : counters_) {
+    w->BeginObject();
+    w->Key("name").String(e.name);
+    WriteLabels(w, e.labels);
+    w->Key("value").UInt(e.metric.value());
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("gauges").BeginArray();
+  for (const auto& e : gauges_) {
+    w->BeginObject();
+    w->Key("name").String(e.name);
+    WriteLabels(w, e.labels);
+    w->Key("value").Int(e.metric.value());
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("histograms").BeginArray();
+  for (const auto& e : histograms_) {
+    const Histogram& h = e.metric;
+    w->BeginObject();
+    w->Key("name").String(e.name);
+    WriteLabels(w, e.labels);
+    w->Key("count").UInt(h.count());
+    w->Key("sum").Double(h.sum());
+    w->Key("min").Double(h.min());
+    w->Key("max").Double(h.max());
+    w->Key("p50").Double(h.Quantile(0.50));
+    w->Key("p95").Double(h.Quantile(0.95));
+    w->Key("p99").Double(h.Quantile(0.99));
+    w->Key("buckets").BeginArray();
+    for (size_t i = 0; i < h.bucket_counts().size(); ++i) {
+      if (h.bucket_counts()[i] == 0) continue;  // sparse encoding
+      w->BeginObject();
+      w->Key("le");
+      if (i < h.bounds().size()) {
+        w->Double(h.bounds()[i]);
+      } else {
+        w->String("+inf");
+      }
+      w->Key("count").UInt(h.bucket_counts()[i]);
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  JsonWriter w;
+  SnapshotJson(&w);
+  return w.Take();
+}
+
+}  // namespace gdlog

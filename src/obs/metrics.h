@@ -1,0 +1,121 @@
+// Low-overhead metrics registry: named, label-bearing counters, gauges,
+// and latency histograms with a JSON snapshot exporter.
+//
+// Handles returned by the registry are stable for its lifetime, so hot
+// paths resolve a metric once and then pay a single add/observe per
+// event. The registry is not thread-safe — each Engine (and each bench
+// process) owns one, matching the engine's single-threaded evaluation.
+#ifndef GDLOG_OBS_METRICS_H_
+#define GDLOG_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace gdlog {
+
+class JsonWriter;
+
+/// Label set attached to a metric, e.g. {{"rule", "prm/4"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  /// Keeps the running maximum (high-water marks).
+  void SetMax(int64_t v) {
+    if (v > value_) value_ = v;
+  }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Fixed-bound histogram. Bucket i counts observations <= bounds[i];
+/// one overflow bucket counts the rest. The default bounds form a
+/// base-4 exponential ladder from 250ns to ~4s, sized for call latencies.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds = DefaultLatencyBoundsNs());
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Size bounds().size() + 1; the last entry is the overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Approximate quantile (0 <= q <= 1) by linear interpolation within
+  /// the containing bucket. Returns 0 on an empty histogram.
+  double Quantile(double q) const;
+
+  static std::vector<double> DefaultLatencyBoundsNs();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. The same (name, labels) pair always returns the
+  /// same handle; handles stay valid for the registry's lifetime.
+  Counter* GetCounter(std::string_view name, MetricLabels labels = {});
+  Gauge* GetGauge(std::string_view name, MetricLabels labels = {});
+  Histogram* GetHistogram(std::string_view name, MetricLabels labels = {},
+                          std::vector<double> bounds = {});
+
+  size_t size() const { return counters_.size() + gauges_.size() +
+                               histograms_.size(); }
+
+  /// Appends the snapshot as one JSON object:
+  ///   {"counters":[{"name":..,"labels":{..},"value":..}, ...],
+  ///    "gauges":[...],
+  ///    "histograms":[{"name":..,"labels":{..},"count":..,"sum":..,
+  ///                   "min":..,"max":..,"p50":..,"p95":..,"p99":..}]}
+  void SnapshotJson(JsonWriter* w) const;
+  std::string SnapshotJson() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    T metric;
+  };
+
+  static std::string KeyOf(std::string_view name, const MetricLabels& labels);
+
+  // Deques keep handles stable across growth.
+  std::deque<Entry<Counter>> counters_;
+  std::deque<Entry<Gauge>> gauges_;
+  std::deque<Entry<Histogram>> histograms_;
+  std::unordered_map<std::string, Counter*> counter_index_;
+  std::unordered_map<std::string, Gauge*> gauge_index_;
+  std::unordered_map<std::string, Histogram*> histogram_index_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_OBS_METRICS_H_

@@ -1,0 +1,54 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace gdlog {
+
+void Tracer::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("traceEvents").BeginArray();
+  for (const TraceEvent& e : events_) {
+    w->BeginObject();
+    w->Key("name").String(e.name);
+    w->Key("cat").String(e.category);
+    w->Key("ph").String(std::string(1, e.phase));
+    // trace_event timestamps are microseconds; fractional values keep
+    // nanosecond resolution.
+    w->Key("ts").Double(static_cast<double>(e.ts_ns) / 1e3);
+    if (e.phase == 'X') {
+      w->Key("dur").Double(static_cast<double>(e.dur_ns) / 1e3);
+    }
+    if (e.phase == 'i') w->Key("s").String("t");  // thread-scoped instant
+    w->Key("pid").Int(1);
+    w->Key("tid").Int(1);
+    if (!e.args.empty()) {
+      w->Key("args").BeginObject();
+      for (const auto& [k, v] : e.args) w->Key(k).Int(v);
+      w->EndObject();
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("displayTimeUnit").String("ms");
+  w->EndObject();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  JsonWriter w;
+  WriteJson(&w);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::RuntimeError("cannot open trace file " + path);
+  }
+  const std::string& body = w.str();
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::RuntimeError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace gdlog

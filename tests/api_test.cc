@@ -2,7 +2,13 @@
 // introspection, and engine options.
 #include "api/engine.h"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
+
+#include "obs/json.h"
 
 namespace gdlog {
 namespace {
@@ -169,6 +175,109 @@ TEST(Api, DivisionAndModulo) {
   EXPECT_EQ(e.Query("d", 1)[0][0].AsInt(), 3);
   EXPECT_EQ(e.Query("m", 1)[0][0].AsInt(), 2);
   EXPECT_TRUE(e.Query("never", 1).empty());  // division by zero: no match
+}
+
+// Observability integration: a Dijkstra run with obs enabled must produce
+// a parseable run report whose fixpoint totals show the alternation at
+// work (>= 1 gamma fire per assigned stage, >= 1 saturation round) and a
+// loadable Chrome trace.
+TEST(Api, RunReportAndTraceForDijkstra) {
+  EngineOptions opts;
+  opts.obs.enabled = true;
+  opts.obs.sample_every = 1;
+  Engine e(opts);
+  ASSERT_TRUE(e.LoadProgram(R"(
+    dist(Y, D, I) <- next(I), cand(Y, D, J), J < I, least(D, I),
+                     not (dist(Y, _, J2), J2 < I).
+    cand(Y, D, J) <- dist(X, DX, J), g(X, Y, C), D = DX + C.
+  )").ok());
+  // A 5-node weighted graph; node 0 is the source.
+  const int edges[][3] = {{0, 1, 4}, {0, 2, 1}, {2, 1, 2}, {1, 3, 1},
+                          {2, 3, 5}, {3, 4, 3}};
+  for (const auto& ed : edges) {
+    ASSERT_TRUE(e.AddFact("g", {Value::Int(ed[0]), Value::Int(ed[1]),
+                                Value::Int(ed[2])}).ok());
+  }
+  ASSERT_TRUE(e.AddFact("dist", {Value::Int(0), Value::Int(0),
+                                 Value::Int(0)}).ok());
+  ASSERT_TRUE(e.Run().ok());
+  EXPECT_EQ(e.Query("dist", 3).size(), 5u);  // every node settles once
+
+  auto report = e.RunReport();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto doc = ParseJson(*report);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  const JsonValue* fx = doc->Find("fixpoint");
+  ASSERT_NE(fx, nullptr);
+  const double stages = fx->Find("stages_assigned")->number;
+  const double firings = fx->Find("gamma_firings")->number;
+  EXPECT_GE(stages, 1);
+  EXPECT_GE(firings, stages);  // >= one gamma fire per stage
+  EXPECT_GE(fx->Find("saturation_rounds")->number, 1);
+
+  // The ablation flags are echoed in the options block.
+  const JsonValue* op = doc->Find("options");
+  ASSERT_NE(op, nullptr);
+  for (const char* flag : {"use_priority_queue", "use_seminaive",
+                           "use_merge_congruence"}) {
+    ASSERT_NE(op->Find(flag), nullptr) << flag;
+    EXPECT_TRUE(op->Find(flag)->boolean) << flag;
+  }
+
+  // Per-rule profiles carry firing counts; the next rule fired.
+  const JsonValue* rules = doc->Find("rules");
+  ASSERT_TRUE(rules != nullptr && rules->is_array());
+  double next_firings = 0;
+  for (const JsonValue& r : rules->items) {
+    if (r.Find("kind")->string == "next") next_firings += r.Find("firings")->number;
+  }
+  EXPECT_GE(next_firings, 1);
+
+  // Phase wall times: evaluation took nonzero time.
+  const JsonValue* phases = doc->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_GT(phases->Find("eval_ms")->number, 0);
+
+  // Metrics snapshot is embedded when obs is on.
+  ASSERT_NE(doc->Find("metrics"), nullptr);
+  EXPECT_TRUE(doc->Find("metrics")->is_object());
+
+  // The trace is loadable JSON with a nonempty event timeline.
+  const std::string path = ::testing::TempDir() + "/gdlog_api_trace.json";
+  ASSERT_TRUE(e.WriteTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream text;
+  text << in.rdbuf();
+  std::remove(path.c_str());
+  auto trace = ParseJson(text.str());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  EXPECT_FALSE(events->items.empty());
+  bool saw_saturate = false, saw_gamma = false;
+  for (const JsonValue& ev : events->items) {
+    const JsonValue* name = ev.Find("name");
+    if (name == nullptr) continue;
+    if (name->string == "Saturate") saw_saturate = true;
+    if (name->string == "GammaPhase") saw_gamma = true;
+  }
+  EXPECT_TRUE(saw_saturate);
+  EXPECT_TRUE(saw_gamma);
+}
+
+TEST(Api, RunReportWithObsDisabledStillValid) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram("p(X) <- q(X). q(1).").ok());
+  ASSERT_TRUE(e.Run().ok());
+  auto report = e.RunReport();
+  ASSERT_TRUE(report.ok());
+  auto doc = ParseJson(*report);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("metrics")->kind, JsonValue::Kind::kNull);
+  // Tracing off: WriteTrace refuses rather than writing an empty file.
+  EXPECT_FALSE(e.WriteTrace("/tmp/never.json").ok());
 }
 
 }  // namespace

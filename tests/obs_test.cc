@@ -1,0 +1,236 @@
+// Tests for the observability layer: JSON writer/parser round trips,
+// histogram bucketing and quantiles, registry snapshots, and trace span
+// nesting.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gdlog {
+namespace {
+
+TEST(Json, WriterProducesParsableDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("line \"1\"\n\ttab");
+  w.Key("n").Int(-42);
+  w.Key("u").UInt(18446744073709551615ull);
+  w.Key("pi").Double(3.5);
+  w.Key("flag").Bool(true);
+  w.Key("nothing").Null();
+  w.Key("xs").BeginArray().Int(1).Int(2).Int(3).EndArray();
+  w.EndObject();
+
+  auto doc = ParseJson(w.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("name")->string, "line \"1\"\n\ttab");
+  EXPECT_EQ(doc->Find("n")->number, -42);
+  EXPECT_EQ(doc->Find("pi")->number, 3.5);
+  EXPECT_TRUE(doc->Find("flag")->boolean);
+  EXPECT_EQ(doc->Find("nothing")->kind, JsonValue::Kind::kNull);
+  ASSERT_TRUE(doc->Find("xs")->is_array());
+  EXPECT_EQ(doc->Find("xs")->items.size(), 3u);
+  EXPECT_EQ(doc->Find("xs")->items[2].number, 3);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray().Double(0.0 / 0.0).Double(1e308 * 10).EndArray();
+  auto doc = ParseJson(w.str());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->items[0].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc->items[1].kind, JsonValue::Kind::kNull);
+}
+
+TEST(Json, ParserRejectsGarbage) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("'single'").ok());
+  EXPECT_TRUE(ParseJson("  {\"a\": [true, null]}  ").ok());
+}
+
+TEST(Histogram, BucketingPlacesObservations) {
+  Histogram h({10, 100, 1000});
+  h.Observe(5);     // bucket 0 (<= 10)
+  h.Observe(10);    // bucket 0 (boundary is inclusive)
+  h.Observe(50);    // bucket 1
+  h.Observe(999);   // bucket 2
+  h.Observe(5000);  // overflow
+
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 5 + 10 + 50 + 999 + 5000);
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 5000);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(Histogram, QuantilesInterpolateAndClamp) {
+  Histogram empty({10, 100});
+  EXPECT_EQ(empty.Quantile(0.5), 0);
+
+  Histogram h({10, 100, 1000});
+  for (int i = 0; i < 100; ++i) h.Observe(50);  // all in bucket 1
+  // Every observation sits in (10, 100]; any quantile must land there.
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, 10) << "q=" << q;
+    EXPECT_LE(v, 100) << "q=" << q;
+  }
+
+  Histogram one({10});
+  one.Observe(3);
+  // Single observation: quantiles collapse toward it, never exceed max.
+  EXPECT_LE(one.Quantile(0.99), 3);
+}
+
+TEST(Histogram, DefaultBoundsAreSortedAndPositive) {
+  const auto bounds = Histogram::DefaultLatencyBoundsNs();
+  ASSERT_GE(bounds.size(), 4u);
+  EXPECT_GT(bounds.front(), 0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(Metrics, HandlesAreStableAndKeyedByLabels) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("rule.firings", {{"rule", "p/1"}});
+  Counter* b = reg.GetCounter("rule.firings", {{"rule", "q/2"}});
+  Counter* a2 = reg.GetCounter("rule.firings", {{"rule", "p/1"}});
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+
+  a->Add(3);
+  b->Add();
+  EXPECT_EQ(a->value(), 3u);
+  EXPECT_EQ(b->value(), 1u);
+
+  // Force growth; earlier handles must stay valid.
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("filler", {{"i", std::to_string(i)}});
+  }
+  EXPECT_EQ(a->value(), 3u);
+
+  Gauge* g = reg.GetGauge("queue.max");
+  g->SetMax(7);
+  g->SetMax(4);
+  EXPECT_EQ(g->value(), 7);
+}
+
+TEST(Metrics, SnapshotRoundTripsThroughJson) {
+  MetricsRegistry reg;
+  reg.GetCounter("fires", {{"rule", "prm/4"}})->Add(11);
+  reg.GetGauge("depth")->Set(-3);
+  Histogram* h = reg.GetHistogram("lat", {}, {10, 100});
+  h->Observe(7);
+  h->Observe(70);
+
+  auto doc = ParseJson(reg.SnapshotJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  const JsonValue* counters = doc->Find("counters");
+  ASSERT_TRUE(counters != nullptr && counters->is_array());
+  ASSERT_EQ(counters->items.size(), 1u);
+  const JsonValue& c = counters->items[0];
+  EXPECT_EQ(c.Find("name")->string, "fires");
+  EXPECT_EQ(c.Find("value")->number, 11);
+  EXPECT_EQ(c.Find("labels")->Find("rule")->string, "prm/4");
+
+  const JsonValue* gauges = doc->Find("gauges");
+  ASSERT_TRUE(gauges != nullptr && gauges->is_array());
+  EXPECT_EQ(gauges->items[0].Find("value")->number, -3);
+
+  const JsonValue* hists = doc->Find("histograms");
+  ASSERT_TRUE(hists != nullptr && hists->is_array());
+  const JsonValue& hj = hists->items[0];
+  EXPECT_EQ(hj.Find("count")->number, 2);
+  EXPECT_EQ(hj.Find("sum")->number, 77);
+  EXPECT_EQ(hj.Find("min")->number, 7);
+  EXPECT_EQ(hj.Find("max")->number, 70);
+  EXPECT_TRUE(hj.Find("p50") != nullptr);
+}
+
+TEST(Trace, SpansNestAndRecordContainment) {
+  Tracer tracer(/*sample_every=*/1);
+  {
+    TraceSpan outer(&tracer, "outer", "test");
+    outer.AddArg("n", 42);
+    {
+      TraceSpan inner(&tracer, "inner", "test");
+    }
+    tracer.Instant("tick", "test", {{"k", 1}});
+  }
+  ASSERT_EQ(tracer.events().size(), 3u);
+  // Inner closes first, then the instant, then the outer span.
+  const TraceEvent& inner = tracer.events()[0];
+  const TraceEvent& tick = tracer.events()[1];
+  const TraceEvent& outer = tracer.events()[2];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(tick.phase, 'i');
+  EXPECT_EQ(outer.phase, 'X');
+  // Containment: outer starts no later and ends no earlier than inner.
+  EXPECT_LE(outer.ts_ns, inner.ts_ns);
+  EXPECT_GE(outer.ts_ns + outer.dur_ns, inner.ts_ns + inner.dur_ns);
+  ASSERT_EQ(outer.args.size(), 1u);
+  EXPECT_EQ(outer.args[0].first, "n");
+  EXPECT_EQ(outer.args[0].second, 42);
+}
+
+TEST(Trace, NullTracerSpansAreNoops) {
+  TraceSpan span(nullptr, "ghost", "test");
+  span.AddArg("k", 1);  // must not crash
+}
+
+TEST(Trace, SamplingKeepsOneInEveryPeriod) {
+  Tracer tracer(/*sample_every=*/4);
+  int kept = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (tracer.Sample()) ++kept;
+  }
+  EXPECT_EQ(kept, 10);
+}
+
+TEST(Trace, ChromeTraceFileIsValidJson) {
+  Tracer tracer;
+  {
+    TraceSpan span(&tracer, "phase", "engine");
+  }
+  tracer.Instant("mark", "engine");
+
+  const std::string path = ::testing::TempDir() + "/gdlog_obs_trace.json";
+  ASSERT_TRUE(tracer.WriteChromeTrace(path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  ASSERT_EQ(events->items.size(), 2u);
+  const JsonValue& span = events->items[0];
+  EXPECT_EQ(span.Find("name")->string, "phase");
+  EXPECT_EQ(span.Find("ph")->string, "X");
+  EXPECT_TRUE(span.Find("ts") != nullptr);
+  EXPECT_TRUE(span.Find("dur") != nullptr);
+  EXPECT_EQ(doc->Find("displayTimeUnit")->string, "ms");
+}
+
+}  // namespace
+}  // namespace gdlog

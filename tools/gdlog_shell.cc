@@ -1,28 +1,35 @@
 // gdlog_shell — command-line driver for the engine.
 //
-//   gdlog_shell PROGRAM.dl [options]
+//   gdlog_shell PROGRAM.dl [options]        batch mode
+//   gdlog_shell --interactive [options]     dot-command REPL on stdin
 //
+// Batch options:
 //   --query pred/arity   print one relation (repeatable; default: all IDB)
 //   --seed N             choice tie-break seed (explore stable models)
 //   --report             print the Section 4 analysis report
 //   --rewrite            print the first-order rewriting (Sections 2-3)
 //   --verify             run the Gelfond-Lifschitz stable-model check
-//   --stats              print evaluation statistics
+//   --stats              print evaluation statistics (per-rule profiles)
+//   --json-report        print the machine-readable run report JSON
+//   --trace PATH         record a phase timeline, write Chrome trace JSON
 //   --no-merge           disable congruence merging ((R,Q,L) ablation)
 //   --linear-least       naive linear-scan retrieval instead of the heap
 //
+// Interactive commands (see .help):
+//   .load PATH | .run | .query pred/arity | .stats | .json | .report
+//   .rewrite | .verify | .trace on [PATH] | .trace off | .seed N | .quit
+//
 // Example:
-//   $ cat prim.dl
-//   prm(nil, 0, 0, 0).
-//   prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I,
-//                      least(C, I), choice(Y, X).
-//   new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
-//   g(0, 1, 4). g(1, 0, 4). ...
-//   $ gdlog_shell prim.dl --query prm/4 --verify
+//   $ gdlog_shell prim.dl --query prm/4 --verify --trace prim_trace.json
+//   $ printf '.load prim.dl\n.run\n.stats\n' | gdlog_shell --interactive
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -36,15 +43,24 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s PROGRAM.dl [--query pred/arity]... [--seed N] "
-               "[--report] [--rewrite] [--verify] [--stats] [--no-merge] "
-               "[--linear-least]\n",
-               argv0);
+               "[--report] [--rewrite] [--verify] [--stats] [--json-report] "
+               "[--trace PATH] [--no-merge] [--linear-least]\n"
+               "       %s --interactive [options]\n",
+               argv0, argv0);
 }
 
 struct Query {
   std::string pred;
   uint32_t arity = 0;
 };
+
+bool ParseQuerySpec(const std::string& spec, Query* q) {
+  const auto slash = spec.find('/');
+  if (slash == std::string::npos) return false;
+  q->pred = spec.substr(0, slash);
+  q->arity = static_cast<uint32_t>(std::atoi(spec.c_str() + slash + 1));
+  return true;
+}
 
 void PrintRelation(const gdlog::Engine& engine, const std::string& pred,
                    uint32_t arity) {
@@ -60,6 +76,223 @@ void PrintRelation(const gdlog::Engine& engine, const std::string& pred,
   }
 }
 
+void PrintStats(const gdlog::Engine& engine) {
+  const gdlog::FixpointStats* s = engine.stats();
+  if (s == nullptr) {
+    std::printf("%% no run yet\n");
+    return;
+  }
+  const gdlog::EnginePhaseTimes& ph = engine.phase_times();
+  std::printf(
+      "%% phases (ms): parse %.3f  analyze %.3f  compile %.3f  eval %.3f\n",
+      ph.parse_ns / 1e6, ph.analyze_ns / 1e6, ph.compile_ns / 1e6,
+      ph.eval_ns / 1e6);
+  if (s->saturate_ns > 0 || s->gamma_ns > 0) {
+    std::printf("%%   eval split: saturate %.3f ms, gamma %.3f ms\n",
+                s->saturate_ns / 1e6, s->gamma_ns / 1e6);
+  }
+  std::printf(
+      "%% fixpoint: %llu gamma firings, %llu stages, %llu saturation "
+      "rounds, %llu tuples inserted, %llu rows scanned, Q high-water %zu\n",
+      static_cast<unsigned long long>(s->gamma_firings),
+      static_cast<unsigned long long>(s->stages_assigned),
+      static_cast<unsigned long long>(s->saturation_rounds),
+      static_cast<unsigned long long>(s->exec.inserts),
+      static_cast<unsigned long long>(s->exec.scan_rows),
+      s->queues.max_queue);
+  const std::vector<gdlog::RuleProfile>* profiles = engine.RuleProfiles();
+  if (profiles == nullptr) return;
+  std::printf("%% %-4s %-18s %-9s %10s %9s %9s %9s %9s %10s\n", "rule",
+              "head", "kind", "invoc", "firings", "tuples", "dedup",
+              "cands", "wall_ms");
+  for (size_t i = 0; i < profiles->size(); ++i) {
+    const gdlog::RuleProfile& p = (*profiles)[i];
+    if (p.head.empty()) continue;
+    std::printf(
+        "%% %-4zu %-18s %-9s %10llu %9llu %9llu %9llu %9llu %10.3f\n", i,
+        p.head.c_str(), p.kind,
+        static_cast<unsigned long long>(p.invocations),
+        static_cast<unsigned long long>(p.firings),
+        static_cast<unsigned long long>(p.tuples),
+        static_cast<unsigned long long>(p.dedup_hits),
+        static_cast<unsigned long long>(p.candidates), p.wall_ns / 1e6);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interactive mode
+// ---------------------------------------------------------------------------
+
+/// REPL state. Engines are single-shot, so `.run` after a completed run
+/// (and every option change) rebuilds the engine from the saved text.
+struct Shell {
+  gdlog::EngineOptions options;
+  std::string program_path;
+  std::string program_text;
+  std::unique_ptr<gdlog::Engine> engine;
+
+  bool Reload() {
+    engine = std::make_unique<gdlog::Engine>(options);
+    const gdlog::Status st = engine->LoadProgram(program_text);
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      engine.reset();
+      return false;
+    }
+    return true;
+  }
+};
+
+void PrintHelp() {
+  std::printf(
+      ".load PATH        load a program (replaces the current one)\n"
+      ".run              evaluate to the choice fixpoint\n"
+      ".query pred/arity print one relation\n"
+      ".stats            per-phase and per-rule evaluation statistics\n"
+      ".json             machine-readable run report (RunReport JSON)\n"
+      ".report           Section 4 stage-analysis report\n"
+      ".rewrite          first-order rewriting (Sections 2-3)\n"
+      ".verify           Gelfond-Lifschitz stable-model check\n"
+      ".trace on [PATH]  record a timeline; write Chrome trace on .run\n"
+      ".trace off        disable tracing\n"
+      ".seed N           choice tie-break seed\n"
+      ".help             this text\n"
+      ".quit             exit\n");
+}
+
+int RunInteractive(gdlog::EngineOptions options) {
+  Shell sh;
+  sh.options = std::move(options);
+  const bool tty = isatty(STDIN_FILENO);
+  std::string line;
+  for (;;) {
+    if (tty) {
+      std::printf("gdlog> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream iss(line);
+    std::string cmd, arg1, arg2;
+    iss >> cmd >> arg1 >> arg2;
+    if (cmd.empty() || cmd[0] == '%' || cmd[0] == '#') continue;
+
+    if (cmd == ".quit" || cmd == ".exit") break;
+    if (cmd == ".help") {
+      PrintHelp();
+    } else if (cmd == ".load") {
+      if (arg1.empty()) {
+        std::printf("usage: .load PATH\n");
+        continue;
+      }
+      std::ifstream in(arg1);
+      if (!in) {
+        std::printf("error: cannot open %s\n", arg1.c_str());
+        continue;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      sh.program_path = arg1;
+      sh.program_text = text.str();
+      if (sh.Reload()) std::printf("loaded %s\n", arg1.c_str());
+    } else if (cmd == ".trace") {
+      if (arg1 == "on") {
+        sh.options.obs.enabled = true;
+        sh.options.obs.trace_path =
+            arg2.empty() ? "gdlog_trace.json" : arg2;
+        std::printf("tracing on -> %s\n",
+                    sh.options.obs.trace_path.c_str());
+      } else if (arg1 == "off") {
+        sh.options.obs = gdlog::ObsOptions{};
+        std::printf("tracing off\n");
+      } else {
+        std::printf("usage: .trace on [PATH] | .trace off\n");
+        continue;
+      }
+      if (!sh.program_text.empty()) sh.Reload();
+    } else if (cmd == ".seed") {
+      sh.options.eval.choice_seed = std::strtoull(arg1.c_str(), nullptr, 10);
+      if (!sh.program_text.empty()) sh.Reload();
+    } else if (cmd == ".run") {
+      if (!sh.engine && !sh.program_text.empty()) sh.Reload();
+      if (!sh.engine) {
+        std::printf("error: no program loaded (.load PATH first)\n");
+        continue;
+      }
+      if (sh.engine->has_run() && !sh.Reload()) continue;
+      const gdlog::Status st = sh.engine->Run();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      const gdlog::FixpointStats* s = sh.engine->stats();
+      std::printf("ok: %llu tuples inserted, %llu gamma firings\n",
+                  static_cast<unsigned long long>(s->exec.inserts),
+                  static_cast<unsigned long long>(s->gamma_firings));
+      if (sh.options.obs.enabled && !sh.options.obs.trace_path.empty()) {
+        std::printf("trace written to %s\n",
+                    sh.options.obs.trace_path.c_str());
+      }
+    } else if (cmd == ".query") {
+      Query q;
+      if (!ParseQuerySpec(arg1, &q)) {
+        std::printf("usage: .query pred/arity\n");
+        continue;
+      }
+      if (!sh.engine) {
+        std::printf("error: no program loaded\n");
+        continue;
+      }
+      PrintRelation(*sh.engine, q.pred, q.arity);
+    } else if (cmd == ".stats") {
+      if (sh.engine) {
+        PrintStats(*sh.engine);
+      } else {
+        std::printf("%% no run yet\n");
+      }
+    } else if (cmd == ".json") {
+      if (!sh.engine) {
+        std::printf("error: no program loaded\n");
+        continue;
+      }
+      auto r = sh.engine->RunReport();
+      if (r.ok()) {
+        std::printf("%s\n", r->c_str());
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+    } else if (cmd == ".report") {
+      if (!sh.engine) {
+        std::printf("error: no program loaded\n");
+        continue;
+      }
+      auto r = sh.engine->AnalysisReport();
+      if (r.ok()) std::printf("%s\n", r->c_str());
+    } else if (cmd == ".rewrite") {
+      if (!sh.engine) {
+        std::printf("error: no program loaded\n");
+        continue;
+      }
+      auto r = sh.engine->RewrittenProgramText();
+      if (r.ok()) std::printf("%s\n", r->c_str());
+    } else if (cmd == ".verify") {
+      if (!sh.engine) {
+        std::printf("error: no program loaded\n");
+        continue;
+      }
+      auto check = sh.engine->VerifyStableModel();
+      if (!check.ok()) {
+        std::printf("error: %s\n", check.status().ToString().c_str());
+        continue;
+      }
+      std::printf("stable model: %s (%zu facts)\n",
+                  check->stable ? "yes" : "NO", check->model_facts);
+    } else {
+      std::printf("unknown command %s (.help for help)\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,23 +303,23 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   std::vector<Query> queries;
   bool report = false, rewrite = false, verify = false, stats = false;
+  bool json_report = false, interactive = false;
   gdlog::EngineOptions options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--query" && i + 1 < argc) {
-      const std::string spec = argv[++i];
-      const auto slash = spec.find('/');
-      if (slash == std::string::npos) {
-        std::fprintf(stderr, "bad --query %s (want pred/arity)\n",
-                     spec.c_str());
+      Query q;
+      if (!ParseQuerySpec(argv[++i], &q)) {
+        std::fprintf(stderr, "bad --query %s (want pred/arity)\n", argv[i]);
         return 2;
       }
-      queries.push_back(
-          {spec.substr(0, slash),
-           static_cast<uint32_t>(std::atoi(spec.c_str() + slash + 1))});
+      queries.push_back(q);
     } else if (arg == "--seed" && i + 1 < argc) {
       options.eval.choice_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      options.obs.enabled = true;
+      options.obs.trace_path = argv[++i];
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--rewrite") {
@@ -95,6 +328,10 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--json-report") {
+      json_report = true;
+    } else if (arg == "--interactive" || arg == "-i") {
+      interactive = true;
     } else if (arg == "--no-merge") {
       options.eval.use_merge_congruence = false;
     } else if (arg == "--linear-least") {
@@ -106,6 +343,7 @@ int main(int argc, char** argv) {
       path = argv[i];
     }
   }
+  if (interactive) return RunInteractive(std::move(options));
   if (!path) {
     Usage(argv[0]);
     return 2;
@@ -155,18 +393,10 @@ int main(int argc, char** argv) {
     for (const Query& q : queries) PrintRelation(engine, q.pred, q.arity);
   }
 
-  if (stats && engine.stats()) {
-    const gdlog::FixpointStats& s = *engine.stats();
-    std::printf(
-        "%% stats: %llu gamma firings, %llu stages, %llu saturation "
-        "rounds, %llu tuples inserted, %llu rows scanned, Q high-water "
-        "%zu\n",
-        static_cast<unsigned long long>(s.gamma_firings),
-        static_cast<unsigned long long>(s.stages_assigned),
-        static_cast<unsigned long long>(s.saturation_rounds),
-        static_cast<unsigned long long>(s.exec.inserts),
-        static_cast<unsigned long long>(s.exec.scan_rows),
-        s.queues.max_queue);
+  if (stats) PrintStats(engine);
+  if (json_report) {
+    auto r = engine.RunReport();
+    if (r.ok()) std::printf("%s\n", r->c_str());
   }
   if (verify) {
     auto check = engine.VerifyStableModel();

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Smoke test for the observability surface: drives gdlog_shell's
+# interactive mode through a traced run and checks that `.stats`, the
+# `.json` run report, and the Chrome trace file all come out.
+#
+#   smoke_stats.sh <gdlog_shell> <program.dl> [out_dir]
+set -e
+
+SHELL_BIN="$1"
+PROG="$2"
+OUT_DIR="${3:-.}"
+
+if [ -z "$SHELL_BIN" ] || [ -z "$PROG" ]; then
+  echo "usage: $0 <gdlog_shell> <program.dl> [out_dir]" >&2
+  exit 2
+fi
+
+TRACE="$OUT_DIR/smoke_trace.json"
+rm -f "$TRACE"
+
+OUT=$(printf '.load %s\n.trace on %s\n.run\n.stats\n.json\n.quit\n' \
+      "$PROG" "$TRACE" | "$SHELL_BIN" --interactive)
+echo "$OUT"
+
+echo "$OUT" | grep -q "phases (ms)" || {
+  echo "smoke: .stats output missing phase table" >&2; exit 1; }
+echo "$OUT" | grep -q '"rules"' || {
+  echo "smoke: .json run report missing" >&2; exit 1; }
+[ -s "$TRACE" ] || { echo "smoke: trace file not written" >&2; exit 1; }
+grep -q '"traceEvents"' "$TRACE" || {
+  echo "smoke: trace file missing traceEvents" >&2; exit 1; }
+
+echo "smoke: OK"
