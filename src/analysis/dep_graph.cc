@@ -163,6 +163,47 @@ void DependencyGraph::ComputeSccs() {
   }
 }
 
+std::vector<uint32_t> DependencyGraph::CycleWithin(uint32_t scc) const {
+  if (!IsRecursive(scc)) return {};
+  const PredIndex start = scc_members_[scc][0];
+  for (uint32_t ei : adj_[start]) {
+    if (edges_[ei].to == start) return {ei};  // self-loop
+  }
+  // BFS within the SCC from `start`, recording the edge that first
+  // reached each node; the first edge found back into `start` closes a
+  // shortest cycle through it (one exists: the SCC is strongly
+  // connected).
+  std::vector<uint32_t> parent(names_.size(), UINT32_MAX);
+  std::vector<bool> seen(names_.size(), false);
+  std::vector<PredIndex> queue{start};
+  seen[start] = true;
+  uint32_t closing = UINT32_MAX;
+  for (size_t qi = 0; qi < queue.size() && closing == UINT32_MAX; ++qi) {
+    const PredIndex u = queue[qi];
+    for (uint32_t ei : adj_[u]) {
+      const Edge& e = edges_[ei];
+      if (scc_of_[e.to] != scc) continue;
+      if (e.to == start) {
+        closing = ei;
+        break;
+      }
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        parent[e.to] = ei;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  if (closing == UINT32_MAX) return {};
+  std::vector<uint32_t> path{closing};
+  for (PredIndex v = edges_[closing].from; v != start;
+       v = edges_[path.back()].from) {
+    path.push_back(parent[v]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
 Result<std::vector<uint32_t>> DependencyGraph::ComputeStrata() const {
   const size_t n = names_.size();
   // Stratum = longest chain of negative edges below the predicate; computed

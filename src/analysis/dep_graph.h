@@ -70,6 +70,13 @@ class DependencyGraph {
     return scc_internal_negation_[scc];
   }
 
+  /// Edge indices (into edges()) forming a dependency cycle through the
+  /// members of `scc`: each edge's `to` is the next edge's `from`, and
+  /// the last edge returns to the first edge's `from`. Empty when the
+  /// SCC is not recursive. Used by diagnostics to explain why a clique
+  /// is recursive (e.g. the cycle that breaks stage-stratification).
+  std::vector<uint32_t> CycleWithin(uint32_t scc) const;
+
   /// Classical stratification: assigns each predicate a stratum such that
   /// positive dependencies are non-decreasing and negative dependencies
   /// strictly increase. Fails (AnalysisError) when a recursive clique has

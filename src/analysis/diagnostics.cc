@@ -1,0 +1,219 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "obs/json.h"
+
+namespace gdlog {
+
+std::string_view DiagSeverityName(DiagSeverity s) {
+  switch (s) {
+    case DiagSeverity::kError:
+      return "error";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+namespace {
+
+struct CodeEntry {
+  std::string_view code;
+  DiagSeverity severity;
+  std::string_view summary;
+};
+
+constexpr CodeEntry kCodeTable[] = {
+    {diag::kUnsafeHeadVar, DiagSeverity::kError,
+     "head variable not bound by any positive body goal"},
+    {diag::kUnsafeBodyVar, DiagSeverity::kError,
+     "variable in a negated or built-in goal not bound by any positive "
+     "body goal"},
+    {diag::kUndefinedPredicate, DiagSeverity::kWarning,
+     "predicate used in a rule body but never defined by a fact or rule"},
+    {diag::kUnusedPredicate, DiagSeverity::kWarning,
+     "predicate defined but never used"},
+    {diag::kArityMismatch, DiagSeverity::kWarning,
+     "predicate name used with inconsistent arities"},
+    {diag::kDuplicateChoice, DiagSeverity::kWarning,
+     "duplicate choice goal in one rule"},
+    {diag::kDegenerateChoice, DiagSeverity::kWarning,
+     "degenerate choice FD (trivially satisfied)"},
+    {diag::kUnboundExtremaCost, DiagSeverity::kError,
+     "extrema cost variable not bound by any positive body goal"},
+    {diag::kNotStageStratified, DiagSeverity::kError,
+     "recursive clique is not stage-stratified"},
+    {diag::kUnreachableRule, DiagSeverity::kWarning,
+     "rule cannot contribute to any query root"},
+    {diag::kRelaxedStratification, DiagSeverity::kNote,
+     "clique accepted under relaxed flat-rule stratification only"},
+    {diag::kParseError, DiagSeverity::kError, "syntax error"},
+    {diag::kMultipleNext, DiagSeverity::kError,
+     "rule has more than one next goal"},
+    {diag::kBadStageVar, DiagSeverity::kError,
+     "stage variable of next(...) must appear exactly once in the head"},
+    {diag::kMultipleExtrema, DiagSeverity::kError,
+     "rule has more than one extrema goal"},
+    {diag::kNonVariableCost, DiagSeverity::kError,
+     "extrema cost must be a single variable"},
+    {diag::kCostInGroup, DiagSeverity::kError,
+     "extrema cost variable may not appear in the grouping"},
+    {diag::kConflictingStagePos, DiagSeverity::kError,
+     "predicate has conflicting stage argument positions"},
+    {diag::kTwoHeadStagePos, DiagSeverity::kError,
+     "rule places stage variables at two head positions"},
+    {diag::kMixedRuleKinds, DiagSeverity::kError,
+     "predicate mixes next rules and flat recursive rules"},
+    {diag::kMissingStageArg, DiagSeverity::kError,
+     "predicate in a stage clique has no stage argument"},
+};
+
+const CodeEntry* FindCode(std::string_view code) {
+  for (const CodeEntry& e : kCodeTable) {
+    if (e.code == code) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+DiagSeverity DiagCodeSeverity(std::string_view code) {
+  const CodeEntry* e = FindCode(code);
+  return e ? e->severity : DiagSeverity::kError;
+}
+
+std::string_view DiagCodeSummary(std::string_view code) {
+  const CodeEntry* e = FindCode(code);
+  return e ? e->summary : std::string_view{};
+}
+
+Diagnostic MakeDiagnostic(std::string_view code, std::string message) {
+  Diagnostic d;
+  d.code = std::string(code);
+  d.severity = DiagCodeSeverity(code);
+  d.message = std::move(message);
+  return d;
+}
+
+Status DiagnosticToStatus(const Diagnostic& d) {
+  std::string msg = "[" + d.code + "] " + d.message;
+  if (d.loc.valid()) msg += " at " + d.loc.ToString();
+  for (const std::string& n : d.notes) msg += "; " + n;
+  if (d.code == diag::kParseError) return Status::ParseError(std::move(msg));
+  return Status::AnalysisError(std::move(msg));
+}
+
+std::string DiagCodeOfStatus(const Status& st) {
+  if (st.ok()) return "";
+  const std::string& m = st.message();
+  if (m.size() < 3 || m[0] != '[') return "";
+  const size_t close = m.find(']');
+  if (close == std::string::npos) return "";
+  const std::string code = m.substr(1, close - 1);
+  if (code.size() < 3 || code.compare(0, 2, "GD") != 0) return "";
+  return code;
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::make_tuple(static_cast<int>(a.severity),
+                                            a.rule_index, a.loc.line,
+                                            a.loc.column, a.code) <
+                            std::make_tuple(static_cast<int>(b.severity),
+                                            b.rule_index, b.loc.line,
+                                            b.loc.column, b.code);
+                   });
+}
+
+DiagCounts CountDiagnostics(const std::vector<Diagnostic>& diags) {
+  DiagCounts c;
+  for (const Diagnostic& d : diags) {
+    switch (d.severity) {
+      case DiagSeverity::kError:
+        ++c.errors;
+        break;
+      case DiagSeverity::kWarning:
+        ++c.warnings;
+        break;
+      case DiagSeverity::kNote:
+        ++c.notes;
+        break;
+    }
+  }
+  return c;
+}
+
+std::string RenderDiagnostic(const Diagnostic& d, std::string_view file) {
+  std::string out;
+  if (!file.empty()) out += std::string(file) + ":";
+  if (d.loc.valid()) {
+    out += std::to_string(d.loc.line) + ":" + std::to_string(d.loc.column) +
+           ":";
+  }
+  if (!out.empty()) out += " ";
+  out += std::string(DiagSeverityName(d.severity)) + "[" + d.code +
+         "]: " + d.message;
+  if (!d.predicate.empty()) out += " [" + d.predicate + "]";
+  if (d.rule_index >= 0) out += " (rule " + std::to_string(d.rule_index) + ")";
+  out += "\n";
+  for (const std::string& n : d.notes) out += "    note: " + n + "\n";
+  return out;
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diags,
+                              std::string_view file) {
+  std::string out;
+  for (const Diagnostic& d : diags) out += RenderDiagnostic(d, file);
+  const DiagCounts c = CountDiagnostics(diags);
+  out += std::to_string(c.errors) + " error(s), " +
+         std::to_string(c.warnings) + " warning(s), " +
+         std::to_string(c.notes) + " note(s)\n";
+  return out;
+}
+
+void DiagnosticsToJson(const std::vector<Diagnostic>& diags,
+                       std::string_view program_name, JsonWriter* w) {
+  const DiagCounts c = CountDiagnostics(diags);
+  w->BeginObject();
+  w->Key("program").String(program_name);
+  w->Key("summary").BeginObject();
+  w->Key("errors").UInt(c.errors);
+  w->Key("warnings").UInt(c.warnings);
+  w->Key("notes").UInt(c.notes);
+  w->EndObject();
+  w->Key("diagnostics").BeginArray();
+  for (const Diagnostic& d : diags) {
+    w->BeginObject();
+    w->Key("code").String(d.code);
+    w->Key("severity").String(DiagSeverityName(d.severity));
+    w->Key("message").String(d.message);
+    if (!d.predicate.empty()) w->Key("predicate").String(d.predicate);
+    if (d.rule_index >= 0) w->Key("rule").Int(d.rule_index);
+    if (d.loc.valid()) {
+      w->Key("line").Int(d.loc.line);
+      w->Key("column").Int(d.loc.column);
+    }
+    if (!d.notes.empty()) {
+      w->Key("notes").BeginArray();
+      for (const std::string& n : d.notes) w->String(n);
+      w->EndArray();
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string DiagnosticsJson(const std::vector<Diagnostic>& diags,
+                            std::string_view program_name) {
+  JsonWriter w;
+  DiagnosticsToJson(diags, program_name, &w);
+  return w.Take();
+}
+
+}  // namespace gdlog

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/diagnostics.h"
 #include "common/logging.h"
 
 namespace gdlog {
@@ -68,8 +69,9 @@ Result<Program> ExpandNext(const Program& program) {
       continue;
     }
     if (next_count > 1) {
-      return Status::AnalysisError("rule for " + r.head.predicate +
-                                   " has more than one next goal");
+      return DiagnosticToStatus(MakeDiagnostic(
+          diag::kMultipleNext, "rule for " + r.head.predicate +
+                                   " has more than one next goal"));
     }
     // Locate the stage variable and its (unique) position in the head.
     const auto next_it = std::find_if(
@@ -81,18 +83,20 @@ Result<Program> ExpandNext(const Program& program) {
       const TermNode& arg = r.head.args[j];
       if (arg.is_var() && arg.name == stage_var) {
         if (stage_pos >= 0) {
-          return Status::AnalysisError(
+          return DiagnosticToStatus(MakeDiagnostic(
+              diag::kBadStageVar,
               "stage variable " + stage_var + " appears more than once in "
-              "the head of a rule for " + r.head.predicate);
+              "the head of a rule for " + r.head.predicate));
         }
         stage_pos = static_cast<int>(j);
       }
     }
     if (stage_pos < 0) {
-      return Status::AnalysisError(
+      return DiagnosticToStatus(MakeDiagnostic(
+          diag::kBadStageVar,
           "stage variable " + stage_var +
-          " of next(...) does not appear in the head of a rule for " +
-          r.head.predicate);
+              " of next(...) does not appear in the head of a rule for " +
+              r.head.predicate));
     }
     // Build: p(_..., I1), I = I1 + 1, choice(I, W), choice(W, I).
     Rule nr;
@@ -245,8 +249,9 @@ Result<Program> RewriteExtrema(const Program& program) {
           return l.kind == LiteralKind::kLeast || l.kind == LiteralKind::kMost;
         });
     if (count > 1) {
-      return Status::AnalysisError("rule for " + r.head.predicate +
-                                   " has more than one extrema goal");
+      return DiagnosticToStatus(MakeDiagnostic(
+          diag::kMultipleExtrema, "rule for " + r.head.predicate +
+                                      " has more than one extrema goal"));
     }
     const auto ext_it = std::find_if(
         r.body.begin(), r.body.end(), [](const Literal& l) {
@@ -256,17 +261,19 @@ Result<Program> RewriteExtrema(const Program& program) {
     const TermNode& cost = ext_it->args[0];
     const TermNode& group = ext_it->args[1];
     if (!cost.is_var()) {
-      return Status::AnalysisError("extrema cost in a rule for " +
-                                   r.head.predicate +
-                                   " must be a single variable");
+      return DiagnosticToStatus(MakeDiagnostic(
+          diag::kNonVariableCost, "extrema cost in a rule for " +
+                                      r.head.predicate +
+                                      " must be a single variable"));
     }
     const std::vector<std::string> group_vars = TermVars(group);
     if (std::find(group_vars.begin(), group_vars.end(), cost.name) !=
         group_vars.end()) {
-      return Status::AnalysisError(
+      return DiagnosticToStatus(MakeDiagnostic(
+          diag::kCostInGroup,
           "extrema cost variable " + cost.name +
-          " may not also appear in the grouping of a rule for " +
-          r.head.predicate);
+              " may not also appear in the grouping of a rule for " +
+              r.head.predicate));
     }
 
     Rule nr;

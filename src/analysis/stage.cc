@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/diagnostics.h"
 #include "analysis/rewriter.h"
 #include "common/logging.h"
 
@@ -437,10 +438,11 @@ Result<StageAnalysis> AnalyzeStages(const Program& program,
       const PredIndex head = graph.Lookup(
           orig.head.predicate, static_cast<uint32_t>(orig.head.args.size()));
       if (out.stage_arg[head] >= 0 && out.stage_arg[head] != pos) {
-        return Status::AnalysisError(
+        return DiagnosticToStatus(MakeDiagnostic(
+            diag::kConflictingStagePos,
             "predicate " + graph.name(head) + " has conflicting stage "
             "argument positions " + std::to_string(out.stage_arg[head]) +
-            " and " + std::to_string(pos));
+            " and " + std::to_string(pos)));
       }
       out.stage_arg[head] = pos;
     }
@@ -461,10 +463,12 @@ Result<StageAnalysis> AnalyzeStages(const Program& program,
           const TermNode& t = orig.head.args[j];
           if (t.is_var() && sv.count(t.name)) {
             if (pos >= 0) {
-              return Status::AnalysisError(
+              return DiagnosticToStatus(MakeDiagnostic(
+                  diag::kTwoHeadStagePos,
                   "rule for " + graph.name(head) +
-                  " places stage variables at two head positions (" +
-                  std::to_string(pos) + " and " + std::to_string(j) + ")");
+                      " places stage variables at two head positions (" +
+                      std::to_string(pos) + " and " + std::to_string(j) +
+                      ")"));
             }
             pos = static_cast<int>(j);
           }
@@ -472,10 +476,11 @@ Result<StageAnalysis> AnalyzeStages(const Program& program,
         if (pos < 0) continue;
         if (out.stage_arg[head] == pos) continue;
         if (out.stage_arg[head] >= 0) {
-          return Status::AnalysisError(
+          return DiagnosticToStatus(MakeDiagnostic(
+              diag::kConflictingStagePos,
               "predicate " + graph.name(head) + " has conflicting stage "
               "argument positions " + std::to_string(out.stage_arg[head]) +
-              " and " + std::to_string(pos));
+              " and " + std::to_string(pos)));
         }
         out.stage_arg[head] = pos;
         changed = true;
@@ -510,6 +515,7 @@ Result<StageAnalysis> AnalyzeStages(const Program& program,
       }
       if (recursive && (internal_neg || recursive_extrema)) {
         cl.cls = CliqueClass::kRejected;
+        cl.code = diag::kNotStageStratified;
         cl.diagnostic =
             recursive_extrema
                 ? "extrema in recursion without stage variables"
@@ -531,12 +537,14 @@ Result<StageAnalysis> AnalyzeStages(const Program& program,
     }
 
     // --- Stage clique structural conditions -----------------------------
-    std::string diag;
+    std::string problem;
+    std::string problem_code;
     // (a) every recursive predicate has exactly one stage argument.
     for (PredIndex p : cl.members) {
       if (graph.IsIdb(p) && out.stage_arg[p] < 0 && recursive) {
-        diag = "predicate " + graph.name(p) +
-               " in a stage clique has no stage argument";
+        problem = "predicate " + graph.name(p) +
+                  " in a stage clique has no stage argument";
+        problem_code = diag::kMissingStageArg;
       }
     }
     // (b) recursive rules for one predicate are all next or all flat.
@@ -547,13 +555,15 @@ Result<StageAnalysis> AnalyzeStages(const Program& program,
         if (out.rule_info[ri].kind == RuleKind::kFlat) has_flat = true;
       }
       if (has_next && has_flat) {
-        diag = "predicate " + graph.name(p) +
-               " mixes next rules and flat recursive rules";
+        problem = "predicate " + graph.name(p) +
+                  " mixes next rules and flat recursive rules";
+        problem_code = diag::kMixedRuleKinds;
       }
     }
-    if (!diag.empty()) {
+    if (!problem.empty()) {
       cl.cls = CliqueClass::kRejected;
-      cl.diagnostic = diag;
+      cl.diagnostic = problem;
+      cl.code = problem_code;
       continue;
     }
 
@@ -599,9 +609,15 @@ Result<StageAnalysis> AnalyzeStages(const Program& program,
 
     if (next_violation) {
       cl.cls = CliqueClass::kRejected;
+      cl.code = diag::kNotStageStratified;
     } else if (flat_violation) {
-      cl.cls = options.allow_relaxed_flat_rules ? CliqueClass::kRelaxedStage
-                                                : CliqueClass::kRejected;
+      if (options.allow_relaxed_flat_rules) {
+        cl.cls = CliqueClass::kRelaxedStage;
+        cl.code = diag::kRelaxedStratification;
+      } else {
+        cl.cls = CliqueClass::kRejected;
+        cl.code = diag::kNotStageStratified;
+      }
     } else {
       cl.cls = CliqueClass::kStageStratified;
       cl.diagnostic.clear();

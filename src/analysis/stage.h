@@ -64,6 +64,9 @@ struct CliqueStageInfo {
   CliqueClass cls = CliqueClass::kHorn;
   // Human-readable explanation when cls is kRelaxedStage or kRejected.
   std::string diagnostic;
+  // Diagnostic code (diag::k* in analysis/diagnostics.h, e.g. "GD009")
+  // when cls is kRelaxedStage or kRejected; empty otherwise.
+  std::string code;
   // Predicates of the clique (indices into the DependencyGraph).
   std::vector<PredIndex> members;
   // Rule indices (into the analyzed Program) whose head is in the clique.

@@ -63,10 +63,18 @@ Status Engine::LoadProgramAst(Program program) {
   phase_times_.analyze_ns += WallNowNs() - t0;
   GDLOG_RETURN_IF_ERROR(analyzed.status());
   StageAnalysis analysis = std::move(*analyzed);
-  for (const CliqueStageInfo& cl : analysis.cliques) {
-    if (cl.cls == CliqueClass::kRejected) {
-      return Status::AnalysisError(cl.diagnostic);
+  for (uint32_t scc = 0; scc < analysis.cliques.size(); ++scc) {
+    const CliqueStageInfo& cl = analysis.cliques[scc];
+    if (cl.cls != CliqueClass::kRejected) continue;
+    Diagnostic d = MakeDiagnostic(
+        cl.code.empty() ? std::string_view(diag::kNotStageStratified)
+                        : std::string_view(cl.code),
+        cl.diagnostic);
+    if (!cl.rules.empty()) {
+      d.rule_index = static_cast<int>(cl.rules[0]);
+      d.loc = program.rules[cl.rules[0]].loc;
     }
+    return DiagnosticToStatus(d);
   }
   program_ = std::make_unique<Program>(std::move(program));
   analysis_ = std::make_unique<StageAnalysis>(std::move(analysis));
@@ -266,6 +274,22 @@ Result<std::string> Engine::RunReport() const {
   }
   w.EndArray();
 
+  // Lint summary, same code scheme as the standalone diagnostics JSON
+  // (--lint-json), so report consumers see compile-time findings too.
+  {
+    LintOptions lopts;
+    lopts.stage = options_.stage;
+    const LintResult lint = LintProgram(*program_, lopts);
+    w.Key("diagnostics").BeginObject();
+    w.Key("errors").UInt(lint.counts.errors);
+    w.Key("warnings").UInt(lint.counts.warnings);
+    w.Key("notes").UInt(lint.counts.notes);
+    w.Key("codes").BeginArray();
+    for (const Diagnostic& d : lint.diagnostics) w.String(d.code);
+    w.EndArray();
+    w.EndObject();
+  }
+
   w.Key("metrics");
   if (metrics_ != nullptr) {
     metrics_->SnapshotJson(&w);
@@ -330,6 +354,15 @@ Result<std::string> Engine::AnalysisReport() const {
     }
   }
   return out;
+}
+
+Result<LintResult> Engine::Lint(const LintOptions& options) const {
+  if (!program_) return Status::InvalidArgument("no program loaded");
+  LintOptions opts = options;
+  // Default the stage options to the engine's, so Lint agrees with what
+  // LoadProgram accepted.
+  opts.stage = options_.stage;
+  return LintProgram(*program_, opts);
 }
 
 Result<StableCheckResult> Engine::VerifyStableModel() const {

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "analysis/stage.h"
 #include "ast/ast.h"
 #include "common/status.h"
@@ -129,6 +130,12 @@ class Engine {
   /// Human-readable report of the Section 4 analysis: every recursive
   /// clique with its classification, stage arguments, and rule kinds.
   Result<std::string> AnalysisReport() const;
+
+  /// Runs every compile-time check on the loaded program and returns
+  /// structured diagnostics (analysis/lint.h). Unlike LoadProgram, this
+  /// never fails on a bad program — problems come back as Diagnostic
+  /// records. Requires a loaded program.
+  Result<LintResult> Lint(const LintOptions& options = {}) const;
 
   /// Verifies the computed result is a stable model (Theorem 1). Call
   /// after Run; intended for tests at small scale.

@@ -7,6 +7,11 @@
 
 namespace gdlog {
 
+std::string SourceLoc::ToString() const {
+  if (!valid()) return "unknown location";
+  return "line " + std::to_string(line) + ", column " + std::to_string(column);
+}
+
 bool IsArithmeticFunctor(const std::string& name) {
   return name == "+" || name == "-" || name == "*" || name == "/" ||
          name == "mod" || name == "min" || name == "max";

@@ -26,6 +26,23 @@
 namespace gdlog {
 
 // ---------------------------------------------------------------------------
+// Source locations
+// ---------------------------------------------------------------------------
+
+/// 1-based position of a syntactic construct in the program text. The
+/// parser stamps every rule and literal with the location of its first
+/// token; programmatically-built ASTs leave locations invalid (0,0).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+  /// "line L, column C" (or "unknown location").
+  std::string ToString() const;
+  bool operator==(const SourceLoc&) const = default;
+};
+
+// ---------------------------------------------------------------------------
 // Terms
 // ---------------------------------------------------------------------------
 
@@ -106,6 +123,10 @@ enum class LiteralKind : uint8_t {
 
 struct Literal {
   LiteralKind kind;
+
+  // Location of the literal's first token (invalid for synthesized
+  // literals, e.g. rewriter output).
+  SourceLoc loc;
 
   // kAtom
   std::string predicate;
@@ -192,6 +213,8 @@ struct Literal {
 struct Rule {
   Literal head;  // always a positive kAtom
   std::vector<Literal> body;
+  // Location of the rule's first token (the head predicate name).
+  SourceLoc loc;
 
   bool is_fact() const { return body.empty(); }
   /// True if any body literal is next(_).

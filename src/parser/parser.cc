@@ -89,10 +89,14 @@ class Parser {
     return "_G" + std::to_string(anon_counter_++);
   }
 
+  static SourceLoc LocOf(const Token& t) { return SourceLoc{t.line, t.column}; }
+
   Result<Rule> ParseOneRule() {
     anon_counter_ = 0;
+    const SourceLoc loc = LocOf(Peek());
     GDLOG_ASSIGN_OR_RETURN(Literal head, ParseAtom(/*negated=*/false));
     Rule rule;
+    rule.loc = loc;
     rule.head = std::move(head);
     if (Match(TokenKind::kArrow)) {
       GDLOG_ASSIGN_OR_RETURN(rule.body, ParseBody());
@@ -111,6 +115,13 @@ class Parser {
   }
 
   Result<Literal> ParseLiteral() {
+    const SourceLoc loc = LocOf(Peek());
+    GDLOG_ASSIGN_OR_RETURN(Literal lit, ParseLiteralImpl());
+    lit.loc = loc;
+    return lit;
+  }
+
+  Result<Literal> ParseLiteralImpl() {
     if (Check(TokenKind::kIdent)) {
       const std::string& word = Peek().text;
       if (word == "not") {
@@ -193,6 +204,7 @@ class Parser {
     if (!Check(TokenKind::kIdent)) {
       return Error("expected a predicate name");
     }
+    const SourceLoc loc = LocOf(Peek());
     std::string name = Peek().text;
     ++pos_;
     std::vector<TermNode> args;
@@ -206,7 +218,9 @@ class Parser {
       GDLOG_RETURN_IF_ERROR(
           Expect(TokenKind::kRParen, "to close argument list"));
     }
-    return Literal::Atom(std::move(name), std::move(args), negated);
+    Literal atom = Literal::Atom(std::move(name), std::move(args), negated);
+    atom.loc = loc;
+    return atom;
   }
 
   // expr := mul { (+|-) mul }

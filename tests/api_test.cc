@@ -56,6 +56,22 @@ TEST(Api, AnalysisErrorsSurface) {
   )");
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kAnalysisError);
+  EXPECT_EQ(DiagCodeOfStatus(st), diag::kNotStageStratified);
+}
+
+TEST(Api, LintReportsDiagnosticsWithoutFailing) {
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram(R"(
+    p(X) <- q(X).
+    q(1).
+    orphan(9).
+  )").ok());
+  auto lint = e.Lint();
+  ASSERT_TRUE(lint.ok());
+  EXPECT_TRUE(lint->clean());
+  EXPECT_EQ(lint->counts.warnings, 1u);  // orphan/1 is unused (GD004)
+  ASSERT_EQ(lint->diagnostics.size(), 1u);
+  EXPECT_EQ(lint->diagnostics[0].code, diag::kUnusedPredicate);
 }
 
 TEST(Api, UnsafeRuleRejectedAtRun) {

@@ -157,6 +157,7 @@ TEST(EngineBasic, RejectsUnstratifiedNegation) {
   )");
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kAnalysisError);
+  EXPECT_EQ(DiagCodeOfStatus(st), diag::kNotStageStratified);
 }
 
 }  // namespace

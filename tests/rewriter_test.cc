@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/diagnostics.h"
 #include "ast/printer.h"
 #include "parser/parser.h"
 
@@ -45,12 +46,23 @@ TEST(ExpandNext, RejectsStageVarNotInHead) {
   Program p = MustParse(&store, "q(X) <- next(I), p(X).");
   auto expanded = ExpandNext(p);
   EXPECT_FALSE(expanded.ok());
+  EXPECT_EQ(DiagCodeOfStatus(expanded.status()), diag::kBadStageVar);
 }
 
 TEST(ExpandNext, RejectsDuplicateStagePosition) {
   ValueStore store;
   Program p = MustParse(&store, "q(I, I) <- next(I), p(I).");
-  EXPECT_FALSE(ExpandNext(p).ok());
+  auto expanded = ExpandNext(p);
+  EXPECT_FALSE(expanded.ok());
+  EXPECT_EQ(DiagCodeOfStatus(expanded.status()), diag::kBadStageVar);
+}
+
+TEST(ExpandNext, RejectsMultipleNextGoals) {
+  ValueStore store;
+  Program p = MustParse(&store, "q(I, J) <- next(I), next(J), p(I, J).");
+  auto expanded = ExpandNext(p);
+  EXPECT_FALSE(expanded.ok());
+  EXPECT_EQ(DiagCodeOfStatus(expanded.status()), diag::kMultipleNext);
 }
 
 TEST(RewriteChoice, Example1Structure) {
@@ -121,13 +133,25 @@ TEST(RewriteExtrema, MostUsesGreaterThan) {
 TEST(RewriteExtrema, RejectsMultipleExtrema) {
   ValueStore store;
   Program p = MustParse(&store, "m(X, C, D) <- q(X, C, D), least(C), most(D).");
-  EXPECT_FALSE(RewriteExtrema(p).ok());
+  auto q = RewriteExtrema(p);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(DiagCodeOfStatus(q.status()), diag::kMultipleExtrema);
 }
 
 TEST(RewriteExtrema, RejectsNonVariableCost) {
   ValueStore store;
   Program p = MustParse(&store, "m(X) <- q(X, C), least(C + 1).");
-  EXPECT_FALSE(RewriteExtrema(p).ok());
+  auto q = RewriteExtrema(p);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(DiagCodeOfStatus(q.status()), diag::kNonVariableCost);
+}
+
+TEST(RewriteExtrema, RejectsCostInGrouping) {
+  ValueStore store;
+  Program p = MustParse(&store, "m(X, C) <- q(X, C), least(C, (X, C)).");
+  auto q = RewriteExtrema(p);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(DiagCodeOfStatus(q.status()), diag::kCostInGroup);
 }
 
 TEST(NormalizeNotExists, AuxPredicateIntroduced) {

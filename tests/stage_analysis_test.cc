@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/dep_graph.h"
+#include "analysis/diagnostics.h"
 #include "parser/parser.h"
 
 namespace gdlog {
@@ -172,6 +173,7 @@ TEST(StageAnalysis, RelaxedFlatRuleNegation) {
   StageAnalysis a = MustAnalyze(prog);
   const CliqueStageInfo& cl = CliqueOf(a, "p", 2);
   EXPECT_EQ(cl.cls, CliqueClass::kRelaxedStage) << cl.diagnostic;
+  EXPECT_EQ(cl.code, diag::kRelaxedStratification);
 
   StageAnalysisOptions strict;
   strict.allow_relaxed_flat_rules = false;
@@ -179,6 +181,8 @@ TEST(StageAnalysis, RelaxedFlatRuleNegation) {
   ASSERT_TRUE(a2.ok());
   const PredIndex p = a2->graph->Lookup("p", 2);
   EXPECT_EQ(a2->cliques[a2->graph->scc_of(p)].cls, CliqueClass::kRejected);
+  EXPECT_EQ(a2->cliques[a2->graph->scc_of(p)].code,
+            diag::kNotStageStratified);
 }
 
 TEST(StageAnalysis, MixedNextAndFlatRulesRejected) {
@@ -190,6 +194,31 @@ TEST(StageAnalysis, MixedNextAndFlatRulesRejected) {
   )");
   StageAnalysis a = MustAnalyze(p);
   EXPECT_EQ(CliqueOf(a, "p", 2).cls, CliqueClass::kRejected);
+  EXPECT_EQ(CliqueOf(a, "p", 2).code, diag::kMixedRuleKinds);
+}
+
+TEST(StageAnalysis, ConflictingStagePositionsReportCode) {
+  ValueStore store;
+  Program p = MustParse(&store, R"(
+    p(nil, 0).
+    p(X, I) <- next(I), q(X).
+    p(I, X) <- next(I), q(X).
+  )");
+  auto a = AnalyzeStages(p);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(DiagCodeOfStatus(a.status()), diag::kConflictingStagePos);
+}
+
+TEST(StageAnalysis, NonStratifiedCliqueReportsCode) {
+  ValueStore store;
+  Program p = MustParse(&store, R"(
+    p(X) <- q(X), not r(X).
+    r(X) <- q(X), not p(X).
+  )");
+  StageAnalysis a = MustAnalyze(p);
+  const CliqueStageInfo& cl = CliqueOf(a, "p", 1);
+  EXPECT_EQ(cl.cls, CliqueClass::kRejected);
+  EXPECT_EQ(cl.code, diag::kNotStageStratified);
 }
 
 TEST(StageAnalysis, HornCliqueUntouched) {

@@ -6,6 +6,8 @@
 // Batch options:
 //   --query pred/arity   print one relation (repeatable; default: all IDB)
 //   --seed N             choice tie-break seed (explore stable models)
+//   --lint               lint only: print diagnostics, exit 1 on errors
+//   --lint-json          like --lint, but machine-readable JSON
 //   --report             print the Section 4 analysis report
 //   --rewrite            print the first-order rewriting (Sections 2-3)
 //   --verify             run the Gelfond-Lifschitz stable-model check
@@ -15,9 +17,14 @@
 //   --no-merge           disable congruence merging ((R,Q,L) ablation)
 //   --linear-least       naive linear-scan retrieval instead of the heap
 //
+// With --lint/--lint-json the program is parsed and analyzed but never
+// evaluated; --query specs become the lint's query roots (enabling the
+// unreachable-rule check GD010).
+//
 // Interactive commands (see .help):
-//   .load PATH | .run | .query pred/arity | .stats | .json | .report
-//   .rewrite | .verify | .trace on [PATH] | .trace off | .seed N | .quit
+//   .load PATH | .run | .query pred/arity | .lint | .stats | .json
+//   .report | .rewrite | .verify | .trace on [PATH] | .trace off
+//   .seed N | .quit
 //
 // Example:
 //   $ gdlog_shell prim.dl --query prm/4 --verify --trace prim_trace.json
@@ -35,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "api/engine.h"
 #include "storage/tuple.h"
 
@@ -43,6 +51,7 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s PROGRAM.dl [--query pred/arity]... [--seed N] "
+               "[--lint] [--lint-json] "
                "[--report] [--rewrite] [--verify] [--stats] [--json-report] "
                "[--trace PATH] [--no-merge] [--linear-least]\n"
                "       %s --interactive [options]\n",
@@ -119,6 +128,28 @@ void PrintStats(const gdlog::Engine& engine) {
   }
 }
 
+/// Lints `text` without evaluating it; returns 0 when error-free.
+/// `queries` (pred/arity specs) become the lint's query roots.
+int RunLint(const std::string& name, const std::string& text,
+            const std::vector<Query>& queries,
+            const gdlog::EngineOptions& options, bool json) {
+  gdlog::LintOptions lopts;
+  lopts.stage = options.stage;
+  for (const Query& q : queries) {
+    lopts.roots.push_back({q.pred, q.arity});
+  }
+  gdlog::ValueStore store;
+  const gdlog::LintResult result = gdlog::LintSource(&store, text, lopts);
+  if (json) {
+    std::printf("%s\n",
+                gdlog::DiagnosticsJson(result.diagnostics, name).c_str());
+  } else {
+    std::printf("%s", gdlog::RenderDiagnostics(result.diagnostics, name)
+                          .c_str());
+  }
+  return result.clean() ? 0 : 1;
+}
+
 // ---------------------------------------------------------------------------
 // Interactive mode
 // ---------------------------------------------------------------------------
@@ -148,6 +179,7 @@ void PrintHelp() {
       ".load PATH        load a program (replaces the current one)\n"
       ".run              evaluate to the choice fixpoint\n"
       ".query pred/arity print one relation\n"
+      ".lint             compile-time diagnostics for the loaded program\n"
       ".stats            per-phase and per-rule evaluation statistics\n"
       ".json             machine-readable run report (RunReport JSON)\n"
       ".report           Section 4 stage-analysis report\n"
@@ -243,6 +275,13 @@ int RunInteractive(gdlog::EngineOptions options) {
         continue;
       }
       PrintRelation(*sh.engine, q.pred, q.arity);
+    } else if (cmd == ".lint") {
+      if (sh.program_text.empty()) {
+        std::printf("error: no program loaded (.load PATH first)\n");
+        continue;
+      }
+      RunLint(sh.program_path, sh.program_text, {}, sh.options,
+              /*json=*/arg1 == "json");
     } else if (cmd == ".stats") {
       if (sh.engine) {
         PrintStats(*sh.engine);
@@ -304,6 +343,7 @@ int main(int argc, char** argv) {
   std::vector<Query> queries;
   bool report = false, rewrite = false, verify = false, stats = false;
   bool json_report = false, interactive = false;
+  bool lint = false, lint_json = false;
   gdlog::EngineOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -320,6 +360,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace" && i + 1 < argc) {
       options.obs.enabled = true;
       options.obs.trace_path = argv[++i];
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--lint-json") {
+      lint = true;
+      lint_json = true;
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--rewrite") {
@@ -356,6 +401,8 @@ int main(int argc, char** argv) {
   }
   std::ostringstream text;
   text << in.rdbuf();
+
+  if (lint) return RunLint(path, text.str(), queries, options, lint_json);
 
   gdlog::Engine engine(options);
   gdlog::Status st = engine.LoadProgram(text.str());
