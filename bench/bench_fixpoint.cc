@@ -120,6 +120,21 @@ void RecordInstrumentedRun() {
   const Graph g = ConnectedRandomGraph(400, 1200, gopts);
   auto r = PrimMst(g, 0, opts);
   GDLOG_CHECK(r.ok());
+  // A direct engine run whose guardrail outcome (termination reason,
+  // tracked peak memory) lands in the report's "runs" array.
+  Engine e(opts);
+  GDLOG_CHECK(e.LoadProgram(R"(
+    tc(X, Y) <- edge(X, Y).
+    tc(X, Z) <- tc(X, Y), edge(Y, Z).
+  )").ok());
+  for (uint32_t i = 0; i + 1 < 400; ++i) {
+    GDLOG_CHECK(e.AddFact("edge", {Value::Int(i), Value::Int(i + 1)}).ok());
+  }
+  GDLOG_CHECK(e.Run().ok());
+  const RunOutcome& o = e.outcome();
+  bench::RecordRunOutcome("tc_chain_400", TerminationReasonName(o.reason),
+                          o.status.ok(), o.guard_checks,
+                          o.peak_memory_bytes);
 }
 
 void BM_TransitiveClosure(benchmark::State& state) {

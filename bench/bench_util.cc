@@ -1,5 +1,7 @@
 #include "bench_util.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -25,6 +27,18 @@ std::vector<std::string>* RecordedTables() {
   return tables;
 }
 
+std::vector<std::string>* RecordedRuns() {
+  static auto* runs = new std::vector<std::string>;  // see JsonPath
+  return runs;
+}
+
+uint64_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+}
+
 void WriteJsonReport() {
   const std::string& path = *JsonPath();
   if (path.empty()) return;
@@ -40,7 +54,15 @@ void WriteJsonReport() {
     if (i) out += ',';
     out += tables[i];
   }
-  out += "],\"metrics\":";
+  out += "],\"runs\":[";
+  const auto& runs = *RecordedRuns();
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i) out += ',';
+    out += runs[i];
+  }
+  out += "],\"process\":{\"peak_rss_bytes\":";
+  out += std::to_string(PeakRssBytes());
+  out += "},\"metrics\":";
   out += ProcessMetrics().SnapshotJson();
   out += "}\n";
   std::fwrite(out.data(), 1, out.size(), f);
@@ -69,6 +91,21 @@ void InitBenchReport(int* argc, char** argv) {
 }
 
 bool JsonReportEnabled() { return !JsonPath()->empty(); }
+
+void RecordRunOutcome(const std::string& label, std::string_view reason,
+                      bool ok, uint64_t guard_checks,
+                      uint64_t peak_memory_bytes) {
+  if (!JsonReportEnabled()) return;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("label").String(label);
+  w.Key("reason").String(std::string(reason));
+  w.Key("ok").Bool(ok);
+  w.Key("guard_checks").UInt(guard_checks);
+  w.Key("peak_memory_bytes").UInt(peak_memory_bytes);
+  w.EndObject();
+  RecordedRuns()->push_back(w.Take());
+}
 
 MetricsRegistry& ProcessMetrics() {
   static MetricsRegistry* registry = new MetricsRegistry;  // see JsonPath

@@ -78,6 +78,14 @@ class ExperimentTable {
 void InitBenchReport(int* argc, char** argv);
 bool JsonReportEnabled();
 
+/// Records one engine run's termination outcome for the JSON report's
+/// "runs" array: how the run ended (guardrails taxonomy, see
+/// docs/ROBUSTNESS.md) and its tracked peak memory. No-op outside JSON
+/// mode.
+void RecordRunOutcome(const std::string& label, std::string_view reason,
+                      bool ok, uint64_t guard_checks,
+                      uint64_t peak_memory_bytes);
+
 /// Process-wide metrics registry, embedded in the JSON report. Bench
 /// code may pass it to engines via EngineOptions::obs.metrics to
 /// accumulate evaluation metrics across runs.

@@ -1,0 +1,42 @@
+// libFuzzer harness for the lexer + parser front end.
+//
+// The contract under test: arbitrary bytes fed to ParseProgram either
+// produce a Program or a ParseError Status — never a crash, hang, or
+// sanitizer report. Programs that parse are additionally pushed through
+// stage analysis and lint, which must also fail only via Status /
+// Diagnostic, and through an evaluation bounded hard enough that no
+// input can stall the fuzzer.
+//
+// Build:  cmake -B build -DCMAKE_CXX_COMPILER=clang++ -DGDLOG_FUZZ=ON \
+//               -DGDLOG_SANITIZE=ON && cmake --build build
+// Run:    build/fuzz/fuzz_parser fuzz/corpus  (see fuzz/CMakeLists.txt
+//         for the seed-corpus target)
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "analysis/lint.h"
+#include "api/engine.h"
+#include "value/value.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  // Lint first: it exercises parse + analysis and must never abort.
+  {
+    gdlog::ValueStore store;
+    (void)gdlog::LintSource(&store, text, {});
+  }
+
+  // Then a bounded end-to-end run. The guardrails keep any accidentally
+  // valid-and-runaway program from hanging the fuzzer.
+  gdlog::EngineOptions options;
+  options.limits.deadline_ms = 100;
+  options.limits.max_tuples = 10000;
+  options.limits.max_memory_bytes = 64ull << 20;
+  gdlog::Engine engine(options);
+  if (engine.LoadProgram(text).ok()) {
+    (void)engine.Run();
+  }
+  return 0;
+}

@@ -70,6 +70,24 @@ constexpr CodeEntry kCodeTable[] = {
      "predicate mixes next rules and flat recursive rules"},
     {diag::kMissingStageArg, DiagSeverity::kError,
      "predicate in a stage clique has no stage argument"},
+    {diag::kIntLiteralRange, DiagSeverity::kError,
+     "integer literal outside the engine's 61-bit value range"},
+    {diag::kDeadlineExceeded, DiagSeverity::kError,
+     "run stopped: wall-clock deadline exceeded"},
+    {diag::kTupleLimit, DiagSeverity::kError,
+     "run stopped: derived-tuple limit reached"},
+    {diag::kStageLimit, DiagSeverity::kError,
+     "run stopped: stage limit reached"},
+    {diag::kIterationLimit, DiagSeverity::kError,
+     "run stopped: fixpoint-iteration limit reached"},
+    {diag::kMemoryLimit, DiagSeverity::kError,
+     "run stopped: tracked-memory budget exceeded"},
+    {diag::kRunCancelled, DiagSeverity::kError,
+     "run stopped: cooperative cancellation requested"},
+    {diag::kOutOfMemory, DiagSeverity::kError,
+     "run stopped: allocation failure caught at the Run boundary"},
+    {diag::kInjectedFault, DiagSeverity::kError,
+     "run stopped: deterministic fault injected at a probe point"},
 };
 
 const CodeEntry* FindCode(std::string_view code) {

@@ -57,6 +57,16 @@ inline constexpr std::string_view kConflictingStagePos = "GD106";
 inline constexpr std::string_view kTwoHeadStagePos = "GD107";
 inline constexpr std::string_view kMixedRuleKinds = "GD108";
 inline constexpr std::string_view kMissingStageArg = "GD109";
+inline constexpr std::string_view kIntLiteralRange = "GD110";
+// -- Run-time termination outcomes (common/guardrails.h) -------------------
+inline constexpr std::string_view kDeadlineExceeded = "GD200";
+inline constexpr std::string_view kTupleLimit = "GD201";
+inline constexpr std::string_view kStageLimit = "GD202";
+inline constexpr std::string_view kIterationLimit = "GD203";
+inline constexpr std::string_view kMemoryLimit = "GD204";
+inline constexpr std::string_view kRunCancelled = "GD205";
+inline constexpr std::string_view kOutOfMemory = "GD206";
+inline constexpr std::string_view kInjectedFault = "GD207";
 }  // namespace diag
 
 /// Default severity of a code ("GDnnn"); kError for unknown codes.

@@ -1,7 +1,10 @@
 #include "api/engine.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <new>
 
+#include "analysis/diagnostics.h"
 #include "analysis/rewriter.h"
 #include "ast/printer.h"
 #include "common/logging.h"
@@ -27,6 +30,28 @@ Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
       store_(std::make_unique<ValueStore>()),
       catalog_(std::make_unique<Catalog>()) {
+  // Memory tracking is always on: the per-container recounts are O(1)
+  // amortized, and peak figures belong in every report, limit or not.
+  // Wired before the fault injector so the initial charge of the empty
+  // stores can never trip the "alloc" probe.
+  store_->set_memory_budget(&budget_);
+  catalog_->set_memory_budget(&budget_);
+  // Fault injection: explicit option first, GDLOG_FAULTS env fallback. A
+  // malformed spec is remembered and surfaced by LoadProgram/Run rather
+  // than aborting construction.
+  std::string spec = options_.faults;
+  if (spec.empty()) {
+    if (const char* env = std::getenv("GDLOG_FAULTS")) spec = env;
+  }
+  if (!spec.empty()) {
+    auto parsed = FaultInjector::Parse(spec);
+    if (parsed.ok()) {
+      injector_ = std::make_unique<FaultInjector>(std::move(*parsed));
+      budget_.set_fault_injector(injector_.get());
+    } else {
+      faults_status_ = parsed.status();
+    }
+  }
   if (options_.obs.enabled) {
     tracer_ = std::make_unique<Tracer>(options_.obs.sample_every);
     if (options_.obs.metrics != nullptr) {
@@ -40,20 +65,51 @@ Engine::Engine(EngineOptions options)
 
 Engine::~Engine() = default;
 
+namespace {
+
+Status InjectedFault(std::string_view probe) {
+  return Status::Internal(std::string("[") + std::string(diag::kInjectedFault) +
+                          "] injected fault at probe '" + std::string(probe) +
+                          "'");
+}
+
+Status OomStatus() {
+  return Status::OutOfMemory(std::string("[") +
+                             std::string(diag::kOutOfMemory) +
+                             "] allocation failed");
+}
+
+}  // namespace
+
 Status Engine::LoadProgram(std::string_view text) {
-  const uint64_t t0 = WallNowNs();
-  auto parsed = [&] {
-    TraceSpan span(tracer_.get(), "parse", "engine");
-    return ParseProgram(store_.get(), text);
-  }();
-  phase_times_.parse_ns += WallNowNs() - t0;
-  GDLOG_RETURN_IF_ERROR(parsed.status());
-  return LoadProgramAst(std::move(*parsed));
+  GDLOG_RETURN_IF_ERROR(faults_status_);
+  if (injector_ && injector_->Hit(FaultInjector::kParse)) {
+    return InjectedFault(FaultInjector::kParse);
+  }
+  // Parsing interns symbols, so with an armed "alloc" probe (or a truly
+  // exhausted heap) it can throw; surface that as a Status like any
+  // other load failure.
+  try {
+    const uint64_t t0 = WallNowNs();
+    auto parsed = [&] {
+      TraceSpan span(tracer_.get(), "parse", "engine");
+      return ParseProgram(store_.get(), text);
+    }();
+    phase_times_.parse_ns += WallNowNs() - t0;
+    GDLOG_RETURN_IF_ERROR(parsed.status());
+    return LoadProgramAst(std::move(*parsed));
+  } catch (const std::bad_alloc&) {
+    return OomStatus();
+  }
 }
 
 Status Engine::LoadProgramAst(Program program) {
+  GDLOG_RETURN_IF_ERROR(faults_status_);
   if (program_) {
     return Status::InvalidArgument("a program is already loaded");
+  }
+  if (injector_ && injector_->Hit(FaultInjector::kAnalyze)) {
+    return InjectedFault(FaultInjector::kAnalyze);
   }
   const uint64_t t0 = WallNowNs();
   auto analyzed = [&] {
@@ -83,10 +139,14 @@ Status Engine::LoadProgramAst(Program program) {
 
 Status Engine::AddFact(std::string_view predicate, std::vector<Value> args) {
   if (ran_) return Status::InvalidArgument("cannot add facts after Run");
-  const PredicateId id =
-      catalog_->Ensure(predicate, static_cast<uint32_t>(args.size()));
-  catalog_->relation(id).Insert(TupleView(args));
-  return Status::OK();
+  try {
+    const PredicateId id =
+        catalog_->Ensure(predicate, static_cast<uint32_t>(args.size()));
+    catalog_->relation(id).Insert(TupleView(args));
+    return Status::OK();
+  } catch (const std::bad_alloc&) {
+    return OomStatus();
+  }
 }
 
 namespace {
@@ -115,7 +175,45 @@ Result<Value> GroundValue(const TermNode& t, ValueStore* store) {
 Status Engine::Run() {
   if (!program_) return Status::InvalidArgument("no program loaded");
   if (ran_) return Status::InvalidArgument("engine already ran");
+  GDLOG_RETURN_IF_ERROR(faults_status_);
 
+  guard_ = std::make_unique<RunGuard>(options_.limits, &cancel_, &budget_,
+                                      injector_.get());
+  guard_->Arm();
+
+  Status st;
+  try {
+    st = RunInner();
+  } catch (const std::bad_alloc&) {
+    // Allocation failure (real or injected via the "alloc" probe). The
+    // tracked structures throw only from growth paths that leave them
+    // readable, so whatever partial state exists is safe to report.
+    guard_->ForceReason(TerminationReason::kOom);
+    st = Status::OutOfMemory(std::string("[") +
+                             std::string(diag::kOutOfMemory) +
+                             "] allocation failed during evaluation");
+  }
+  outcome_.reason = guard_->reason();
+  outcome_.status = st;
+  outcome_.guard_checks = guard_->checks();
+  outcome_.peak_memory_bytes = budget_.peak();
+  if (driver_ && outcome_.reason != TerminationReason::kCompleted) {
+    // A bounded stop leaves a consistent partial fixpoint behind: keep
+    // the engine queryable (Query/RunReport/stats all work) while still
+    // returning the non-OK stop status.
+    ran_ = true;
+  }
+
+  if (tracer_ && !options_.obs.trace_path.empty()) {
+    const Status trace_st = WriteTrace(options_.obs.trace_path);
+    if (!trace_st.ok()) {
+      GDLOG_LOG_ERROR << "trace export failed: " << trace_st.ToString();
+    }
+  }
+  return st;
+}
+
+Status Engine::RunInner() {
   // Load program facts.
   for (const Rule& r : program_->rules) {
     if (!r.is_fact()) continue;
@@ -137,6 +235,11 @@ Status Engine::Run() {
     seed_watermarks_[id] = catalog_->relation(id).size();
   }
 
+  if (injector_ && injector_->Hit(FaultInjector::kCompile)) {
+    guard_->ForceReason(TerminationReason::kFault);
+    return InjectedFault(FaultInjector::kCompile);
+  }
+
   const uint64_t compile_t0 = WallNowNs();
   auto compiled = [&] {
     TraceSpan span(tracer_.get(), "compile", "engine");
@@ -147,7 +250,7 @@ Status Engine::Run() {
 
   driver_ = std::make_unique<FixpointDriver>(
       catalog_.get(), store_.get(), analysis_.get(), std::move(*compiled),
-      options_.eval, ObsContext{metrics_, tracer_.get()});
+      options_.eval, ObsContext{metrics_, tracer_.get()}, guard_.get());
   const uint64_t eval_t0 = WallNowNs();
   const Status eval_status = [&] {
     TraceSpan span(tracer_.get(), "eval", "engine");
@@ -156,13 +259,6 @@ Status Engine::Run() {
   phase_times_.eval_ns += WallNowNs() - eval_t0;
   GDLOG_RETURN_IF_ERROR(eval_status);
   ran_ = true;
-
-  if (tracer_ && !options_.obs.trace_path.empty()) {
-    const Status st = WriteTrace(options_.obs.trace_path);
-    if (!st.ok()) {
-      GDLOG_LOG_ERROR << "trace export failed: " << st.ToString();
-    }
-  }
   return Status::OK();
 }
 
@@ -217,6 +313,36 @@ Result<std::string> Engine::RunReport() const {
   w.Key("use_seminaive").Bool(options_.eval.use_seminaive);
   w.Key("obs_enabled").Bool(options_.obs.enabled);
   w.Key("obs_sample_every").UInt(options_.obs.sample_every);
+  w.Key("limits").BeginObject();
+  w.Key("deadline_ms").UInt(options_.limits.deadline_ms);
+  w.Key("max_tuples").UInt(options_.limits.max_tuples);
+  w.Key("max_stages").UInt(options_.limits.max_stages);
+  w.Key("max_iterations").UInt(options_.limits.max_iterations);
+  w.Key("max_memory_bytes").UInt(options_.limits.max_memory_bytes);
+  w.EndObject();
+  if (injector_) w.Key("faults").String(injector_->spec());
+  w.EndObject();
+
+  // How the run ended: reason + status, the guard activity, and the
+  // memory high-water mark. "completed" means a genuine fixpoint; any
+  // other reason marks the tuple counts below as a partial (truncated)
+  // evaluation.
+  w.Key("termination").BeginObject();
+  w.Key("reason").String(std::string(TerminationReasonName(outcome_.reason)));
+  w.Key("ok").Bool(outcome_.status.ok());
+  if (!outcome_.status.ok()) {
+    w.Key("status").String(outcome_.status.ToString());
+  }
+  w.Key("guard_checks").UInt(outcome_.guard_checks);
+  w.Key("tracked_memory_bytes").UInt(budget_.used());
+  w.Key("peak_memory_bytes").UInt(outcome_.peak_memory_bytes);
+  if (injector_) {
+    w.Key("fault_hits").BeginObject();
+    for (std::string_view probe : FaultInjector::ProbeCatalog()) {
+      w.Key(std::string(probe)).UInt(injector_->hits(probe));
+    }
+    w.EndObject();
+  }
   w.EndObject();
 
   w.Key("phases").BeginObject();

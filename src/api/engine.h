@@ -27,6 +27,7 @@
 #include "analysis/lint.h"
 #include "analysis/stage.h"
 #include "ast/ast.h"
+#include "common/guardrails.h"
 #include "common/status.h"
 #include "eval/fixpoint.h"
 #include "eval/stable_model.h"
@@ -44,6 +45,14 @@ struct EngineOptions {
   /// Disabled by default: the evaluation hot path then pays one branch
   /// per instrumented site. See docs/OBSERVABILITY.md.
   ObsOptions obs;
+  /// Resource caps for Run (zero = unlimited). Enforced at fixpoint
+  /// boundaries; a tripped limit ends the run with a bounded stop, not a
+  /// crash — the partial state stays queryable. See docs/ROBUSTNESS.md.
+  RunLimits limits;
+  /// Fault-injection spec ("probe[@N],..."; see FaultInjector). Empty
+  /// falls back to the GDLOG_FAULTS environment variable; a malformed
+  /// spec fails LoadProgram/Run with InvalidArgument.
+  std::string faults;
 };
 
 /// Wall time of the coarse engine phases, nanoseconds. Parse/analyze/
@@ -54,6 +63,16 @@ struct EnginePhaseTimes {
   uint64_t analyze_ns = 0;
   uint64_t compile_ns = 0;
   uint64_t eval_ns = 0;
+};
+
+/// How the last Run ended. Filled in whether Run succeeded, stopped on a
+/// limit, was cancelled, or caught std::bad_alloc; `reason` stays
+/// kCompleted until Run has been called.
+struct RunOutcome {
+  TerminationReason reason = TerminationReason::kCompleted;
+  Status status;                   // what Run returned
+  uint64_t guard_checks = 0;       // limit/cancel polls performed
+  uint64_t peak_memory_bytes = 0;  // tracked-memory high-water mark
 };
 
 class Engine {
@@ -84,9 +103,28 @@ class Engine {
   /// Adds an EDB tuple before Run.
   Status AddFact(std::string_view predicate, std::vector<Value> args);
 
-  /// Evaluates the program to its (choice) fixpoint. Single-shot.
+  /// Evaluates the program to its (choice) fixpoint, or to the first
+  /// guard stop (EngineOptions::limits / RequestCancel). Single-shot.
+  /// A bounded stop returns the non-OK stop status but leaves the engine
+  /// queryable (has_run() is true, Query/RunReport work on the partial
+  /// state); outcome() says why the run ended either way.
   Status Run();
   bool has_run() const { return ran_; }
+
+  /// Requests cooperative cancellation of an in-flight Run. Only performs
+  /// one relaxed atomic store, so it is safe from a signal handler or
+  /// another thread; the run stops at the next fixpoint boundary with
+  /// Status::Cancelled.
+  void RequestCancel() { cancel_.Request(); }
+
+  /// How the last Run ended (reason, status, guard checks, peak memory).
+  const RunOutcome& outcome() const { return outcome_; }
+
+  /// Total bytes currently charged to the engine's memory budget.
+  size_t tracked_memory_bytes() const { return budget_.used(); }
+
+  /// The fault injector, when a spec was given; nullptr otherwise.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
 
   /// All tuples of predicate/arity (empty when absent).
   std::vector<std::vector<Value>> Query(std::string_view predicate,
@@ -142,7 +180,20 @@ class Engine {
   Result<StableCheckResult> VerifyStableModel() const;
 
  private:
+  /// The body of Run, separated so the Run boundary can catch
+  /// std::bad_alloc and fill the outcome uniformly.
+  Status RunInner();
+
   EngineOptions options_;
+  // Guardrails. Declared before the stores: members destroy in reverse
+  // order, and the value-store arenas release their charge into budget_
+  // on destruction, so the budget must outlive them.
+  MemoryBudget budget_;
+  CancelToken cancel_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<RunGuard> guard_;
+  Status faults_status_;  // parse result of the faults spec
+  RunOutcome outcome_;
   std::unique_ptr<ValueStore> store_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<Program> program_;

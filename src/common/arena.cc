@@ -7,12 +7,30 @@
 
 namespace gdlog {
 
+Arena::~Arena() {
+  if (budget_ != nullptr) budget_->Update(&charged_bytes_, 0);
+}
+
+void Arena::set_memory_budget(MemoryBudget* budget) {
+  if (budget_ != nullptr && budget != budget_) {
+    budget_->Update(&charged_bytes_, 0);
+  }
+  budget_ = budget;
+  if (budget_ == nullptr) return;
+  size_t reserved = 0;
+  for (const Block& b : blocks_) reserved += b.size;
+  budget_->Update(&charged_bytes_, reserved);
+}
+
 void Arena::AddBlock(size_t min_size) {
   Block b;
   b.size = std::max(block_size_, min_size);
   b.data = std::make_unique<char[]>(b.size);
   b.used = 0;
   blocks_.push_back(std::move(b));
+  if (budget_ != nullptr) {
+    budget_->Update(&charged_bytes_, charged_bytes_ + blocks_.back().size);
+  }
 }
 
 void* Arena::Allocate(size_t n, size_t align) {

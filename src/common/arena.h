@@ -11,16 +11,24 @@
 #include <string_view>
 #include <vector>
 
+#include "common/guardrails.h"
+
 namespace gdlog {
 
 class Arena {
  public:
   explicit Arena(size_t block_size = 64 * 1024) : block_size_(block_size) {}
+  ~Arena();
 
+  // Non-movable: the budget charge is keyed to this object's identity.
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
-  Arena(Arena&&) = default;
-  Arena& operator=(Arena&&) = default;
+  Arena(Arena&&) = delete;
+  Arena& operator=(Arena&&) = delete;
+
+  /// Charges current and future block reservations to `budget` (which
+  /// must outlive the arena); releases them on destruction.
+  void set_memory_budget(MemoryBudget* budget);
 
   /// Allocates `n` bytes aligned to `align` (a power of two).
   void* Allocate(size_t n, size_t align = alignof(std::max_align_t));
@@ -52,6 +60,8 @@ class Arena {
   size_t block_size_;
   size_t bytes_allocated_ = 0;
   std::vector<Block> blocks_;
+  MemoryBudget* budget_ = nullptr;
+  size_t charged_bytes_ = 0;
 };
 
 }  // namespace gdlog

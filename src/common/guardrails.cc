@@ -1,0 +1,245 @@
+#include "common/guardrails.h"
+
+#include <chrono>
+#include <new>
+
+namespace gdlog {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string_view TerminationReasonName(TerminationReason r) {
+  switch (r) {
+    case TerminationReason::kCompleted:
+      return "completed";
+    case TerminationReason::kDeadline:
+      return "deadline";
+    case TerminationReason::kTupleLimit:
+      return "tuple-limit";
+    case TerminationReason::kStageLimit:
+      return "stage-limit";
+    case TerminationReason::kIterationLimit:
+      return "iteration-limit";
+    case TerminationReason::kMemoryLimit:
+      return "memory-limit";
+    case TerminationReason::kCancelled:
+      return "cancelled";
+    case TerminationReason::kOom:
+      return "oom";
+    case TerminationReason::kFault:
+      return "fault";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBudget
+// ---------------------------------------------------------------------------
+
+void MemoryBudget::Update(size_t* charged, size_t now_bytes) {
+  const size_t before = *charged;
+  if (now_bytes == before) return;
+  if (now_bytes > before) {
+    used_.fetch_add(now_bytes - before, std::memory_order_relaxed);
+    const size_t total = used_.load(std::memory_order_relaxed);
+    size_t peak = peak_.load(std::memory_order_relaxed);
+    while (total > peak &&
+           !peak_.compare_exchange_weak(peak, total,
+                                        std::memory_order_relaxed)) {
+    }
+    *charged = now_bytes;
+    // Growth is the allocation-failure probe point: firing here exercises
+    // the same bad_alloc path a real exhausted heap would take.
+    if (injector_ != nullptr && injector_->Hit(FaultInjector::kAlloc)) {
+      throw std::bad_alloc();
+    }
+  } else {
+    used_.fetch_sub(before - now_bytes, std::memory_order_relaxed);
+    *charged = now_bytes;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string_view>& FaultInjector::ProbeCatalog() {
+  static const std::vector<std::string_view> kCatalog = {
+      kParse, kAnalyze, kCompile, kEvalSaturate,
+      kEvalGamma, kAlloc, kDeadline};
+  return kCatalog;
+}
+
+Result<FaultInjector> FaultInjector::Parse(std::string_view spec) {
+  if (spec.empty()) {
+    return Status::InvalidArgument("fault spec: empty");
+  }
+  FaultInjector fi;
+  fi.spec_ = std::string(spec);
+  for (std::string_view probe : ProbeCatalog()) {
+    fi.probes_.push_back({std::string(probe), 0, 0, false});
+  }
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) {
+      return Status::InvalidArgument("fault spec: empty probe entry in '" +
+                                     std::string(spec) + "'");
+    }
+    uint64_t trigger = 1;
+    std::string_view name = entry;
+    const size_t at = entry.find('@');
+    if (at != std::string_view::npos) {
+      name = entry.substr(0, at);
+      const std::string_view count = entry.substr(at + 1);
+      if (count.empty()) {
+        return Status::InvalidArgument("fault spec: empty count in '" +
+                                       std::string(entry) + "'");
+      }
+      trigger = 0;
+      for (char c : count) {
+        if (c < '0' || c > '9') {
+          return Status::InvalidArgument("fault spec: bad count in '" +
+                                         std::string(entry) + "'");
+        }
+        trigger = trigger * 10 + static_cast<uint64_t>(c - '0');
+      }
+      if (trigger == 0) {
+        return Status::InvalidArgument("fault spec: count must be >= 1 in '" +
+                                       std::string(entry) + "'");
+      }
+    }
+    Probe* p = fi.FindProbe(name);
+    if (p == nullptr) {
+      return Status::InvalidArgument("fault spec: unknown probe '" +
+                                     std::string(name) + "'");
+    }
+    p->trigger = trigger;
+  }
+  return fi;
+}
+
+FaultInjector::Probe* FaultInjector::FindProbe(std::string_view name) {
+  for (Probe& p : probes_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const FaultInjector::Probe* FaultInjector::FindProbe(
+    std::string_view name) const {
+  for (const Probe& p : probes_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::Hit(std::string_view probe) {
+  Probe* p = FindProbe(probe);
+  if (p == nullptr) return false;
+  ++p->count;
+  if (p->trigger == 0 || p->fired || p->count != p->trigger) return false;
+  p->fired = true;
+  return true;
+}
+
+bool FaultInjector::ArmedFor(std::string_view probe) const {
+  const Probe* p = FindProbe(probe);
+  return p != nullptr && p->trigger != 0;
+}
+
+uint64_t FaultInjector::hits(std::string_view probe) const {
+  const Probe* p = FindProbe(probe);
+  return p == nullptr ? 0 : p->count;
+}
+
+// ---------------------------------------------------------------------------
+// RunGuard
+// ---------------------------------------------------------------------------
+
+RunGuard::RunGuard(const RunLimits& limits, const CancelToken* cancel,
+                   const MemoryBudget* budget, FaultInjector* injector)
+    : limits_(limits),
+      cancel_(cancel),
+      budget_(budget),
+      injector_(injector) {}
+
+void RunGuard::Arm() {
+  start_ns_ = SteadyNowNs();
+  deadline_ns_ =
+      limits_.deadline_ms == 0
+          ? 0
+          : start_ns_ + limits_.deadline_ms * uint64_t{1000000};
+}
+
+Status RunGuard::Trip(TerminationReason reason, Status status) {
+  reason_ = reason;
+  tripped_ = status;
+  return status;
+}
+
+void RunGuard::ForceReason(TerminationReason reason) { reason_ = reason; }
+
+Status RunGuard::Check(const GuardCounters& c, std::string_view probe) {
+  ++checks_;
+  if (reason_ != TerminationReason::kCompleted) return tripped_;
+  if (!probe.empty() && injector_ != nullptr && injector_->Hit(probe)) {
+    return Trip(TerminationReason::kFault,
+                Status::Internal("[GD207] injected fault at probe '" +
+                                 std::string(probe) + "'"));
+  }
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Trip(TerminationReason::kCancelled,
+                Status::Cancelled("[GD205] run cancelled"));
+  }
+  const bool injected_deadline =
+      injector_ != nullptr && injector_->Hit(FaultInjector::kDeadline);
+  if (injected_deadline ||
+      (deadline_ns_ != 0 && SteadyNowNs() >= deadline_ns_)) {
+    return Trip(TerminationReason::kDeadline,
+                Status::DeadlineExceeded(
+                    "[GD200] deadline of " +
+                    std::to_string(limits_.deadline_ms) + " ms exceeded" +
+                    (injected_deadline ? " (injected)" : "")));
+  }
+  if (limits_.max_tuples != 0 && c.tuples >= limits_.max_tuples) {
+    return Trip(TerminationReason::kTupleLimit,
+                Status::ResourceExhausted(
+                    "[GD201] derived-tuple limit of " +
+                    std::to_string(limits_.max_tuples) + " reached"));
+  }
+  if (limits_.max_stages != 0 && c.stages >= limits_.max_stages) {
+    return Trip(TerminationReason::kStageLimit,
+                Status::ResourceExhausted(
+                    "[GD202] stage limit of " +
+                    std::to_string(limits_.max_stages) + " reached"));
+  }
+  if (limits_.max_iterations != 0 && c.iterations >= limits_.max_iterations) {
+    return Trip(TerminationReason::kIterationLimit,
+                Status::ResourceExhausted(
+                    "[GD203] fixpoint-iteration limit of " +
+                    std::to_string(limits_.max_iterations) + " reached"));
+  }
+  if (limits_.max_memory_bytes != 0 && budget_ != nullptr &&
+      budget_->used() >= limits_.max_memory_bytes) {
+    return Trip(TerminationReason::kMemoryLimit,
+                Status::ResourceExhausted(
+                    "[GD204] tracked memory " +
+                    std::to_string(budget_->used()) + " bytes exceeds budget of " +
+                    std::to_string(limits_.max_memory_bytes) + " bytes"));
+  }
+  return Status::OK();
+}
+
+}  // namespace gdlog

@@ -25,6 +25,10 @@ enum class StatusCode : uint8_t {
   kRuntimeError,      // evaluation-time failure (e.g. arithmetic on symbol)
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,   // run stopped by RunLimits::deadline_ms
+  kResourceExhausted,  // run stopped by a tuple/stage/iteration/memory cap
+  kCancelled,          // run stopped by a CancelToken request
+  kOutOfMemory,        // std::bad_alloc caught at the Run boundary
 };
 
 /// Human-readable name of a status code, e.g. "ParseError".
@@ -60,6 +64,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

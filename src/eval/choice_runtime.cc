@@ -29,7 +29,11 @@ bool ChoiceRuntime::Admissible(const CompiledRule& rule,
   for (size_t g = 0; g < rule.choices.size(); ++g) {
     Value left, right;
     if (!EvalPair(rule, rule.choices[g], frame, &left, &right)) {
-      GDLOG_LOG_FATAL << "unbound choice goal at admissibility check";
+      // A choice pair that fails to evaluate (unbound variable, or an
+      // arithmetic term that overflowed) has no FD witness; treat the
+      // candidate as inadmissible rather than aborting — the queue marks
+      // it redundant and moves on.
+      return false;
     }
     auto it = memo.goals[g].fd.find(left);
     if (it != memo.goals[g].fd.end() && it->second != right) return false;

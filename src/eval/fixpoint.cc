@@ -13,7 +13,8 @@ namespace gdlog {
 FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
                                const StageAnalysis* analysis,
                                std::vector<CompiledRule> rules,
-                               EvalOptions options, ObsContext obs)
+                               EvalOptions options, ObsContext obs,
+                               RunGuard* guard)
     : catalog_(catalog),
       store_(store),
       analysis_(analysis),
@@ -22,7 +23,8 @@ FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
       exec_(catalog, store),
       choice_(store),
       obs_(obs),
-      obs_enabled_(obs.enabled()) {
+      obs_enabled_(obs.enabled()),
+      guard_(guard) {
   uint32_t max_rule = 0;
   for (const CompiledRule& r : rules_) {
     max_rule = std::max(max_rule, r.rule_index);
@@ -75,18 +77,39 @@ FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
 }
 
 Status FixpointDriver::Run() {
+  Status st = Status::OK();
   for (uint32_t scc : analysis_->clique_order) {
     const CliqueStageInfo& cl = analysis_->cliques[scc];
     if (cl.cls == CliqueClass::kRejected) {
-      return Status::AnalysisError("clique rejected: " + cl.diagnostic);
+      st = Status::AnalysisError("clique rejected: " + cl.diagnostic);
+      break;
     }
-    GDLOG_RETURN_IF_ERROR(EvalClique(scc));
+    st = EvalClique(scc);
+    if (!st.ok()) break;
   }
+  // Fill statistics even on a bounded stop, so the partial evaluation is
+  // fully reportable (RunReport, metrics, shell .stats).
   exec_stats_view_ = exec_.stats();
   stats_.exec = exec_.stats();
   stats_.queues = AggregateQueueStats();
+  if (guard_ != nullptr) {
+    stats_.termination = guard_->reason();
+    stats_.guard_checks = guard_->checks();
+    if (guard_->budget() != nullptr) {
+      stats_.peak_memory_bytes = guard_->budget()->peak();
+    }
+  }
   if (obs_.metrics != nullptr) PublishMetrics();
-  return Status::OK();
+  return st;
+}
+
+Status FixpointDriver::GuardCheck(std::string_view probe) {
+  if (guard_ == nullptr) return Status::OK();
+  GuardCounters c;
+  c.tuples = exec_.stats().inserts;
+  c.stages = stats_.stages_assigned;
+  c.iterations = stats_.saturation_rounds;
+  return guard_->Check(c, probe);
 }
 
 uint64_t FixpointDriver::ObsNowNs() const {
@@ -118,6 +141,11 @@ void FixpointDriver::PublishMetrics() {
   m.GetCounter("exec.solutions")->Add(exec_.stats().solutions);
   m.GetCounter("exec.inserts")->Add(exec_.stats().inserts);
   m.GetCounter("exec.scan_rows")->Add(exec_.stats().scan_rows);
+  m.GetCounter("guard.checks")->Add(stats_.guard_checks);
+  if (stats_.peak_memory_bytes > 0) {
+    m.GetGauge("memory.tracked_peak_bytes")
+        ->SetMax(static_cast<int64_t>(stats_.peak_memory_bytes));
+  }
   for (const RuleProfile& p : profiles_) {
     if (p.head.empty()) continue;
     // Label by head + index so two rules with the same head stay apart.
@@ -332,6 +360,7 @@ Status FixpointDriver::EvalClique(uint32_t scc) {
   }
 
   // Round 0: full evaluation of every rule.
+  GDLOG_RETURN_IF_ERROR(GuardCheck(FaultInjector::kEvalSaturate));
   for (const CompiledRule* r : ctx.plain) {
     EvalPlain(*r, CompiledScan::kNoOccurrence);
   }
@@ -342,7 +371,7 @@ Status FixpointDriver::EvalClique(uint32_t scc) {
 
   // Alternate Q∞ and γ until neither makes progress.
   for (;;) {
-    Saturate(&ctx);
+    GDLOG_RETURN_IF_ERROR(Saturate(&ctx));
     if (ctx.has_next && ctx.stage_counter == 0) {
       // Initialize the stage counter past every stage value the exit
       // rules produced (e.g. prm(nil, a, 0, 0) puts 0 in play).
@@ -359,6 +388,7 @@ Status FixpointDriver::EvalClique(uint32_t scc) {
       }
       ctx.stage_counter = max_stage + 1;
     }
+    GDLOG_RETURN_IF_ERROR(GuardCheck(FaultInjector::kEvalGamma));
     if (!GammaPhase(&ctx)) break;
   }
 
@@ -368,10 +398,11 @@ Status FixpointDriver::EvalClique(uint32_t scc) {
   return Status::OK();
 }
 
-void FixpointDriver::Saturate(CliqueCtx* ctx) {
+Status FixpointDriver::Saturate(CliqueCtx* ctx) {
   TraceSpan span(obs_.tracer, "Saturate", "fixpoint");
   const uint64_t t0 = obs_enabled_ ? ObsNowNs() : 0;
   const uint64_t rounds_before = stats_.saturation_rounds;
+  Status guard_status = Status::OK();
   for (;;) {
     bool any_delta = false;
     for (PredicateId id : ctx->relations) {
@@ -379,6 +410,8 @@ void FixpointDriver::Saturate(CliqueCtx* ctx) {
     }
     if (!any_delta) break;
     ++stats_.saturation_rounds;
+    guard_status = GuardCheck(FaultInjector::kEvalSaturate);
+    if (!guard_status.ok()) break;
     const bool seminaive = options_.use_seminaive;
     for (const CompiledRule* r : ctx->plain) {
       if (!r->recursive) continue;
@@ -408,6 +441,7 @@ void FixpointDriver::Saturate(CliqueCtx* ctx) {
   span.AddArg("rounds",
               static_cast<int64_t>(stats_.saturation_rounds - rounds_before));
   if (obs_enabled_) stats_.saturate_ns += ObsNowNs() - t0;
+  return guard_status;
 }
 
 size_t FixpointDriver::DrainChoiceRule(GammaState* g) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "analysis/stage.h"
+#include "common/guardrails.h"
 #include "common/status.h"
 #include "eval/choice_runtime.h"
 #include "eval/rql.h"
@@ -56,6 +57,11 @@ struct FixpointStats {
   uint64_t saturation_rounds = 0;
   uint64_t gamma_firings = 0;
   uint64_t stages_assigned = 0;
+  // Why the run ended (guardrails): kCompleted is a genuine fixpoint,
+  // anything else a bounded stop with the partial state retained.
+  TerminationReason termination = TerminationReason::kCompleted;
+  uint64_t guard_checks = 0;          // limit/cancel polls performed
+  uint64_t peak_memory_bytes = 0;     // MemoryBudget high-water (0 = untracked)
   // Wall time split between the two alternating phases; collected only
   // when observability is enabled (0 otherwise).
   uint64_t saturate_ns = 0;
@@ -85,12 +91,16 @@ class FixpointDriver {
   /// `obs` carries the (optional) metrics registry and tracer; default
   /// both null, in which case every instrumented site reduces to one
   /// branch.
+  /// `guard` (optional) is polled at fixpoint-iteration and gamma-step
+  /// boundaries; when a check trips, Run returns the guard's status with
+  /// all statistics for the partial evaluation filled in.
   FixpointDriver(Catalog* catalog, ValueStore* store,
                  const StageAnalysis* analysis,
                  std::vector<CompiledRule> rules, EvalOptions options,
-                 ObsContext obs = {});
+                 ObsContext obs = {}, RunGuard* guard = nullptr);
 
-  /// Evaluates the whole program to its (choice) fixpoint.
+  /// Evaluates the whole program to its (choice) fixpoint, or to the
+  /// first guard stop. Statistics are valid either way.
   Status Run();
 
   const ChoiceRuntime& choice_runtime() const { return choice_; }
@@ -126,8 +136,11 @@ class FixpointDriver {
   };
 
   Status EvalClique(uint32_t scc);
-  /// Seminaive rounds until no clique relation grows.
-  void Saturate(CliqueCtx* ctx);
+  /// Polls the guard (no-op OK when no guard is installed). `probe` names
+  /// the boundary for fault injection.
+  Status GuardCheck(std::string_view probe);
+  /// Seminaive rounds until no clique relation grows or the guard trips.
+  Status Saturate(CliqueCtx* ctx);
   /// One γ application; false when the clique is exhausted.
   bool GammaPhase(CliqueCtx* ctx);
 
@@ -171,6 +184,7 @@ class FixpointDriver {
 
   ObsContext obs_;
   bool obs_enabled_ = false;  // == obs_.enabled(), cached for the hot path
+  RunGuard* guard_ = nullptr;
   std::vector<RuleProfile> profiles_;  // by rule_index
 };
 

@@ -15,33 +15,41 @@ namespace gdlog {
 
 namespace {
 
+// Arithmetic over the inline-int domain. Overflow — of int64 itself or
+// of Value's 61-bit payload — makes the term fail to evaluate (the rule
+// body simply doesn't match, like division by zero), never a crash.
 bool EvalArith(ArithOp op, int64_t a, int64_t b, int64_t* out) {
+  int64_t r = 0;
   switch (op) {
     case ArithOp::kAdd:
-      *out = a + b;
-      return true;
+      if (__builtin_add_overflow(a, b, &r)) return false;
+      break;
     case ArithOp::kSub:
-      *out = a - b;
-      return true;
+      if (__builtin_sub_overflow(a, b, &r)) return false;
+      break;
     case ArithOp::kMul:
-      *out = a * b;
-      return true;
+      if (__builtin_mul_overflow(a, b, &r)) return false;
+      break;
     case ArithOp::kDiv:
       if (b == 0) return false;
-      *out = a / b;
-      return true;
+      if (a == INT64_MIN && b == -1) return false;
+      r = a / b;
+      break;
     case ArithOp::kMod:
       if (b == 0) return false;
-      *out = a % b;
-      return true;
+      if (a == INT64_MIN && b == -1) return false;
+      r = a % b;
+      break;
     case ArithOp::kMin:
-      *out = a < b ? a : b;
-      return true;
+      r = a < b ? a : b;
+      break;
     case ArithOp::kMax:
-      *out = a > b ? a : b;
-      return true;
+      r = a > b ? a : b;
+      break;
   }
-  return false;
+  if (!Value::IntInRange(r)) return false;
+  *out = r;
+  return true;
 }
 
 }  // namespace

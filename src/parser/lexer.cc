@@ -2,6 +2,9 @@
 
 #include <cctype>
 
+#include "analysis/diagnostics.h"
+#include "value/value.h"
+
 namespace gdlog {
 
 std::string_view TokenKindName(TokenKind k) {
@@ -134,7 +137,15 @@ class Lexer {
       if (v > (INT64_MAX - d) / 10) overflow = true;
       if (!overflow) v = v * 10 + d;
     }
-    if (overflow) return Error("integer literal overflows 63 bits");
+    // Checked against Value's inline-int payload (61 bits), not int64:
+    // a literal the lexer accepts must be representable downstream, or
+    // Value::Int would hit its range invariant.
+    if (overflow || !Value::IntInRange(v)) {
+      return Error(std::string("[") + std::string(diag::kIntLiteralRange) +
+                   "] integer literal out of range (inline ints span [" +
+                   std::to_string(Value::kMinInt) + ", " +
+                   std::to_string(Value::kMaxInt) + "])");
+    }
     tok->int_value = v;
     return Status::OK();
   }

@@ -15,8 +15,14 @@ PredicateId Catalog::Ensure(std::string_view name, uint32_t arity) {
   if (it != by_name_.end()) return it->second;
   const auto id = static_cast<PredicateId>(relations_.size());
   relations_.push_back(std::make_unique<Relation>(std::string(name), arity));
+  if (budget_ != nullptr) relations_.back()->set_memory_budget(budget_);
   by_name_.emplace(key, id);
   return id;
+}
+
+void Catalog::set_memory_budget(MemoryBudget* budget) {
+  budget_ = budget;
+  for (auto& rel : relations_) rel->set_memory_budget(budget);
 }
 
 PredicateId Catalog::Lookup(std::string_view name, uint32_t arity) const {

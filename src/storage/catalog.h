@@ -41,11 +41,16 @@ class Catalog {
   /// "name/arity" display string for diagnostics.
   std::string DisplayName(PredicateId id) const;
 
+  /// Charges every relation (existing and future) to `budget`, which
+  /// must outlive the catalog.
+  void set_memory_budget(MemoryBudget* budget);
+
  private:
   static std::string Key(std::string_view name, uint32_t arity);
 
   std::unordered_map<std::string, PredicateId> by_name_;
   std::vector<std::unique_ptr<Relation>> relations_;
+  MemoryBudget* budget_ = nullptr;
 };
 
 }  // namespace gdlog

@@ -55,6 +55,14 @@ class Index {
 
   size_t size() const { return rows_.size(); }
 
+  /// Approximate heap footprint, for MemoryBudget accounting.
+  size_t ApproxBytes() const {
+    return rows_.capacity() * sizeof(RowId) +
+           hashes_.capacity() * sizeof(uint64_t) +
+           next_.capacity() * sizeof(uint32_t) +
+           buckets_.capacity() * sizeof(uint32_t);
+  }
+
  private:
   friend class MatchIterator;
 

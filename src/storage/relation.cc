@@ -50,7 +50,26 @@ Relation::InsertResult Relation::Insert(TupleView tuple) {
   set_buckets_[slot] = row;
   if (num_rows_ * 10 > set_buckets_.size() * 7) RehashSet(set_buckets_.size() * 2);
   for (auto& idx : indices_) idx->Insert(row, Row(row));
+  RecountMemory();
   return {row, true};
+}
+
+void Relation::set_memory_budget(MemoryBudget* budget) {
+  budget_ = budget;
+  RecountMemory();
+}
+
+size_t Relation::ApproxBytes() const {
+  size_t bytes = data_.capacity() * sizeof(Value) +
+                 row_hashes_.capacity() * sizeof(uint64_t) +
+                 set_buckets_.capacity() * sizeof(uint32_t);
+  for (const auto& idx : indices_) bytes += idx->ApproxBytes();
+  return bytes;
+}
+
+void Relation::RecountMemory() {
+  if (budget_ == nullptr) return;
+  budget_->Update(&charged_bytes_, ApproxBytes());
 }
 
 RowId Relation::Find(TupleView tuple) const {
@@ -85,6 +104,7 @@ size_t Relation::EnsureIndex(const std::vector<uint32_t>& columns) {
   auto idx = std::make_unique<Index>(columns);
   for (RowId r = 0; r < num_rows_; ++r) idx->Insert(r, Row(r));
   indices_.push_back(std::move(idx));
+  RecountMemory();
   return indices_.size() - 1;
 }
 

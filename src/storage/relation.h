@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/guardrails.h"
 #include "storage/index.h"
 #include "storage/tuple.h"
 
@@ -72,8 +73,16 @@ class Relation {
   const Index& index(size_t i) const { return *indices_[i]; }
   size_t num_indices() const { return indices_.size(); }
 
+  // -- Memory accounting ---------------------------------------------------
+  /// Charges row storage, the dedup set, and indices to `budget` (which
+  /// must outlive the relation); growth is re-counted on every insert.
+  void set_memory_budget(MemoryBudget* budget);
+  /// Approximate heap footprint of this relation.
+  size_t ApproxBytes() const;
+
  private:
   void RehashSet(size_t new_bucket_count);
+  void RecountMemory();
 
   std::string name_;
   uint32_t arity_;
@@ -88,6 +97,9 @@ class Relation {
 
   RowId delta_begin_ = 0;
   RowId delta_end_ = 0;
+
+  MemoryBudget* budget_ = nullptr;
+  size_t charged_bytes_ = 0;
 
   std::vector<std::unique_ptr<Index>> indices_;
 };

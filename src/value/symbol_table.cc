@@ -10,6 +10,20 @@ SymbolTable::SymbolTable() {
   bucket_mask_ = buckets_.size() - 1;
 }
 
+void SymbolTable::set_memory_budget(MemoryBudget* budget) {
+  budget_ = budget;
+  arena_.set_memory_budget(budget);
+  RecountAux();
+}
+
+void SymbolTable::RecountAux() {
+  if (budget_ == nullptr) return;
+  budget_->Update(&charged_aux_bytes_,
+                  names_.capacity() * sizeof(std::string_view) +
+                      hashes_.capacity() * sizeof(uint64_t) +
+                      buckets_.capacity() * sizeof(uint32_t));
+}
+
 void SymbolTable::Rehash(size_t new_bucket_count) {
   buckets_.assign(new_bucket_count, kEmpty);
   bucket_mask_ = new_bucket_count - 1;
@@ -34,6 +48,7 @@ uint32_t SymbolTable::Intern(std::string_view name) {
   buckets_[slot] = id;
   // Keep load factor under 0.7.
   if (names_.size() * 10 > buckets_.size() * 7) Rehash(buckets_.size() * 2);
+  RecountAux();
   return id;
 }
 

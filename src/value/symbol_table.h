@@ -23,6 +23,9 @@ class SymbolTable {
   /// Returns the id for `name`, interning it on first sight.
   uint32_t Intern(std::string_view name);
 
+  /// Charges the name arena and auxiliary tables to `budget`.
+  void set_memory_budget(MemoryBudget* budget);
+
   /// Returns the id for `name` or UINT32_MAX if never interned.
   uint32_t Lookup(std::string_view name) const;
 
@@ -32,9 +35,12 @@ class SymbolTable {
 
  private:
   void Rehash(size_t new_bucket_count);
+  void RecountAux();
 
   static constexpr uint32_t kEmpty = UINT32_MAX;
 
+  MemoryBudget* budget_ = nullptr;
+  size_t charged_aux_bytes_ = 0;
   Arena arena_;
   std::vector<std::string_view> names_;  // id -> name
   std::vector<uint64_t> hashes_;         // id -> precomputed hash

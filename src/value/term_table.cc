@@ -59,7 +59,21 @@ TermId TermTable::Intern(SymbolId functor, std::span<const Value> args) {
   headers_.push_back(hd);
   buckets_[slot] = id;
   if (headers_.size() * 10 > buckets_.size() * 7) Rehash(buckets_.size() * 2);
+  Recount();
   return id;
+}
+
+void TermTable::set_memory_budget(MemoryBudget* budget) {
+  budget_ = budget;
+  Recount();
+}
+
+void TermTable::Recount() {
+  if (budget_ == nullptr) return;
+  budget_->Update(&charged_bytes_,
+                  headers_.capacity() * sizeof(Header) +
+                      args_.capacity() * sizeof(Value) +
+                      buckets_.capacity() * sizeof(uint32_t));
 }
 
 SymbolId TermTable::Functor(TermId id) const {

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/guardrails.h"
 #include "value/value.h"
 
 namespace gdlog {
@@ -22,6 +23,9 @@ class TermTable {
 
   /// Interns functor(args...) and returns its dense id.
   TermId Intern(SymbolId functor, std::span<const Value> args);
+
+  /// Charges the term storage to `budget`.
+  void set_memory_budget(MemoryBudget* budget);
 
   SymbolId Functor(TermId id) const;
   std::span<const Value> Args(TermId id) const;
@@ -40,9 +44,12 @@ class TermTable {
   uint64_t ContentHash(SymbolId functor, std::span<const Value> args) const;
   bool Equals(TermId id, SymbolId functor, std::span<const Value> args) const;
   void Rehash(size_t new_bucket_count);
+  void Recount();
 
   static constexpr uint32_t kEmpty = UINT32_MAX;
 
+  MemoryBudget* budget_ = nullptr;
+  size_t charged_bytes_ = 0;
   std::vector<Header> headers_;
   std::vector<Value> args_;      // flattened argument storage
   std::vector<uint32_t> buckets_;

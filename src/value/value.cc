@@ -16,6 +16,11 @@ ValueStore::ValueStore()
 
 ValueStore::~ValueStore() = default;
 
+void ValueStore::set_memory_budget(MemoryBudget* budget) {
+  symbols_->set_memory_budget(budget);
+  terms_->set_memory_budget(budget);
+}
+
 Value ValueStore::MakeSymbol(std::string_view name) {
   return Value::Symbol(symbols_->Intern(name));
 }

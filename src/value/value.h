@@ -42,8 +42,15 @@ class Value {
   static constexpr int64_t kMinInt = -(int64_t{1} << 60);
   static constexpr int64_t kMaxInt = (int64_t{1} << 60) - 1;
 
+  /// True iff `v` fits the inline 61-bit payload. Paths fed by user input
+  /// (the lexer, arithmetic builtins) must test this and report an error
+  /// instead of relying on the CHECK in Int().
+  static constexpr bool IntInRange(int64_t v) {
+    return v >= kMinInt && v <= kMaxInt;
+  }
+
   static Value Int(int64_t v) {
-    GDLOG_CHECK(v >= kMinInt && v <= kMaxInt) << "int value out of range";
+    GDLOG_CHECK(IntInRange(v)) << "int value out of range";
     return Value(static_cast<uint64_t>(v) << 3 |
                  static_cast<uint64_t>(ValueKind::kInt));
   }
@@ -96,6 +103,7 @@ struct ValueHash {
   size_t operator()(Value v) const { return static_cast<size_t>(v.Hash()); }
 };
 
+class MemoryBudget;  // common/guardrails.h
 class SymbolTable;
 class TermTable;
 
@@ -108,6 +116,10 @@ class ValueStore {
 
   ValueStore(const ValueStore&) = delete;
   ValueStore& operator=(const ValueStore&) = delete;
+
+  /// Charges the interning tables (symbols, terms) to `budget`, which
+  /// must outlive this store.
+  void set_memory_budget(MemoryBudget* budget);
 
   // -- Construction ------------------------------------------------------
   Value MakeInt(int64_t v) const { return Value::Int(v); }

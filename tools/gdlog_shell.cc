@@ -16,6 +16,15 @@
 //   --trace PATH         record a phase timeline, write Chrome trace JSON
 //   --no-merge           disable congruence merging ((R,Q,L) ablation)
 //   --linear-least       naive linear-scan retrieval instead of the heap
+//   --deadline-ms N      stop the run after N wall-clock milliseconds
+//   --max-tuples N       stop after N derived tuples
+//   --max-stages N       stop after N next-rule stage advances
+//   --max-memory-mb N    stop when tracked memory exceeds N MiB
+//   --faults SPEC        deterministic fault injection (probe[@N],...)
+//
+// A run stopped by a limit (or by SIGINT) is a *bounded stop*: the shell
+// prints the termination reason plus whatever partial results were asked
+// for, and exits 3 (hard errors exit 1). A second SIGINT exits at once.
 //
 // With --lint/--lint-json the program is parsed and analyzed but never
 // evaluated; --query specs become the lint's query roots (enabling the
@@ -29,8 +38,10 @@
 // Example:
 //   $ gdlog_shell prim.dl --query prm/4 --verify --trace prim_trace.json
 //   $ printf '.load prim.dl\n.run\n.stats\n' | gdlog_shell --interactive
+#include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,12 +59,61 @@
 
 namespace {
 
+// Exit code for a run ended by a guardrail (limit, cancel, OOM) with its
+// partial results printed; distinct from 1 = hard error.
+constexpr int kExitBoundedStop = 3;
+
+// SIGINT handling: the first Ctrl-C cancels the in-flight run (one
+// relaxed atomic store — async-signal-safe), the second aborts the
+// process. With no run in flight SIGINT exits immediately.
+std::atomic<gdlog::Engine*> g_active_engine{nullptr};
+std::atomic<int> g_sigint_count{0};
+
+extern "C" void HandleSigint(int) {
+  const int n = g_sigint_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  gdlog::Engine* engine = g_active_engine.load(std::memory_order_relaxed);
+  if (engine == nullptr || n >= 2) _exit(130);
+  engine->RequestCancel();
+}
+
+void InstallSigintHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSigint;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+/// Runs the engine with the SIGINT-cancel window open.
+gdlog::Status RunWithCancel(gdlog::Engine* engine) {
+  g_sigint_count.store(0, std::memory_order_relaxed);
+  g_active_engine.store(engine, std::memory_order_relaxed);
+  const gdlog::Status st = engine->Run();
+  g_active_engine.store(nullptr, std::memory_order_relaxed);
+  return st;
+}
+
+void PrintTermination(const gdlog::Engine& engine) {
+  const gdlog::RunOutcome& o = engine.outcome();
+  std::fprintf(stderr, "%% run stopped: %.*s\n",
+               static_cast<int>(gdlog::TerminationReasonName(o.reason).size()),
+               gdlog::TerminationReasonName(o.reason).data());
+  std::fprintf(stderr, "%%   %s\n", o.status.ToString().c_str());
+  std::fprintf(stderr,
+               "%%   partial results retained (%llu guard checks, peak "
+               "tracked memory %llu bytes)\n",
+               static_cast<unsigned long long>(o.guard_checks),
+               static_cast<unsigned long long>(o.peak_memory_bytes));
+}
+
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s PROGRAM.dl [--query pred/arity]... [--seed N] "
                "[--lint] [--lint-json] "
                "[--report] [--rewrite] [--verify] [--stats] [--json-report] "
-               "[--trace PATH] [--no-merge] [--linear-least]\n"
+               "[--trace PATH] [--no-merge] [--linear-least] "
+               "[--deadline-ms N] [--max-tuples N] [--max-stages N] "
+               "[--max-memory-mb N] [--faults SPEC]\n"
                "       %s --interactive [options]\n",
                argv0, argv0);
 }
@@ -90,6 +150,12 @@ void PrintStats(const gdlog::Engine& engine) {
   if (s == nullptr) {
     std::printf("%% no run yet\n");
     return;
+  }
+  if (s->termination != gdlog::TerminationReason::kCompleted) {
+    const std::string_view reason =
+        gdlog::TerminationReasonName(s->termination);
+    std::printf("%% termination: %.*s (partial results)\n",
+                static_cast<int>(reason.size()), reason.data());
   }
   const gdlog::EnginePhaseTimes& ph = engine.phase_times();
   std::printf(
@@ -193,6 +259,7 @@ void PrintHelp() {
 }
 
 int RunInteractive(gdlog::EngineOptions options) {
+  InstallSigintHandler();
   Shell sh;
   sh.options = std::move(options);
   const bool tty = isatty(STDIN_FILENO);
@@ -251,13 +318,15 @@ int RunInteractive(gdlog::EngineOptions options) {
         continue;
       }
       if (sh.engine->has_run() && !sh.Reload()) continue;
-      const gdlog::Status st = sh.engine->Run();
-      if (!st.ok()) {
+      const gdlog::Status st = RunWithCancel(sh.engine.get());
+      if (!st.ok() && !sh.engine->has_run()) {
         std::printf("error: %s\n", st.ToString().c_str());
         continue;
       }
+      if (!st.ok()) PrintTermination(*sh.engine);
       const gdlog::FixpointStats* s = sh.engine->stats();
-      std::printf("ok: %llu tuples inserted, %llu gamma firings\n",
+      std::printf("%s: %llu tuples inserted, %llu gamma firings\n",
+                  st.ok() ? "ok" : "stopped",
                   static_cast<unsigned long long>(s->exec.inserts),
                   static_cast<unsigned long long>(s->gamma_firings));
       if (sh.options.obs.enabled && !sh.options.obs.trace_path.empty()) {
@@ -381,6 +450,17 @@ int main(int argc, char** argv) {
       options.eval.use_merge_congruence = false;
     } else if (arg == "--linear-least") {
       options.eval.use_priority_queue = false;
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      options.limits.deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-tuples" && i + 1 < argc) {
+      options.limits.max_tuples = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-stages" && i + 1 < argc) {
+      options.limits.max_stages = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-memory-mb" && i + 1 < argc) {
+      options.limits.max_memory_bytes =
+          std::strtoull(argv[++i], nullptr, 10) * 1024 * 1024;
+    } else if (arg == "--faults" && i + 1 < argc) {
+      options.faults = argv[++i];
     } else if (arg[0] == '-') {
       Usage(argv[0]);
       return 2;
@@ -418,10 +498,19 @@ int main(int argc, char** argv) {
     auto r = engine.RewrittenProgramText();
     if (r.ok()) std::printf("%% first-order rewriting:\n%s\n", r->c_str());
   }
-  st = engine.Run();
+  InstallSigintHandler();
+  st = RunWithCancel(&engine);
+  bool bounded_stop = false;
   if (!st.ok()) {
-    std::fprintf(stderr, "evaluation failed: %s\n", st.ToString().c_str());
-    return 1;
+    if (engine.has_run()) {
+      // A guardrail ended the run; the partial state is queryable, so
+      // fall through and print whatever was asked for.
+      PrintTermination(engine);
+      bounded_stop = true;
+    } else {
+      std::fprintf(stderr, "evaluation failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
 
   if (queries.empty()) {
@@ -446,18 +535,24 @@ int main(int argc, char** argv) {
     if (r.ok()) std::printf("%s\n", r->c_str());
   }
   if (verify) {
-    auto check = engine.VerifyStableModel();
-    if (!check.ok()) {
-      std::fprintf(stderr, "verification error: %s\n",
-                   check.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%% stable model: %s (%zu facts)\n",
-                check->stable ? "yes" : "NO", check->model_facts);
-    if (!check->stable) {
-      std::printf("%%   %s\n", check->diagnostic.c_str());
-      return 1;
+    if (bounded_stop) {
+      std::fprintf(stderr,
+                   "%% --verify skipped: run was truncated, the partial "
+                   "state is not a fixpoint\n");
+    } else {
+      auto check = engine.VerifyStableModel();
+      if (!check.ok()) {
+        std::fprintf(stderr, "verification error: %s\n",
+                     check.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%% stable model: %s (%zu facts)\n",
+                  check->stable ? "yes" : "NO", check->model_facts);
+      if (!check->stable) {
+        std::printf("%%   %s\n", check->diagnostic.c_str());
+        return 1;
+      }
     }
   }
-  return 0;
+  return bounded_stop ? kExitBoundedStop : 0;
 }
