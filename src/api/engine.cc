@@ -241,9 +241,16 @@ Status Engine::RunInner() {
   }
 
   const uint64_t compile_t0 = WallNowNs();
+  // Cost-based join planning: estimates come from the EDB as loaded
+  // above, so the chosen goal orders are a pure function of the program
+  // plus its input — identical across thread counts and reruns.
+  JoinPlanner planner(catalog_.get());
+  CompileProgramOptions copts;
+  if (options_.eval.use_join_planner) copts.planner = &planner;
   auto compiled = [&] {
     TraceSpan span(tracer_.get(), "compile", "engine");
-    return CompileProgram(*program_, *analysis_, catalog_.get(), store_.get());
+    return CompileProgram(*program_, *analysis_, catalog_.get(), store_.get(),
+                          copts);
   }();
   phase_times_.compile_ns += WallNowNs() - compile_t0;
   GDLOG_RETURN_IF_ERROR(compiled.status());
@@ -311,6 +318,8 @@ Result<std::string> Engine::RunReport() const {
   w.Key("use_merge_congruence").Bool(options_.eval.use_merge_congruence);
   w.Key("use_priority_queue").Bool(options_.eval.use_priority_queue);
   w.Key("use_seminaive").Bool(options_.eval.use_seminaive);
+  w.Key("use_join_planner").Bool(options_.eval.use_join_planner);
+  w.Key("threads").UInt(options_.eval.threads);
   w.Key("obs_enabled").Bool(options_.obs.enabled);
   w.Key("obs_sample_every").UInt(options_.obs.sample_every);
   w.Key("limits").BeginObject();
@@ -362,6 +371,42 @@ Result<std::string> Engine::RunReport() const {
   w.Key("inserts").UInt(s.exec.inserts);
   w.Key("scan_rows").UInt(s.exec.scan_rows);
   w.EndObject();
+
+  // Parallel evaluation: resolved worker count and how the saturation
+  // work split between pool batches and the main thread.
+  w.Key("parallel").BeginObject();
+  w.Key("threads_used").UInt(s.threads_used);
+  w.Key("batches").UInt(s.parallel_batches);
+  w.Key("tasks").UInt(s.parallel_tasks);
+  w.Key("parallel_apps").UInt(s.parallel_apps);
+  w.Key("serial_apps").UInt(s.serial_apps);
+  w.EndObject();
+
+  // Join-planner decisions: the goal order each generator plan ended up
+  // with, annotated with the estimates that drove the picks. Present only
+  // for rules the planner actually reordered decisions for.
+  w.Key("plans").BeginArray();
+  for (const CompiledRule& r : driver_->rules()) {
+    if (r.plan_decisions.empty()) continue;
+    w.BeginObject();
+    w.Key("rule").UInt(r.rule_index);
+    w.Key("goals").BeginArray();
+    for (const PlanDecision& d : r.plan_decisions) {
+      w.BeginObject();
+      w.Key("goal").String(d.goal);
+      if (d.filter) w.Key("filter").Bool(true);
+      if (d.negated) w.Key("negated").Bool(true);
+      if (!d.filter) {
+        w.Key("arity").UInt(d.arity);
+        w.Key("bound_cols").UInt(d.bound_cols);
+        if (d.est_rows >= 0) w.Key("est_rows").Double(d.est_rows);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
 
   w.Key("rules").BeginArray();
   const std::vector<RuleProfile>& profiles = driver_->rule_profiles();

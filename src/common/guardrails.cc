@@ -85,7 +85,7 @@ Result<FaultInjector> FaultInjector::Parse(std::string_view spec) {
   FaultInjector fi;
   fi.spec_ = std::string(spec);
   for (std::string_view probe : ProbeCatalog()) {
-    fi.probes_.push_back({std::string(probe), 0, 0, false});
+    fi.probes_.emplace_back(std::string(probe), 0);
   }
   size_t pos = 0;
   while (pos <= spec.size()) {
@@ -148,10 +148,11 @@ const FaultInjector::Probe* FaultInjector::FindProbe(
 bool FaultInjector::Hit(std::string_view probe) {
   Probe* p = FindProbe(probe);
   if (p == nullptr) return false;
-  ++p->count;
-  if (p->trigger == 0 || p->fired || p->count != p->trigger) return false;
-  p->fired = true;
-  return true;
+  // fetch_add hands each concurrent hit a unique ordinal, so exactly one
+  // caller observes the trigger count — the one-shot needs no lock.
+  const uint64_t n = p->count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (p->trigger == 0 || n != p->trigger) return false;
+  return !p->fired.exchange(true, std::memory_order_relaxed);
 }
 
 bool FaultInjector::ArmedFor(std::string_view probe) const {
@@ -161,7 +162,7 @@ bool FaultInjector::ArmedFor(std::string_view probe) const {
 
 uint64_t FaultInjector::hits(std::string_view probe) const {
   const Probe* p = FindProbe(probe);
-  return p == nullptr ? 0 : p->count;
+  return p == nullptr ? 0 : p->count.load(std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -169,7 +170,7 @@ uint64_t FaultInjector::hits(std::string_view probe) const {
 // ---------------------------------------------------------------------------
 
 RunGuard::RunGuard(const RunLimits& limits, const CancelToken* cancel,
-                   const MemoryBudget* budget, FaultInjector* injector)
+                   MemoryBudget* budget, FaultInjector* injector)
     : limits_(limits),
       cancel_(cancel),
       budget_(budget),

@@ -146,11 +146,31 @@ class FaultInjector {
   const std::string& spec() const { return spec_; }
 
  private:
+  // Hit counters are atomic: the alloc probe fires from MemoryBudget
+  // charges, which parallel evaluation issues on worker threads. The
+  // copy constructor exists only so Parse can return by value and the
+  // engine can store the injector — never copy one that is being hit.
   struct Probe {
     std::string name;
     uint64_t trigger = 0;  // 0 = not armed; N = fire on the Nth hit
-    uint64_t count = 0;
-    bool fired = false;
+    std::atomic<uint64_t> count{0};
+    std::atomic<bool> fired{false};
+
+    Probe(std::string n, uint64_t t) : name(std::move(n)), trigger(t) {}
+    Probe(const Probe& o)
+        : name(o.name),
+          trigger(o.trigger),
+          count(o.count.load(std::memory_order_relaxed)),
+          fired(o.fired.load(std::memory_order_relaxed)) {}
+    Probe& operator=(const Probe& o) {
+      name = o.name;
+      trigger = o.trigger;
+      count.store(o.count.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      fired.store(o.fired.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      return *this;
+    }
   };
   Probe* FindProbe(std::string_view name);
   const Probe* FindProbe(std::string_view name) const;
@@ -173,7 +193,7 @@ struct GuardCounters {
 class RunGuard {
  public:
   RunGuard(const RunLimits& limits, const CancelToken* cancel,
-           const MemoryBudget* budget, FaultInjector* injector);
+           MemoryBudget* budget, FaultInjector* injector);
 
   /// Stamps the run's start time (the deadline is relative to this).
   void Arm();
@@ -190,7 +210,11 @@ class RunGuard {
   TerminationReason reason() const { return reason_; }
   uint64_t checks() const { return checks_; }
   const RunLimits& limits() const { return limits_; }
-  const MemoryBudget* budget() const { return budget_; }
+  /// Non-const: worker threads charge their output buffers to the budget
+  /// (MemoryBudget::Update is atomic).
+  MemoryBudget* budget() const { return budget_; }
+  /// The run's cancel token (may be null); polled inside worker scans.
+  const CancelToken* cancel() const { return cancel_; }
   FaultInjector* injector() const { return injector_; }
 
  private:
@@ -198,7 +222,7 @@ class RunGuard {
 
   RunLimits limits_;
   const CancelToken* cancel_;
-  const MemoryBudget* budget_;
+  MemoryBudget* budget_;
   FaultInjector* injector_;
   uint64_t start_ns_ = 0;
   uint64_t deadline_ns_ = 0;  // absolute; 0 = none

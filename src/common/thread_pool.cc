@@ -1,0 +1,120 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace gdlog {
+
+ThreadPool::ThreadPool(uint32_t num_workers)
+    : num_workers_(std::max<uint32_t>(1, num_workers)) {
+  threads_.reserve(num_workers_ - 1);
+  for (uint32_t i = 0; i + 1 < num_workers_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  batch_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+uint32_t ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::DrainBatch(const std::function<void(size_t)>& fn,
+                            size_t num_tasks) {
+  for (;;) {
+    const size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= num_tasks) return;
+    bool failed = false;
+    std::exception_ptr err;
+    try {
+      fn(task);
+    } catch (...) {
+      failed = true;
+      err = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    --pending_;
+    if (failed) {
+      if (!error_) error_ = err;
+      // Abandon the unclaimed remainder: mark those tasks finished and
+      // bump the claim counter past the end so no worker picks them up.
+      const size_t unclaimed =
+          num_tasks - std::min(num_tasks,
+                               next_task_.exchange(num_tasks,
+                                                   std::memory_order_relaxed));
+      pending_ -= std::min(pending_, unclaimed);
+    }
+    if (pending_ == 0) {
+      lock.unlock();
+      done_cv_.notify_all();
+      if (failed) return;
+    } else if (failed) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_tasks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      // The batch may have drained entirely before this worker woke;
+      // Run() has already nulled fn_ then, and there is nothing to do.
+      if (fn_ == nullptr) continue;
+      fn = fn_;
+      num_tasks = num_tasks_;
+      ++active_;
+    }
+    DrainBatch(*fn, num_tasks);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+    }
+    // Run() cannot retire the batch (and start the next one, resetting
+    // next_task_) while any worker may still touch this batch's state.
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (num_workers_ == 1 || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    pending_ = num_tasks;
+    error_ = nullptr;
+    ++generation_;
+  }
+  batch_cv_.notify_all();
+  DrainBatch(fn, num_tasks);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0 && active_ == 0; });
+    err = error_;
+    fn_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace gdlog

@@ -1,0 +1,77 @@
+// Fixed-size worker pool for deterministic parallel evaluation.
+//
+// The pool owns N-1 persistent threads; the calling thread participates
+// as the N-th worker, so `ThreadPool(n)` gives exactly n workers with no
+// oversubscription. Work is submitted as one batch of indexed tasks
+// (`Run(num_tasks, fn)`): workers claim task indices with an atomic
+// counter, so scheduling is dynamic, but because tasks are *indexed* and
+// results land in caller-owned per-index slots, callers get
+// deterministic output regardless of which worker ran which task.
+//
+// Exception safety: the first exception thrown by any task is captured,
+// the remaining unclaimed tasks are abandoned, and the exception is
+// rethrown from Run() on the calling thread — so std::bad_alloc from a
+// MemoryBudget fault probe propagates to the Engine::Run boundary
+// exactly like in serial evaluation.
+#ifndef GDLOG_COMMON_THREAD_POOL_H_
+#define GDLOG_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gdlog {
+
+class ThreadPool {
+ public:
+  /// A pool of `num_workers` total workers (the caller counts as one, so
+  /// num_workers - 1 threads are spawned). num_workers <= 1 spawns
+  /// nothing and Run() executes inline.
+  explicit ThreadPool(uint32_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_workers() const { return num_workers_; }
+
+  /// Executes fn(task_index) for every task_index in [0, num_tasks),
+  /// distributing indices across the pool; blocks until every claimed
+  /// task finished. Not reentrant: tasks must not call Run() on the same
+  /// pool. Rethrows the first task exception after the batch drains.
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static uint32_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs tasks of the current batch until exhausted.
+  void DrainBatch(const std::function<void(size_t)>& fn, size_t num_tasks);
+
+  const uint32_t num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable batch_cv_;  // workers wait for a new batch
+  std::condition_variable done_cv_;   // Run() waits for batch completion
+  uint64_t generation_ = 0;           // bumped per batch
+  bool shutdown_ = false;
+
+  // Current batch (valid while pending_ > 0).
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t num_tasks_ = 0;
+  std::atomic<size_t> next_task_{0};
+  size_t pending_ = 0;  // tasks claimed-but-unfinished + unclaimed
+  size_t active_ = 0;   // spawned workers currently inside DrainBatch
+  std::exception_ptr error_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_COMMON_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstdio>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -74,6 +75,24 @@ FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
     }
     gamma_states_[r.gamma_index] = std::move(g);
   }
+  stats_.threads_used = options_.threads == 0
+                            ? ThreadPool::HardwareThreads()
+                            : std::max(1u, options_.threads);
+  if (stats_.threads_used > 1) {
+    pool_ = std::make_unique<ThreadPool>(stats_.threads_used);
+    safety_.resize(profiles_.size());
+    for (const CompiledRule& r : rules_) {
+      safety_[r.rule_index] = AnalyzeRule(r);
+    }
+  }
+}
+
+const std::vector<CompiledLiteral>& FixpointDriver::PlanOf(
+    const CompiledRule& rule, uint32_t delta) {
+  return (delta == CompiledScan::kNoOccurrence ||
+          delta >= rule.delta_plans.size())
+             ? rule.generator
+             : rule.delta_plans[delta];
 }
 
 Status FixpointDriver::Run() {
@@ -326,6 +345,301 @@ void FixpointDriver::InsertCandidates(GammaState* g,
   if (obs_enabled_) RecordApply(&prof, t0, "rule");
 }
 
+void FixpointDriver::EvalSerial(const App& app) {
+  switch (app.kind) {
+    case App::Kind::kPlain:
+      EvalPlain(*app.rule, app.delta);
+      break;
+    case App::Kind::kAggregate:
+      EvalAggregate(*app.rule);
+      break;
+    case App::Kind::kGamma:
+      InsertCandidates(app.g, app.delta);
+      break;
+  }
+}
+
+void FixpointDriver::RunApps(const std::vector<App>& apps) {
+  if (pool_ == nullptr) {
+    for (const App& a : apps) EvalSerial(a);
+    return;
+  }
+  // Split the serial application sequence into batches: an application
+  // joins the current batch only when nothing it reads through a full
+  // (growing) window was written by an earlier batch member, so deferring
+  // its enumeration to batch start cannot change what it sees. Gamma
+  // applications write no relations (they only push candidates).
+  size_t i = 0;
+  std::vector<PredicateId> reads;
+  std::unordered_set<PredicateId> writes;
+  while (i < apps.size()) {
+    writes.clear();
+    if (apps[i].kind != App::Kind::kGamma) {
+      writes.insert(apps[i].rule->head_pred);
+    }
+    size_t j = i + 1;
+    for (; j < apps.size(); ++j) {
+      const App& a = apps[j];
+      reads.clear();
+      CollectFullWindowReads(PlanOf(*a.rule, a.delta), a.delta, &reads);
+      bool conflict = false;
+      for (PredicateId p : reads) {
+        if (writes.count(p) > 0) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) break;
+      if (a.kind != App::Kind::kGamma) writes.insert(a.rule->head_pred);
+    }
+    RunBatch(apps.data() + i, j - i);
+    i = j;
+  }
+}
+
+void FixpointDriver::RunWorkerTask(WorkerTask* task, const App& app) {
+  const CompiledRule& rule = *app.rule;
+  if (obs_enabled_) task->t0_ns = ObsNowNs();
+  PlanExecutor exec(catalog_, store_);
+  if (guard_ != nullptr) exec.set_cancel_token(guard_->cancel());
+  if (task->ranged) {
+    exec.set_scan_range(&(*task->plan)[0].scan, task->begin, task->end);
+  }
+  const std::vector<uint32_t>& capture = task->safety->capture;
+  BindingFrame frame(rule.num_slots);
+  exec.Enumerate(rule, *task->plan, app.delta, &frame,
+                 [&](BindingFrame& f) {
+                   ++task->emitted;
+                   for (uint32_t s : capture) {
+                     task->values.push_back(f.Get(s));
+                   }
+                   return true;
+                 });
+  task->solutions = exec.stats().solutions;
+  task->scan_rows = exec.stats().scan_rows;
+  if (guard_ != nullptr && guard_->budget() != nullptr) {
+    guard_->budget()->Update(&task->charged,
+                             task->values.capacity() * sizeof(Value));
+  }
+  if (obs_enabled_) task->t1_ns = ObsNowNs();
+}
+
+void FixpointDriver::RunBatch(const App* apps, size_t count) {
+  std::vector<WorkerTask> tasks;
+  std::vector<int> first_task(count, -1);  // -1 = serial at merge position
+  std::vector<int> task_count(count, 0);
+  for (size_t a = 0; a < count; ++a) {
+    const App& app = apps[a];
+    const CompiledRule& rule = *app.rule;
+    const RuleParallelSafety& safety = safety_[rule.rule_index];
+    const std::vector<CompiledLiteral>& plan = PlanOf(rule, app.delta);
+    if (plan.empty() ||
+        !safety.PlanSafe(app.delta, rule.delta_plans.size())) {
+      continue;
+    }
+    first_task[a] = static_cast<int>(tasks.size());
+    // Partition the leading scan across workers when it is an unindexed
+    // full scan over enough rows: each range enumerates rows in
+    // ascending order, so the concatenation of the range buffers equals
+    // the serial enumeration. Indexed probes enumerate in chain order
+    // and stay unpartitioned.
+    uint32_t parts = 1;
+    RowId begin = 0, end = 0;
+    bool ranged = false;
+    const CompiledLiteral& lead = plan[0];
+    if (lead.kind == CompiledLiteral::Kind::kScan && !lead.scan.negated &&
+        lead.scan.bound_cols.empty()) {
+      const auto window = PlanExecutor::ScanWindow(
+          lead.scan, catalog_->relation(lead.scan.pred), app.delta);
+      begin = window.first;
+      end = window.second;
+      const RowId rows = end > begin ? end - begin : 0;
+      if (rows >= std::max(2u, options_.parallel_min_rows)) {
+        parts = std::min<uint32_t>(stats_.threads_used, rows);
+        ranged = true;
+      }
+    }
+    const uint64_t rows = end - begin;
+    const uint64_t chunk = parts > 1 ? (rows + parts - 1) / parts : rows;
+    for (uint32_t p = 0; p < parts; ++p) {
+      WorkerTask t;
+      t.app = a;
+      t.plan = &plan;
+      t.safety = &safety;
+      if (ranged) {
+        t.ranged = true;
+        t.begin = static_cast<RowId>(begin + p * chunk);
+        t.end = static_cast<RowId>(
+            std::min<uint64_t>(begin + (p + 1) * chunk, end));
+      }
+      tasks.push_back(std::move(t));
+    }
+    task_count[a] = static_cast<int>(tasks.size()) - first_task[a];
+  }
+
+  if (!tasks.empty()) {
+    ++stats_.parallel_batches;
+    stats_.parallel_tasks += tasks.size();
+    pool_->Run(tasks.size(), [&](size_t t) {
+      RunWorkerTask(&tasks[t], apps[tasks[t].app]);
+    });
+  }
+
+  // Merge in serial application order; applications without tasks run
+  // serially right here, at exactly their serial position.
+  for (size_t a = 0; a < count; ++a) {
+    if (first_task[a] < 0) {
+      ++stats_.serial_apps;
+      EvalSerial(apps[a]);
+    } else {
+      ++stats_.parallel_apps;
+      MergeApp(apps[a], tasks.data() + first_task[a],
+               static_cast<size_t>(task_count[a]));
+    }
+  }
+}
+
+void FixpointDriver::MergeApp(const App& app, WorkerTask* tasks,
+                              size_t count) {
+  const CompiledRule& rule = *app.rule;
+  RuleProfile& prof = profiles_[rule.rule_index];
+  ++prof.invocations;
+  const uint64_t t0 = obs_enabled_ ? ObsNowNs() : 0;
+  uint64_t worker_ns = 0;
+
+  const std::vector<uint32_t>& capture = safety_[rule.rule_index].capture;
+  const size_t width = capture.size();
+  BindingFrame frame(rule.num_slots);
+
+  // kAggregate fold state (mirrors EvalAggregate exactly).
+  struct Group {
+    Value best;
+    std::vector<std::vector<Value>> heads;
+  };
+  std::unordered_map<Value, Group, ValueHash> groups;
+
+  GammaState* g = app.g;
+  const uint64_t pushed_before =
+      app.kind == App::Kind::kGamma ? g->queue->stats().inserted : 0;
+  size_t attempted = 0;
+  size_t inserted = 0;
+  std::vector<Value> head;
+
+  for (size_t ti = 0; ti < count; ++ti) {
+    WorkerTask& task = tasks[ti];
+    exec_.stats().solutions += task.solutions;
+    exec_.stats().scan_rows += task.scan_rows;
+    worker_ns += task.t1_ns - task.t0_ns;
+    const Value* vals = task.values.data();
+    for (uint64_t s = 0; s < task.emitted; ++s, vals += width) {
+      const size_t mark = frame.Mark();
+      for (size_t k = 0; k < width; ++k) frame.Bind(capture[k], vals[k]);
+      switch (app.kind) {
+        case App::Kind::kPlain: {
+          if (exec_.BuildHead(rule, frame, &head)) {
+            ++attempted;
+            if (catalog_->relation(rule.head_pred)
+                    .Insert(TupleView(head))
+                    .inserted) {
+              ++inserted;
+              ++exec_.stats().inserts;
+            }
+          }
+          break;
+        }
+        case App::Kind::kAggregate: {
+          Value cost, group;
+          if (!EvalTerm(rule.pool, rule.cost_term, frame, store_, &cost) ||
+              !EvalTerm(rule.pool, rule.group_term, frame, store_, &group)) {
+            break;  // untyped binding: contributes nothing
+          }
+          std::vector<Value> agg_head;
+          if (!exec_.BuildHead(rule, frame, &agg_head)) break;
+          auto [it, fresh] = groups.try_emplace(group);
+          Group& grp = it->second;
+          const int c = fresh ? -1 : store_->Compare(cost, grp.best);
+          const bool better = fresh || (rule.is_least ? c < 0 : c > 0);
+          if (better) {
+            grp.best = cost;
+            grp.heads.clear();
+            grp.heads.push_back(std::move(agg_head));
+          } else if (c == 0) {
+            grp.heads.push_back(std::move(agg_head));
+          }
+          break;
+        }
+        case App::Kind::kGamma: {
+          Value cost = Value::Int(0);
+          if (rule.has_extremum &&
+              !EvalTerm(rule.pool, rule.cost_term, frame, store_, &cost)) {
+            break;
+          }
+          std::vector<Value> snapshot;
+          snapshot.reserve(rule.snapshot_slots.size());
+          for (uint32_t slot : rule.snapshot_slots) {
+            snapshot.push_back(frame.Get(slot));
+          }
+          Value key;
+          if (g->merge) {
+            std::vector<Value> kv;
+            kv.reserve(rule.congruence_slots.size());
+            for (uint32_t slot : rule.congruence_slots) {
+              kv.push_back(frame.Get(slot));
+            }
+            key = store_->MakeTuple(kv);
+          } else {
+            key = store_->MakeTuple(snapshot);
+          }
+          g->queue->Push(cost, key, std::move(snapshot));
+          break;
+        }
+      }
+      frame.UndoTo(mark);
+    }
+    if (guard_ != nullptr && guard_->budget() != nullptr) {
+      guard_->budget()->Update(&task.charged, 0);
+    }
+    std::vector<Value>().swap(task.values);
+  }
+
+  switch (app.kind) {
+    case App::Kind::kPlain:
+      prof.tuples += inserted;
+      prof.dedup_hits += attempted - inserted;
+      break;
+    case App::Kind::kAggregate: {
+      Relation& head_rel = catalog_->relation(rule.head_pred);
+      for (auto& [group, grp] : groups) {
+        for (auto& h : grp.heads) {
+          if (head_rel.Insert(TupleView(h)).inserted) {
+            ++exec_.stats().inserts;
+            ++prof.tuples;
+          } else {
+            ++prof.dedup_hits;
+          }
+        }
+      }
+      break;
+    }
+    case App::Kind::kGamma:
+      prof.candidates += g->queue->stats().inserted - pushed_before;
+      break;
+  }
+
+  if (obs_enabled_) {
+    prof.wall_ns += worker_ns;
+    if (obs_.tracer != nullptr) {
+      for (size_t ti = 0; ti < count; ++ti) {
+        if (tasks[ti].t1_ns > tasks[ti].t0_ns && obs_.tracer->Sample()) {
+          obs_.tracer->Complete(prof.head + ".worker#" + std::to_string(ti),
+                                "parallel", tasks[ti].t0_ns, tasks[ti].t1_ns);
+        }
+      }
+    }
+    RecordApply(&prof, t0, "rule");
+  }
+}
+
 Status FixpointDriver::EvalClique(uint32_t scc) {
   const CliqueStageInfo& cl = analysis_->cliques[scc];
   const DependencyGraph& graph = *analysis_->graph;
@@ -361,13 +675,19 @@ Status FixpointDriver::EvalClique(uint32_t scc) {
 
   // Round 0: full evaluation of every rule.
   GDLOG_RETURN_IF_ERROR(GuardCheck(FaultInjector::kEvalSaturate));
+  std::vector<App> apps;
   for (const CompiledRule* r : ctx.plain) {
-    EvalPlain(*r, CompiledScan::kNoOccurrence);
+    apps.push_back({App::Kind::kPlain, r, nullptr, CompiledScan::kNoOccurrence});
   }
-  for (const CompiledRule* r : ctx.aggregate) EvalAggregate(*r);
+  for (const CompiledRule* r : ctx.aggregate) {
+    apps.push_back({App::Kind::kAggregate, r, nullptr,
+                    CompiledScan::kNoOccurrence});
+  }
   for (GammaState* g : ctx.gammas) {
-    InsertCandidates(g, CompiledScan::kNoOccurrence);
+    apps.push_back({App::Kind::kGamma, g->rule, g,
+                    CompiledScan::kNoOccurrence});
   }
+  RunApps(apps);
 
   // Alternate Q∞ and γ until neither makes progress.
   for (;;) {
@@ -403,6 +723,7 @@ Status FixpointDriver::Saturate(CliqueCtx* ctx) {
   const uint64_t t0 = obs_enabled_ ? ObsNowNs() : 0;
   const uint64_t rounds_before = stats_.saturation_rounds;
   Status guard_status = Status::OK();
+  std::vector<App> apps;
   for (;;) {
     bool any_delta = false;
     for (PredicateId id : ctx->relations) {
@@ -413,30 +734,36 @@ Status FixpointDriver::Saturate(CliqueCtx* ctx) {
     guard_status = GuardCheck(FaultInjector::kEvalSaturate);
     if (!guard_status.ok()) break;
     const bool seminaive = options_.use_seminaive;
+    apps.clear();
     for (const CompiledRule* r : ctx->plain) {
       if (!r->recursive) continue;
       if (seminaive) {
         for (uint32_t d = 0; d < r->num_clique_occurrences; ++d) {
-          EvalPlain(*r, d);
+          apps.push_back({App::Kind::kPlain, r, nullptr, d});
         }
       } else {
-        EvalPlain(*r, CompiledScan::kNoOccurrence);  // naive: full windows
+        // Naive ablation: full windows every round.
+        apps.push_back({App::Kind::kPlain, r, nullptr,
+                        CompiledScan::kNoOccurrence});
       }
     }
     for (const CompiledRule* r : ctx->aggregate) {
       if (!r->recompute_full) continue;
-      EvalAggregate(*r);
+      apps.push_back({App::Kind::kAggregate, r, nullptr,
+                      CompiledScan::kNoOccurrence});
     }
     for (GammaState* g : ctx->gammas) {
       if (!g->rule->recursive) continue;
       if (seminaive) {
         for (uint32_t d = 0; d < g->rule->num_clique_occurrences; ++d) {
-          InsertCandidates(g, d);
+          apps.push_back({App::Kind::kGamma, g->rule, g, d});
         }
       } else {
-        InsertCandidates(g, CompiledScan::kNoOccurrence);
+        apps.push_back({App::Kind::kGamma, g->rule, g,
+                        CompiledScan::kNoOccurrence});
       }
     }
+    RunApps(apps);
   }
   span.AddArg("rounds",
               static_cast<int64_t>(stats_.saturation_rounds - rounds_before));

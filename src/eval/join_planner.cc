@@ -1,0 +1,60 @@
+#include "eval/join_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace gdlog {
+
+RelationEstimate JoinPlanner::ScanRelation(const Relation& rel,
+                                           size_t max_scan_rows) {
+  RelationEstimate est;
+  est.rows = static_cast<double>(rel.size());
+  est.distinct.assign(rel.arity(), 1.0);
+  if (rel.empty()) {
+    est.rows = kDefaultRows;
+    est.distinct.assign(rel.arity(), kDefaultDistinct);
+    return est;
+  }
+  est.from_data = true;
+  if (rel.size() > max_scan_rows) {
+    const double d = std::max(1.0, std::sqrt(est.rows));
+    est.distinct.assign(rel.arity(), d);
+    return est;
+  }
+  std::unordered_set<uint64_t> seen;
+  for (uint32_t c = 0; c < rel.arity(); ++c) {
+    seen.clear();
+    for (RowId r = 0; r < rel.size(); ++r) {
+      seen.insert(rel.Row(r)[c].bits());
+    }
+    est.distinct[c] = static_cast<double>(std::max<size_t>(1, seen.size()));
+  }
+  return est;
+}
+
+double JoinPlanner::ScanRows(const RelationEstimate& est,
+                             const std::vector<uint32_t>& bound_cols) {
+  double rows = est.rows;
+  for (uint32_t c : bound_cols) {
+    const double d =
+        c < est.distinct.size() ? est.distinct[c] : kDefaultDistinct;
+    rows /= d;
+  }
+  return std::max(1.0, rows);
+}
+
+const RelationEstimate& JoinPlanner::Estimate(PredicateId pred) {
+  auto it = cache_.find(pred);
+  if (it == cache_.end()) {
+    it = cache_.emplace(pred, ScanRelation(catalog_->relation(pred))).first;
+  }
+  return it->second;
+}
+
+double JoinPlanner::EstimateScanRows(PredicateId pred,
+                                     const std::vector<uint32_t>& bound_cols) {
+  return ScanRows(Estimate(pred), bound_cols);
+}
+
+}  // namespace gdlog

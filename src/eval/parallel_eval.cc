@@ -1,0 +1,146 @@
+#include "eval/parallel_eval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gdlog {
+
+namespace {
+
+/// No kConstruct anywhere: evaluating the term via EvalTerm cannot
+/// intern (kArith over ints, constants, bound variables).
+bool TermInternFree(const std::vector<CTerm>& pool, uint32_t t) {
+  const CTerm& ct = pool[t];
+  if (ct.kind == CTerm::Kind::kConstruct) return false;
+  for (uint32_t a : ct.args) {
+    if (!TermInternFree(pool, a)) return false;
+  }
+  return true;
+}
+
+/// Safe to MatchTerm against: constructors destructure (read-only), but
+/// any arithmetic subterm switches to EvalTerm, whose arguments must
+/// then be intern-free.
+bool TermMatchSafe(const std::vector<CTerm>& pool, uint32_t t) {
+  const CTerm& ct = pool[t];
+  switch (ct.kind) {
+    case CTerm::Kind::kConst:
+    case CTerm::Kind::kVar:
+      return true;
+    case CTerm::Kind::kArith:
+      return TermInternFree(pool, t);
+    case CTerm::Kind::kConstruct:
+      for (uint32_t a : ct.args) {
+        if (!TermMatchSafe(pool, a)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PlanInternFree(const CompiledRule& rule,
+                    const std::vector<CompiledLiteral>& plan) {
+  for (const CompiledLiteral& lit : plan) {
+    switch (lit.kind) {
+      case CompiledLiteral::Kind::kScan: {
+        const CompiledScan& scan = lit.scan;
+        std::unordered_set<uint32_t> bound(scan.bound_cols.begin(),
+                                           scan.bound_cols.end());
+        for (size_t col = 0; col < scan.arg_terms.size(); ++col) {
+          // Bound columns are evaluated into the probe key (EvalTerm);
+          // unbound ones are matched against stored tuples.
+          if (bound.count(static_cast<uint32_t>(col))
+                  ? !TermInternFree(rule.pool, scan.arg_terms[col])
+                  : !TermMatchSafe(rule.pool, scan.arg_terms[col])) {
+            return false;
+          }
+        }
+        break;
+      }
+      case CompiledLiteral::Kind::kCompare:
+        if (lit.cmp.is_assignment) {
+          if (!TermInternFree(rule.pool, lit.cmp.value_term)) return false;
+        } else if (!TermInternFree(rule.pool, lit.cmp.lhs) ||
+                   !TermInternFree(rule.pool, lit.cmp.rhs)) {
+          return false;
+        }
+        break;
+      case CompiledLiteral::Kind::kNotExists:
+        if (!PlanInternFree(rule, lit.sub)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+RuleParallelSafety AnalyzeRule(const CompiledRule& rule) {
+  RuleParallelSafety s;
+
+  // Capture set: everything the merge phase reads off the frame.
+  std::unordered_set<uint32_t> capture;
+  std::function<void(uint32_t)> add_term = [&](uint32_t t) {
+    const CTerm& ct = rule.pool[t];
+    if (ct.kind == CTerm::Kind::kVar) {
+      capture.insert(ct.var_slot);
+    } else {
+      for (uint32_t a : ct.args) add_term(a);
+    }
+  };
+  if (rule.is_gamma) {
+    for (uint32_t slot : rule.snapshot_slots) capture.insert(slot);
+    for (uint32_t slot : rule.congruence_slots) capture.insert(slot);
+    if (rule.has_extremum) add_term(rule.cost_term);
+  } else {
+    for (uint32_t t : rule.head_terms) add_term(t);
+    if (rule.has_extremum) {
+      add_term(rule.cost_term);
+      add_term(rule.group_term);
+    }
+  }
+  s.capture.assign(capture.begin(), capture.end());
+  std::sort(s.capture.begin(), s.capture.end());
+
+  const std::unordered_set<uint32_t> gen_bound(
+      rule.generator_bound_slots.begin(), rule.generator_bound_slots.end());
+  s.capture_ok = std::all_of(s.capture.begin(), s.capture.end(),
+                             [&](uint32_t slot) {
+                               return gen_bound.count(slot) > 0;
+                             });
+
+  s.generator_safe = PlanInternFree(rule, rule.generator);
+  s.delta_safe.reserve(rule.delta_plans.size());
+  for (const auto& plan : rule.delta_plans) {
+    s.delta_safe.push_back(PlanInternFree(rule, plan));
+  }
+  return s;
+}
+
+void CollectFullWindowReads(const std::vector<CompiledLiteral>& plan,
+                            uint32_t delta_occurrence,
+                            std::vector<PredicateId>* out) {
+  for (const CompiledLiteral& lit : plan) {
+    switch (lit.kind) {
+      case CompiledLiteral::Kind::kScan: {
+        const CompiledScan& scan = lit.scan;
+        // Delta variants freeze positive same-clique scans at the
+        // round-start watermarks; everything else reads [0, size).
+        const bool frozen =
+            delta_occurrence != CompiledScan::kNoOccurrence &&
+            !scan.negated &&
+            scan.clique_occurrence != CompiledScan::kNoOccurrence;
+        if (!frozen) out->push_back(scan.pred);
+        break;
+      }
+      case CompiledLiteral::Kind::kCompare:
+        break;
+      case CompiledLiteral::Kind::kNotExists:
+        // Subplans always run with kNoOccurrence — full windows.
+        CollectFullWindowReads(lit.sub, CompiledScan::kNoOccurrence, out);
+        break;
+    }
+  }
+}
+
+}  // namespace gdlog

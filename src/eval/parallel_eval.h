@@ -1,0 +1,70 @@
+// Static analysis behind deterministic parallel evaluation.
+//
+// The parallel evaluator keeps runs bit-identical to serial evaluation
+// by a strict division of labor: worker threads only *enumerate* — they
+// match tuples, evaluate integer arithmetic, and snapshot binding-frame
+// values into an ordered buffer — while the main thread replays the
+// buffers in serial application order, doing everything that mutates
+// shared state (term interning in the ValueStore, head construction,
+// relation inserts, candidate-queue pushes). That keeps every TermId,
+// hash-map iteration order, and insertion order exactly as the serial
+// engine produces them.
+//
+// A rule application may run on workers only when its plan provably
+// never interns during enumeration (no term constructor reachable via
+// EvalTerm — probe keys, comparisons, arithmetic over constructors) and
+// every value the merge phase needs is generator-bound. AnalyzeRule
+// checks this per plan variant; unsafe applications simply run on the
+// main thread at their merge position, preserving order.
+#ifndef GDLOG_EVAL_PARALLEL_EVAL_H_
+#define GDLOG_EVAL_PARALLEL_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/rule_compiler.h"
+
+namespace gdlog {
+
+struct RuleParallelSafety {
+  // Every slot the merge phase reads is bound by the generator.
+  bool capture_ok = false;
+  // Plan variants whose enumeration never interns.
+  bool generator_safe = false;
+  std::vector<bool> delta_safe;  // parallel to CompiledRule::delta_plans
+
+  // Sorted slots whose values a worker snapshots per solution — the
+  // union of what the merge phase needs to rebuild the binding frame.
+  std::vector<uint32_t> capture;
+
+  /// Safe to enumerate the given plan variant on a worker?
+  bool PlanSafe(uint32_t delta_occurrence, size_t num_delta_plans) const {
+    if (!capture_ok) return false;
+    if (delta_occurrence == UINT32_MAX || delta_occurrence >= num_delta_plans) {
+      return generator_safe;
+    }
+    return delta_safe[delta_occurrence];
+  }
+};
+
+/// Computes the parallel-safety verdict and capture set for one rule.
+RuleParallelSafety AnalyzeRule(const CompiledRule& rule);
+
+/// True when enumerating `plan` performs no term interning (safe off the
+/// main thread). Exposed for unit tests; AnalyzeRule covers all plans.
+bool PlanInternFree(const CompiledRule& rule,
+                    const std::vector<CompiledLiteral>& plan);
+
+/// Predicates `plan` reads through a *full* (growing) window under the
+/// given delta variant: negated scans, NotExists subplan scans, and —
+/// when delta_occurrence is kNoOccurrence — every positive scan. Scans
+/// whose seminaive window is frozen for the round are excluded. Used to
+/// group consecutive rule applications into batches that are mutually
+/// order-independent.
+void CollectFullWindowReads(const std::vector<CompiledLiteral>& plan,
+                            uint32_t delta_occurrence,
+                            std::vector<PredicateId>* out);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_EVAL_PARALLEL_EVAL_H_

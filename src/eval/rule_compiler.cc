@@ -139,12 +139,13 @@ class RuleCompiler {
  public:
   RuleCompiler(const Program& program, const StageAnalysis& analysis,
                uint32_t rule_index, Catalog* catalog, ValueStore* store,
-               bool head_params_bound)
+               bool head_params_bound, JoinPlanner* planner)
       : program_(program),
         analysis_(analysis),
         rule_(program.rules[rule_index]),
         catalog_(catalog),
         store_(store),
+        planner_(planner),
         head_params_bound_(head_params_bound) {
     out_.rule_index = rule_index;
   }
@@ -410,7 +411,8 @@ class RuleCompiler {
 
     auto main_work = work;
     GDLOG_RETURN_IF_ERROR(CompilePhase(&main_work, &out_.generator,
-                                       /*in_post=*/false, nullptr));
+                                       /*in_post=*/false, nullptr,
+                                       /*record=*/planner_ != nullptr));
     if (out_.is_next) {
       GDLOG_RETURN_IF_ERROR(CompilePhase(&main_work, &out_.post,
                                          /*in_post=*/true, nullptr));
@@ -468,9 +470,60 @@ class RuleCompiler {
     }
   }
 
+  /// Bound columns of an (uncompiled) atom under the current bound set —
+  /// the same analysis CompileAtom performs on compiled terms, applied to
+  /// the AST so candidate scans can be costed before committing to one.
+  std::vector<uint32_t> BoundColsOf(const Literal& lit, bool in_post) const {
+    const auto bound = VisibleBound(in_post);
+    auto is_bound = [&](const std::string& name) {
+      auto it = slots_.find(name);
+      if (it != slots_.end() && bound.count(it->second)) return true;
+      return in_post && out_.is_next && name == stage_var_name_;
+    };
+    std::vector<uint32_t> cols;
+    for (size_t col = 0; col < lit.args.size(); ++col) {
+      std::vector<std::string> vars;
+      CollectVariables(lit.args[col], &vars);
+      if (std::all_of(vars.begin(), vars.end(), is_bound)) {
+        cols.push_back(static_cast<uint32_t>(col));
+      }
+    }
+    return cols;
+  }
+
+  double EstimateAtomCost(const Literal& lit, bool in_post) const {
+    const PredicateId pred = catalog_->Ensure(
+        lit.predicate, static_cast<uint32_t>(lit.args.size()));
+    return planner_->EstimateScanRows(pred, BoundColsOf(lit, in_post));
+  }
+
+  void RecordDecision(const Literal& lit, bool in_post) {
+    PlanDecision d;
+    switch (lit.kind) {
+      case LiteralKind::kAtom:
+        d.goal = lit.predicate + "/" + std::to_string(lit.args.size());
+        d.negated = lit.negated;
+        d.filter = lit.negated;
+        d.arity = static_cast<uint32_t>(lit.args.size());
+        d.bound_cols =
+            static_cast<uint32_t>(BoundColsOf(lit, in_post).size());
+        if (!lit.negated) d.est_rows = EstimateAtomCost(lit, in_post);
+        break;
+      case LiteralKind::kComparison:
+        d.goal = std::string(ComparisonOpName(lit.op));
+        d.filter = true;
+        break;
+      default:
+        d.goal = "not-exists";
+        d.filter = true;
+        break;
+    }
+    out_.plan_decisions.push_back(std::move(d));
+  }
+
   Status CompilePhase(std::vector<const Literal*>* work,
                       std::vector<CompiledLiteral>* plan, bool in_post,
-                      const Literal* pinned_first) {
+                      const Literal* pinned_first, bool record = false) {
     bool progress = true;
     bool pin_pending = pinned_first != nullptr;
     while (progress && !work->empty()) {
@@ -478,7 +531,11 @@ class RuleCompiler {
       // Push selections down: among ready literals prefer (1) pure
       // filters — comparisons, negated atoms, negated conjunctions —
       // over (2) positive scans, so cheap tests run before joins widen.
+      // With a planner, the scan pick is the ready atom with the
+      // smallest estimated result (ties keep original order); without,
+      // it is the first ready atom in original order.
       size_t pick = work->size();
+      double pick_cost = 0;
       for (size_t i = 0; i < work->size(); ++i) {
         const Literal& lit = *(*work)[i];
         if (pin_pending && &lit != pinned_first) continue;
@@ -491,12 +548,24 @@ class RuleCompiler {
           pick = i;
           break;  // first ready filter in original order wins
         }
-        if (pick == work->size()) pick = i;  // first ready scan, fallback
-        if (pin_pending) break;
+        if (pin_pending) {
+          pick = i;
+          break;  // the delta atom leads its plan variant unconditionally
+        }
+        if (planner_ != nullptr) {
+          const double cost = EstimateAtomCost(lit, in_post);
+          if (pick == work->size() || cost < pick_cost) {
+            pick = i;
+            pick_cost = cost;
+          }
+        } else if (pick == work->size()) {
+          pick = i;  // first ready scan, fallback
+        }
       }
       if (pick < work->size()) {
         const Literal& lit = *(*work)[pick];
         pin_pending = false;
+        if (record) RecordDecision(lit, in_post);
         switch (lit.kind) {
           case LiteralKind::kAtom:
             GDLOG_RETURN_IF_ERROR(CompileAtom(lit, plan, in_post));
@@ -917,6 +986,8 @@ class RuleCompiler {
   Catalog* catalog_;
   ValueStore* store_;
 
+  JoinPlanner* planner_ = nullptr;
+
   CompiledRule out_;
   std::unordered_map<std::string, uint32_t> slots_;
   std::unordered_set<uint32_t> generator_bound_;
@@ -951,7 +1022,8 @@ Result<std::vector<CompiledRule>> CompileProgram(
     const bool head_bound =
         options.head_params_bound &&
         options.head_params_bound(program.rules[ri].head.predicate);
-    RuleCompiler rc(program, analysis, ri, catalog, store, head_bound);
+    RuleCompiler rc(program, analysis, ri, catalog, store, head_bound,
+                    options.planner);
     GDLOG_ASSIGN_OR_RETURN(CompiledRule cr, rc.Compile());
     if (cr.is_gamma) cr.gamma_index = gamma_counter++;
     out.push_back(std::move(cr));

@@ -30,6 +30,7 @@
 #include "ast/ast.h"
 #include "common/status.h"
 #include "eval/binding.h"
+#include "eval/join_planner.h"
 #include "storage/catalog.h"
 
 namespace gdlog {
@@ -169,6 +170,11 @@ struct CompiledRule {
   // Aggregate rules inside a recursive clique (extrema in flat rules —
   // the relaxed Kruskal shape) are re-evaluated over full windows.
   bool recompute_full = false;
+
+  // Goal order chosen for the generator plan, one entry per compiled
+  // body literal in plan order. Populated only when a JoinPlanner drove
+  // the ordering; surfaced in the run report.
+  std::vector<PlanDecision> plan_decisions;
 };
 
 struct CompileProgramOptions {
@@ -177,6 +183,11 @@ struct CompileProgramOptions {
   // the parameterized aux$ predicates, which are not range-restricted).
   // Matched against the head predicate name.
   std::function<bool(const std::string&)> head_params_bound;
+  // Cost-based goal ordering: when set, the "next goal" pick among ready
+  // positive atoms is the one with the smallest estimated scan size
+  // (filters still run first, delta atoms stay pinned). Null keeps the
+  // legacy parser-order pick.
+  JoinPlanner* planner = nullptr;
 };
 
 /// Compiles every rule of the analyzed program. Predicates are created

@@ -1,4 +1,6 @@
 #include "eval/seminaive.h"
+
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/logging.h"
@@ -30,6 +32,13 @@ Window WindowFor(const CompiledScan& scan, const Relation& rel,
 }
 
 }  // namespace
+
+std::pair<RowId, RowId> PlanExecutor::ScanWindow(const CompiledScan& scan,
+                                                 const Relation& rel,
+                                                 uint32_t delta_occurrence) {
+  const Window w = WindowFor(scan, rel, delta_occurrence);
+  return {w.begin, w.end};
+}
 
 bool PlanExecutor::RunCompare(const CompiledRule& rule,
                               const CompiledCompare& cmp,
@@ -82,10 +91,18 @@ bool PlanExecutor::RunScan(const CompiledRule& rule, const CompiledScan& scan,
     return on_match();  // absent: negation holds, continue (no bindings)
   }
 
-  const Window window = WindowFor(scan, rel, delta_occurrence);
+  Window window = WindowFor(scan, rel, delta_occurrence);
+  if (&scan == range_scan_) {
+    window.begin = std::max(window.begin, range_begin_);
+    window.end = std::min(window.end, range_end_);
+  }
 
   auto try_row = [&](RowId row) -> int {
     // Returns -1 mismatch, 0 matched-and-continue, 1 aborted.
+    if (cancel_ != nullptr && (++cancel_tick_ & 4095u) == 0 &&
+        cancel_->cancelled()) {
+      return 1;
+    }
     ++stats_.scan_rows;
     const size_t mark = frame->Mark();
     TupleView tuple = rel.Row(row);

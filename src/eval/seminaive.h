@@ -15,7 +15,9 @@
 #define GDLOG_EVAL_SEMINAIVE_H_
 
 #include <functional>
+#include <utility>
 
+#include "common/guardrails.h"
 #include "eval/binding.h"
 #include "eval/rule_compiler.h"
 #include "storage/catalog.h"
@@ -41,6 +43,26 @@ class PlanExecutor {
   void set_negation_oracle(NegationOracle oracle) {
     oracle_ = std::move(oracle);
   }
+
+  /// Restricts one scan of the plan to rows [begin, end) ∩ its seminaive
+  /// window — the row-range partitioning hook of parallel evaluation
+  /// (each worker gets its own executor with its own range).
+  void set_scan_range(const CompiledScan* scan, RowId begin, RowId end) {
+    range_scan_ = scan;
+    range_begin_ = begin;
+    range_end_ = end;
+  }
+
+  /// When set, scans poll the token every ~4k rows and abort the
+  /// enumeration on cancellation (workers observe a cancel mid-scan
+  /// instead of running their partition to completion).
+  void set_cancel_token(const CancelToken* cancel) { cancel_ = cancel; }
+
+  /// The seminaive row window `scan` reads under `delta_occurrence`
+  /// (exposed for partition planning).
+  static std::pair<RowId, RowId> ScanWindow(const CompiledScan& scan,
+                                            const Relation& rel,
+                                            uint32_t delta_occurrence);
 
   /// Enumerates all solutions of `plan` extending `frame`, invoking
   /// `on_solution` for each; the callback returns false to abort the
@@ -87,6 +109,12 @@ class PlanExecutor {
   ValueStore* store_;
   NegationOracle oracle_;
   ExecStats stats_;
+
+  const CompiledScan* range_scan_ = nullptr;
+  RowId range_begin_ = 0;
+  RowId range_end_ = 0;
+  const CancelToken* cancel_ = nullptr;
+  uint32_t cancel_tick_ = 0;
 };
 
 }  // namespace gdlog

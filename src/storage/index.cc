@@ -6,6 +6,7 @@ namespace gdlog {
 
 Index::Index(std::vector<uint32_t> columns) : columns_(std::move(columns)) {
   buckets_.assign(64, kNoRow);
+  tails_.assign(64, kNoRow);
   bucket_mask_ = buckets_.size() - 1;
 }
 
@@ -26,13 +27,24 @@ uint64_t Index::HashRowKey(TupleView tuple) const {
 
 void Index::Rehash(size_t new_bucket_count) {
   buckets_.assign(new_bucket_count, kNoRow);
+  tails_.assign(new_bucket_count, kNoRow);
   bucket_mask_ = new_bucket_count - 1;
-  // Rebuild chains; iterate in reverse so chains keep insertion order.
-  for (size_t e = rows_.size(); e-- > 0;) {
-    size_t slot = hashes_[e] & bucket_mask_;
-    next_[e] = buckets_[slot];
-    buckets_[slot] = static_cast<uint32_t>(e);
+  // Rebuild chains forward, appending at the tail — the same
+  // insertion-order discipline as Insert, so a rehash never changes the
+  // order a probe enumerates its matches in.
+  for (size_t e = 0; e < rows_.size(); ++e) {
+    Link(static_cast<uint32_t>(e), hashes_[e] & bucket_mask_);
   }
+}
+
+void Index::Link(uint32_t entry, size_t slot) {
+  next_[entry] = kNoRow;
+  if (buckets_[slot] == kNoRow) {
+    buckets_[slot] = entry;
+  } else {
+    next_[tails_[slot]] = entry;
+  }
+  tails_[slot] = entry;
 }
 
 void Index::Insert(RowId row, TupleView tuple) {
@@ -40,9 +52,8 @@ void Index::Insert(RowId row, TupleView tuple) {
   const auto entry = static_cast<uint32_t>(rows_.size());
   rows_.push_back(row);
   hashes_.push_back(h);
-  const size_t slot = h & bucket_mask_;
-  next_.push_back(buckets_[slot]);
-  buckets_[slot] = entry;
+  next_.push_back(kNoRow);
+  Link(entry, h & bucket_mask_);
   if (rows_.size() * 10 > buckets_.size() * 7) Rehash(buckets_.size() * 2);
 }
 

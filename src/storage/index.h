@@ -5,6 +5,15 @@
 // O(1) expected per matching row. Indices are append-only, mirroring the
 // append-only fact store of a fixpoint evaluation: buckets hold chain
 // heads into a parallel next[] array, so insertion never moves entries.
+//
+// Chains are kept in row-insertion order (appended at the tail), and
+// Rehash rebuilds them in the same order — so a probe enumerates its
+// matches oldest-first, exactly like a full scan, no matter whether the
+// entries arrived incrementally, through an EnsureIndex backfill over
+// pre-existing rows, or across a rehash. Goal reordering (the join
+// planner) and scan partitioning (the parallel evaluator) both rely on
+// this: the same database enumerates identically however the index came
+// to be.
 #ifndef GDLOG_STORAGE_INDEX_H_
 #define GDLOG_STORAGE_INDEX_H_
 
@@ -60,19 +69,23 @@ class Index {
     return rows_.capacity() * sizeof(RowId) +
            hashes_.capacity() * sizeof(uint64_t) +
            next_.capacity() * sizeof(uint32_t) +
-           buckets_.capacity() * sizeof(uint32_t);
+           buckets_.capacity() * sizeof(uint32_t) +
+           tails_.capacity() * sizeof(uint32_t);
   }
 
  private:
   friend class MatchIterator;
 
   void Rehash(size_t new_bucket_count);
+  /// Appends `entry` at the tail of `slot`'s chain.
+  void Link(uint32_t entry, size_t slot);
 
   std::vector<uint32_t> columns_;
   std::vector<RowId> rows_;       // entry -> row id
   std::vector<uint64_t> hashes_;  // entry -> key hash
   std::vector<uint32_t> next_;    // entry -> next entry in chain (or kNoRow)
   std::vector<uint32_t> buckets_; // bucket -> chain head entry (or kNoRow)
+  std::vector<uint32_t> tails_;   // bucket -> chain tail entry (or kNoRow)
   size_t bucket_mask_ = 0;
 };
 

@@ -39,6 +39,27 @@ std::unique_ptr<Engine> MakeRunaway(RunLimits limits,
   return engine;
 }
 
+// Eight independent runaway chains: every round's delta has eight rows,
+// so a low parallel_min_rows keeps the worker pool genuinely busy while
+// a guardrail has to stop the run.
+constexpr const char* kWideRunaway = R"(
+  c(0, 0). c(1, 0). c(2, 0). c(3, 0).
+  c(4, 0). c(5, 0). c(6, 0). c(7, 0).
+  c(K, M) <- c(K, N), M = N + 1, N < 2000000000.
+)";
+
+std::unique_ptr<Engine> MakeParallelRunaway(RunLimits limits,
+                                            std::string faults = "") {
+  EngineOptions options;
+  options.limits = limits;
+  options.faults = std::move(faults);
+  options.eval.threads = 8;
+  options.eval.parallel_min_rows = 2;
+  auto engine = std::make_unique<Engine>(options);
+  EXPECT_TRUE(engine->LoadProgram(kWideRunaway).ok());
+  return engine;
+}
+
 // ---------------------------------------------------------------------------
 // Unit: FaultInjector
 // ---------------------------------------------------------------------------
@@ -224,8 +245,10 @@ TEST(Guardrails, CancelFromSecondThreadStopsRun) {
 TEST(Guardrails, InjectedAllocFailureIsGracefulOom) {
   // The alloc probe counts *growth events* (capacity changes), which are
   // logarithmic in data size — keep the trigger small so it fires early.
+  // The deadline is only a hang backstop and must stay far above the
+  // probe's trigger time even under TSan's ~30x slowdown.
   RunLimits backstop;
-  backstop.deadline_ms = 30000;
+  backstop.deadline_ms = 180000;
   auto engine = MakeRunaway(backstop, "alloc@40");
   const Status st = engine->Run();
   EXPECT_EQ(st.code(), StatusCode::kOutOfMemory) << st.ToString();
@@ -234,6 +257,68 @@ TEST(Guardrails, InjectedAllocFailureIsGracefulOom) {
   // Graceful: the partial state survived the unwound allocation.
   EXPECT_TRUE(engine->has_run());
   (void)engine->Query("c", 1);
+  EXPECT_TRUE(engine->RunReport().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Guardrails x parallel evaluation (threads = 8)
+// ---------------------------------------------------------------------------
+
+TEST(Guardrails, ParallelRunawayHonorsDeadline) {
+  RunLimits limits;
+  limits.deadline_ms = 100;
+  auto engine = MakeParallelRunaway(limits);
+  const Status st = engine->Run();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  EXPECT_EQ(engine->outcome().reason, TerminationReason::kDeadline);
+  EXPECT_TRUE(engine->has_run());
+  EXPECT_GT(engine->Query("c", 2).size(), 0u);
+  // The stop happened while the pool was actually in use.
+  EXPECT_EQ(engine->stats()->threads_used, 8u);
+  EXPECT_GT(engine->stats()->parallel_apps, 0u);
+}
+
+TEST(Guardrails, ParallelRunawayHonorsTupleLimit) {
+  RunLimits limits;
+  limits.max_tuples = 1000;
+  auto engine = MakeParallelRunaway(limits);
+  const Status st = engine->Run();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+  EXPECT_EQ(engine->outcome().reason, TerminationReason::kTupleLimit);
+  // Round-boundary checks may overshoot by one round's production —
+  // eight tuples per round here.
+  const size_t n = engine->Query("c", 2).size();
+  EXPECT_GE(n, 1000u);
+  EXPECT_LE(n, 1200u);
+}
+
+TEST(Guardrails, ParallelRunawayHonorsCancel) {
+  auto engine = MakeParallelRunaway(RunLimits{});
+  std::thread canceller([&engine] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    engine->RequestCancel();
+  });
+  const Status st = engine->Run();
+  canceller.join();
+  EXPECT_EQ(st.code(), StatusCode::kCancelled) << st.ToString();
+  EXPECT_EQ(engine->outcome().reason, TerminationReason::kCancelled);
+  EXPECT_TRUE(engine->has_run());
+  EXPECT_GT(engine->Query("c", 2).size(), 0u);
+}
+
+TEST(Guardrails, ParallelInjectedAllocFailureIsGracefulOom) {
+  // Worker capture buffers are charged to the MemoryBudget from pool
+  // threads, so the alloc probe can fire off the main thread; the
+  // injector's counters are atomic for exactly this case. Same hang
+  // backstop reasoning as the serial variant above.
+  RunLimits backstop;
+  backstop.deadline_ms = 180000;
+  auto engine = MakeParallelRunaway(backstop, "alloc@40");
+  const Status st = engine->Run();
+  EXPECT_EQ(st.code(), StatusCode::kOutOfMemory) << st.ToString();
+  EXPECT_EQ(engine->outcome().reason, TerminationReason::kOom);
+  EXPECT_TRUE(engine->has_run());
+  (void)engine->Query("c", 2);
   EXPECT_TRUE(engine->RunReport().ok());
 }
 

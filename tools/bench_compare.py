@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compare two gdlog bench JSON reports and flag median regressions.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+      [--threshold 0.20] [--report-only]
+
+Reports are the `bench_* --json out.json` format (schema
+gdlog-bench-v1, see bench/bench_util.h). Experiments are matched by
+title, rows by x, columns by name. For every timing column (name ending
+in `_ms` or `_s`) the script compares the median over repetitions when
+rep spreads were recorded, falling back to the single recorded value.
+Derived ratio columns (anything else) are reported but never gate.
+
+Exit status: 1 when any timing median regressed by more than the
+threshold (default 20%) and --report-only was not given; 0 otherwise.
+Experiments or rows present on only one side are listed as notes — new
+benchmarks must not fail the gate retroactively.
+
+The committed BENCH_baseline.json is the union of the experiment tables
+of every gating bench binary (its "experiments" arrays concatenated);
+refresh it with the workflow described in docs/PERFORMANCE.md.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "gdlog-bench-v1":
+        sys.exit(f"{path}: not a gdlog-bench-v1 report")
+    return report
+
+
+def is_timing_column(name):
+    return name.endswith("_ms") or name.endswith("_s")
+
+
+def median_of(row, col_index):
+    reps = row.get("reps", [])
+    if col_index < len(reps):
+        return reps[col_index]["median"]
+    return row["values"][col_index]
+
+
+def index_rows(experiment):
+    return {row["x"]: row for row in experiment["rows"]}
+
+
+def compare(baseline, current, threshold):
+    """Yields (kind, message) where kind is 'regression', 'note' or 'ok'."""
+    base_by_title = {e["title"]: e for e in baseline["experiments"]}
+    for exp in current["experiments"]:
+        base = base_by_title.get(exp["title"])
+        if base is None:
+            yield "note", f"no baseline for experiment: {exp['title']}"
+            continue
+        base_rows = index_rows(base)
+        base_cols = {c: i for i, c in enumerate(base["columns"])}
+        for row in exp["rows"]:
+            brow = base_rows.get(row["x"])
+            if brow is None:
+                yield "note", (f"{exp['title']}: x={row['x']:g} "
+                               "has no baseline row")
+                continue
+            for ci, col in enumerate(exp["columns"]):
+                bi = base_cols.get(col)
+                if bi is None:
+                    yield "note", f"{exp['title']}: new column {col}"
+                    continue
+                cur = median_of(row, ci)
+                ref = median_of(brow, bi)
+                where = f"{exp['title']} [{col} @ x={row['x']:g}]"
+                if not is_timing_column(col):
+                    yield "ok", f"{where}: {ref:g} -> {cur:g} (not gating)"
+                    continue
+                if ref <= 0:
+                    yield "note", f"{where}: baseline median is {ref:g}"
+                    continue
+                ratio = cur / ref
+                line = (f"{where}: {ref:.4f} -> {cur:.4f} "
+                        f"({ratio - 1.0:+.1%})")
+                if ratio > 1.0 + threshold:
+                    yield "regression", line
+                else:
+                    yield "ok", line
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate bench medians against a committed baseline.")
+    parser.add_argument("baseline")
+    parser.add_argument("current", nargs="+")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed median slowdown fraction "
+                             "(default 0.20 = 20%%)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the comparison but always exit 0")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    regressions = 0
+    for path in args.current:
+        current = load(path)
+        print(f"== {path} vs {args.baseline} "
+              f"(threshold {args.threshold:.0%}) ==")
+        for kind, message in compare(baseline, current, args.threshold):
+            tag = {"regression": "REGRESSION", "note": "note", "ok": "ok"}[kind]
+            print(f"  [{tag}] {message}")
+            if kind == "regression":
+                regressions += 1
+    if regressions:
+        print(f"{regressions} median regression(s) beyond threshold")
+        if args.report_only:
+            print("(report-only mode: exiting 0)")
+            return 0
+        return 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,8 @@
 //   --trace PATH         record a phase timeline, write Chrome trace JSON
 //   --no-merge           disable congruence merging ((R,Q,L) ablation)
 //   --linear-least       naive linear-scan retrieval instead of the heap
+//   --threads N          parallel evaluation workers (0 = hardware, 1 = serial)
+//   --no-planner         parser-order joins (cost-based planner ablation)
 //   --deadline-ms N      stop the run after N wall-clock milliseconds
 //   --max-tuples N       stop after N derived tuples
 //   --max-stages N       stop after N next-rule stage advances
@@ -112,6 +114,7 @@ void Usage(const char* argv0) {
                "[--lint] [--lint-json] "
                "[--report] [--rewrite] [--verify] [--stats] [--json-report] "
                "[--trace PATH] [--no-merge] [--linear-least] "
+               "[--threads N] [--no-planner] "
                "[--deadline-ms N] [--max-tuples N] [--max-stages N] "
                "[--max-memory-mb N] [--faults SPEC]\n"
                "       %s --interactive [options]\n",
@@ -450,6 +453,11 @@ int main(int argc, char** argv) {
       options.eval.use_merge_congruence = false;
     } else if (arg == "--linear-least") {
       options.eval.use_priority_queue = false;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.eval.threads =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--no-planner") {
+      options.eval.use_join_planner = false;
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       options.limits.deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--max-tuples" && i + 1 < argc) {
