@@ -1,6 +1,7 @@
 #include "api/engine.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 
@@ -52,14 +53,22 @@ Engine::Engine(EngineOptions options)
       faults_status_ = parsed.status();
     }
   }
+  // Tracer: opt-in (it allocates per event). Metrics registry and
+  // flight recorder: always-on defaults (see ObsOptions); an external
+  // registry wins over the enable flag so callers accumulating across
+  // runs keep working even with metrics_enabled=false.
   if (options_.obs.enabled) {
     tracer_ = std::make_unique<Tracer>(options_.obs.sample_every);
-    if (options_.obs.metrics != nullptr) {
-      metrics_ = options_.obs.metrics;
-    } else {
-      own_metrics_ = std::make_unique<MetricsRegistry>();
-      metrics_ = own_metrics_.get();
-    }
+  }
+  if (options_.obs.metrics != nullptr) {
+    metrics_ = options_.obs.metrics;
+  } else if (options_.obs.metrics_enabled) {
+    own_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = own_metrics_.get();
+  }
+  if (options_.obs.recorder_enabled) {
+    recorder_ =
+        std::make_unique<FlightRecorder>(options_.obs.recorder_capacity);
   }
 }
 
@@ -84,6 +93,7 @@ Status OomStatus() {
 Status Engine::LoadProgram(std::string_view text) {
   GDLOG_RETURN_IF_ERROR(faults_status_);
   if (injector_ && injector_->Hit(FaultInjector::kParse)) {
+    if (recorder_) recorder_->Record(FlightEventKind::kFaultInjected, 0);
     return InjectedFault(FaultInjector::kParse);
   }
   // Parsing interns symbols, so with an armed "alloc" probe (or a truly
@@ -109,6 +119,7 @@ Status Engine::LoadProgramAst(Program program) {
     return Status::InvalidArgument("a program is already loaded");
   }
   if (injector_ && injector_->Hit(FaultInjector::kAnalyze)) {
+    if (recorder_) recorder_->Record(FlightEventKind::kFaultInjected, 1);
     return InjectedFault(FaultInjector::kAnalyze);
   }
   const uint64_t t0 = WallNowNs();
@@ -180,6 +191,11 @@ Status Engine::Run() {
   guard_ = std::make_unique<RunGuard>(options_.limits, &cancel_, &budget_,
                                       injector_.get());
   guard_->Arm();
+  if (recorder_) {
+    recorder_->Record(FlightEventKind::kRunStart,
+                      static_cast<int64_t>(program_->rules.size()),
+                      static_cast<int64_t>(catalog_->size()));
+  }
 
   Status st;
   try {
@@ -189,6 +205,11 @@ Status Engine::Run() {
     // tracked structures throw only from growth paths that leave them
     // readable, so whatever partial state exists is safe to report.
     guard_->ForceReason(TerminationReason::kOom);
+    if (recorder_) {
+      recorder_->Record(FlightEventKind::kOom,
+                        static_cast<int64_t>(budget_.used()),
+                        static_cast<int64_t>(budget_.peak()));
+    }
     st = Status::OutOfMemory(std::string("[") +
                              std::string(diag::kOutOfMemory) +
                              "] allocation failed during evaluation");
@@ -196,12 +217,30 @@ Status Engine::Run() {
   outcome_.reason = guard_->reason();
   outcome_.status = st;
   outcome_.guard_checks = guard_->checks();
+  // MemoryBudget is the single source of truth for peak tracked memory:
+  // the outcome, the report's termination section, and the metrics gauge
+  // all read budget_.peak() at this one point.
   outcome_.peak_memory_bytes = budget_.peak();
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("memory.tracked_peak_bytes")
+        ->Set(static_cast<int64_t>(outcome_.peak_memory_bytes));
+  }
+  if (recorder_) {
+    recorder_->Record(FlightEventKind::kTermination,
+                      static_cast<int64_t>(outcome_.reason),
+                      outcome_.status.ok() ? 1 : 0);
+  }
   if (driver_ && outcome_.reason != TerminationReason::kCompleted) {
     // A bounded stop leaves a consistent partial fixpoint behind: keep
     // the engine queryable (Query/RunReport/stats all work) while still
     // returning the non-OK stop status.
     ran_ = true;
+  }
+  // The black box earns its keep exactly when a run does NOT complete:
+  // dump the ring to stderr on any bounded stop, crash-adjacent or not.
+  if (recorder_ && options_.obs.recorder_dump_on_stop &&
+      outcome_.reason != TerminationReason::kCompleted) {
+    fputs(recorder_->DumpText().c_str(), stderr);
   }
 
   if (tracer_ && !options_.obs.trace_path.empty()) {
@@ -237,6 +276,7 @@ Status Engine::RunInner() {
 
   if (injector_ && injector_->Hit(FaultInjector::kCompile)) {
     guard_->ForceReason(TerminationReason::kFault);
+    if (recorder_) recorder_->Record(FlightEventKind::kFaultInjected, 2);
     return InjectedFault(FaultInjector::kCompile);
   }
 
@@ -254,10 +294,19 @@ Status Engine::RunInner() {
   }();
   phase_times_.compile_ns += WallNowNs() - compile_t0;
   GDLOG_RETURN_IF_ERROR(compiled.status());
+  if (recorder_) {
+    for (const CompiledRule& r : *compiled) {
+      if (r.plan_decisions.empty()) continue;
+      recorder_->Record(FlightEventKind::kPlanDecision,
+                        static_cast<int64_t>(r.rule_index),
+                        static_cast<int64_t>(r.plan_decisions.size()));
+    }
+  }
 
   driver_ = std::make_unique<FixpointDriver>(
       catalog_.get(), store_.get(), analysis_.get(), std::move(*compiled),
-      options_.eval, ObsContext{metrics_, tracer_.get()}, guard_.get());
+      options_.eval, ObsContext{metrics_, tracer_.get(), recorder_.get()},
+      guard_.get());
   const uint64_t eval_t0 = WallNowNs();
   const Status eval_status = [&] {
     TraceSpan span(tracer_.get(), "eval", "engine");
@@ -322,6 +371,9 @@ Result<std::string> Engine::RunReport() const {
   w.Key("threads").UInt(options_.eval.threads);
   w.Key("obs_enabled").Bool(options_.obs.enabled);
   w.Key("obs_sample_every").UInt(options_.obs.sample_every);
+  w.Key("metrics_enabled").Bool(metrics_ != nullptr);
+  w.Key("recorder_enabled").Bool(recorder_ != nullptr);
+  if (recorder_) w.Key("recorder_capacity").UInt(recorder_->capacity());
   w.Key("limits").BeginObject();
   w.Key("deadline_ms").UInt(options_.limits.deadline_ms);
   w.Key("max_tuples").UInt(options_.limits.max_tuples);
@@ -383,8 +435,13 @@ Result<std::string> Engine::RunReport() const {
   w.EndObject();
 
   // Join-planner decisions: the goal order each generator plan ended up
-  // with, annotated with the estimates that drove the picks. Present only
-  // for rules the planner actually reordered decisions for.
+  // with, annotated with the estimates that drove the picks — and, when
+  // metrics were on, the EXPLAIN ANALYZE actuals measured through the
+  // executor (probes / rows touched / matches per goal) with the
+  // misestimation factor actual/estimated. Present only for rules the
+  // planner actually recorded decisions for.
+  const std::vector<std::vector<GoalStats>>& goal_stats =
+      driver_->goal_stats();
   w.Key("plans").BeginArray();
   for (const CompiledRule& r : driver_->rules()) {
     if (r.plan_decisions.empty()) continue;
@@ -400,6 +457,26 @@ Result<std::string> Engine::RunReport() const {
         w.Key("arity").UInt(d.arity);
         w.Key("bound_cols").UInt(d.bound_cols);
         if (d.est_rows >= 0) w.Key("est_rows").Double(d.est_rows);
+        if (d.goal_id >= 0 && r.rule_index < goal_stats.size() &&
+            static_cast<size_t>(d.goal_id) <
+                goal_stats[r.rule_index].size()) {
+          const GoalStats& gs =
+              goal_stats[r.rule_index][static_cast<size_t>(d.goal_id)];
+          w.Key("goal_id").Int(d.goal_id);
+          w.Key("actual").BeginObject();
+          w.Key("probes").UInt(gs.probes);
+          w.Key("rows").UInt(gs.rows);
+          w.Key("matches").UInt(gs.matches);
+          const double actual_rows =
+              gs.probes > 0 ? static_cast<double>(gs.matches) /
+                                  static_cast<double>(gs.probes)
+                            : 0.0;
+          w.Key("actual_rows").Double(actual_rows);
+          if (d.est_rows > 0 && gs.probes > 0) {
+            w.Key("misestimate").Double(actual_rows / d.est_rows);
+          }
+          w.EndObject();
+        }
       }
       w.EndObject();
     }
@@ -471,12 +548,100 @@ Result<std::string> Engine::RunReport() const {
   return w.Take();
 }
 
+Result<std::string> Engine::ExplainAnalyzeText() const {
+  if (!ran_) return Status::InvalidArgument("call Run first");
+  const std::vector<std::vector<GoalStats>>& goal_stats =
+      driver_->goal_stats();
+  const std::vector<RuleProfile>& profiles = driver_->rule_profiles();
+  std::string out = "% EXPLAIN ANALYZE (per-goal estimated vs actual rows; "
+                    "x = actual/est, >1 under-estimated)\n";
+  char line[256];
+  for (const CompiledRule& r : driver_->rules()) {
+    if (r.plan_decisions.empty()) continue;
+    const std::string& head = r.rule_index < profiles.size()
+                                  ? profiles[r.rule_index].head
+                                  : std::string();
+    std::snprintf(line, sizeof(line), "%% rule %u (%s):\n", r.rule_index,
+                  head.c_str());
+    out += line;
+    for (const PlanDecision& d : r.plan_decisions) {
+      if (d.filter) {
+        std::snprintf(line, sizeof(line), "%%   filter %s\n",
+                      d.goal.c_str());
+        out += line;
+        continue;
+      }
+      std::snprintf(line, sizeof(line), "%%   %s %-24s bound=%u",
+                    d.negated ? "negated" : "goal   ", d.goal.c_str(),
+                    d.bound_cols);
+      out += line;
+      if (d.est_rows >= 0) {
+        std::snprintf(line, sizeof(line), "  est=%.1f", d.est_rows);
+        out += line;
+      }
+      if (d.goal_id >= 0 && r.rule_index < goal_stats.size() &&
+          static_cast<size_t>(d.goal_id) < goal_stats[r.rule_index].size()) {
+        const GoalStats& gs =
+            goal_stats[r.rule_index][static_cast<size_t>(d.goal_id)];
+        const double actual_rows =
+            gs.probes > 0 ? static_cast<double>(gs.matches) /
+                                static_cast<double>(gs.probes)
+                          : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "  probes=%llu rows=%llu matches=%llu actual=%.2f",
+                      static_cast<unsigned long long>(gs.probes),
+                      static_cast<unsigned long long>(gs.rows),
+                      static_cast<unsigned long long>(gs.matches),
+                      actual_rows);
+        out += line;
+        if (d.est_rows > 0 && gs.probes > 0) {
+          std::snprintf(line, sizeof(line), "  x%.2f",
+                        actual_rows / d.est_rows);
+          out += line;
+        }
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
 Status Engine::WriteTrace(const std::string& path) const {
   if (!tracer_) {
     return Status::InvalidArgument(
         "tracing disabled: set EngineOptions::obs.enabled");
   }
   return tracer_->WriteChromeTrace(path);
+}
+
+std::string Engine::DumpFlightRecorder() const {
+  if (!recorder_) {
+    return "flight recorder disabled "
+           "(EngineOptions::obs.recorder_enabled = false)\n";
+  }
+  return recorder_->DumpText();
+}
+
+Result<std::string> Engine::MetricsText() const {
+  if (metrics_ == nullptr) {
+    return Status::InvalidArgument(
+        "metrics disabled: set EngineOptions::obs.metrics_enabled");
+  }
+  return metrics_->PrometheusText();
+}
+
+Status Engine::WriteMetricsText(const std::string& path) const {
+  GDLOG_ASSIGN_OR_RETURN(std::string text, MetricsText());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open metrics file: " + path);
+  }
+  const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_err = std::fclose(f);
+  if (n != text.size() || close_err != 0) {
+    return Status::Internal("short write to metrics file: " + path);
+  }
+  return Status::OK();
 }
 
 Result<std::string> Engine::RewrittenProgramText() const {

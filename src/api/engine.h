@@ -31,6 +31,7 @@
 #include "common/status.h"
 #include "eval/fixpoint.h"
 #include "eval/stable_model.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/catalog.h"
@@ -41,9 +42,10 @@ namespace gdlog {
 struct EngineOptions {
   EvalOptions eval;
   StageAnalysisOptions stage;
-  /// Observability switches (metrics registry, tracer, trace sampling).
-  /// Disabled by default: the evaluation hot path then pays one branch
-  /// per instrumented site. See docs/OBSERVABILITY.md.
+  /// Observability switches. Histogram metrics and the flight recorder
+  /// are always on by default (both lock-free, sub-5% overhead); the
+  /// Chrome-trace tracer stays opt-in via obs.enabled. See
+  /// docs/OBSERVABILITY.md.
   ObsOptions obs;
   /// Resource caps for Run (zero = unlimited). Enforced at fixpoint
   /// boundaries; a tripped limit ends the run with a bounded stop, not a
@@ -111,11 +113,15 @@ class Engine {
   Status Run();
   bool has_run() const { return ran_; }
 
-  /// Requests cooperative cancellation of an in-flight Run. Only performs
-  /// one relaxed atomic store, so it is safe from a signal handler or
-  /// another thread; the run stops at the next fixpoint boundary with
-  /// Status::Cancelled.
-  void RequestCancel() { cancel_.Request(); }
+  /// Requests cooperative cancellation of an in-flight Run. Performs one
+  /// relaxed atomic store plus (when the flight recorder is on) one
+  /// allocation-free ring-buffer event, so it is safe from a signal
+  /// handler or another thread; the run stops at the next fixpoint
+  /// boundary with Status::Cancelled.
+  void RequestCancel() {
+    cancel_.Request();
+    if (recorder_) recorder_->Record(FlightEventKind::kCancelRequested);
+  }
 
   /// How the last Run ended (reason, status, guard checks, peak memory).
   const RunOutcome& outcome() const { return outcome_; }
@@ -146,10 +152,31 @@ class Engine {
   /// Coarse phase wall times collected so far.
   const EnginePhaseTimes& phase_times() const { return phase_times_; }
   /// The metrics registry in use (external or engine-owned); nullptr
-  /// when obs is disabled.
+  /// only when metrics are disabled (obs.metrics_enabled = false).
   const MetricsRegistry* metrics() const { return metrics_; }
   /// The tracer; nullptr when obs is disabled.
   const Tracer* tracer() const { return tracer_.get(); }
+  /// The always-on flight recorder; nullptr when obs.recorder_enabled is
+  /// false.
+  const FlightRecorder* flight_recorder() const { return recorder_.get(); }
+
+  /// The flight-recorder ring rendered as text (one line per retained
+  /// event). Works at any time — mid-run from another thread, after a
+  /// bounded stop, after completion. Empty-ish header when disabled.
+  std::string DumpFlightRecorder() const;
+
+  /// Current metrics in the Prometheus text exposition format (0.0.4).
+  /// Fails when metrics are disabled.
+  Result<std::string> MetricsText() const;
+  /// Writes MetricsText() to `path`.
+  Status WriteMetricsText(const std::string& path) const;
+
+  /// EXPLAIN ANALYZE: the planner's per-goal cardinality estimates next
+  /// to the actuals measured through the executor (probes, rows touched,
+  /// matches, mean rows per probe) with the misestimation factor
+  /// actual/estimated (> 1 means the planner under-estimated). Call
+  /// after Run; needs metrics on (the default) for the actuals.
+  Result<std::string> ExplainAnalyzeText() const;
 
   /// Machine-readable run report: one JSON object with the options echo
   /// (including every EvalOptions ablation flag), per-phase wall times,
@@ -199,12 +226,14 @@ class Engine {
   std::unique_ptr<Program> program_;
   std::unique_ptr<StageAnalysis> analysis_;
   std::unique_ptr<FixpointDriver> driver_;
-  // Observability: tracer and registry exist only when options_.obs
-  // .enabled; metrics_ points at either own_metrics_ or the external
-  // registry supplied via ObsOptions::metrics.
+  // Observability. The tracer exists only when options_.obs.enabled; the
+  // registry and flight recorder are always-on by default (gated by
+  // metrics_enabled / recorder_enabled). metrics_ points at either
+  // own_metrics_ or the external registry supplied via ObsOptions.
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<MetricsRegistry> own_metrics_;
   MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<FlightRecorder> recorder_;
   EnginePhaseTimes phase_times_;
   // Rows present per relation before evaluation started (user facts +
   // program facts) — the reduct seeds for VerifyStableModel.

@@ -1,8 +1,18 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace gdlog {
+
+namespace {
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 ThreadPool::ThreadPool(uint32_t num_workers)
     : num_workers_(std::max<uint32_t>(1, num_workers)) {
@@ -30,6 +40,10 @@ void ThreadPool::DrainBatch(const std::function<void(size_t)>& fn,
   for (;;) {
     const size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
     if (task >= num_tasks) return;
+    if (queue_wait_cb_) {
+      const uint64_t now = NowNs();
+      queue_wait_cb_(now > batch_start_ns_ ? now - batch_start_ns_ : 0);
+    }
     bool failed = false;
     std::exception_ptr err;
     try {
@@ -93,7 +107,14 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
   if (num_tasks == 0) return;
   if (num_workers_ == 1 || num_tasks == 1) {
-    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    const uint64_t start = queue_wait_cb_ ? NowNs() : 0;
+    for (size_t i = 0; i < num_tasks; ++i) {
+      if (queue_wait_cb_) {
+        const uint64_t now = NowNs();
+        queue_wait_cb_(now > start ? now - start : 0);
+      }
+      fn(i);
+    }
     return;
   }
   {
@@ -103,6 +124,7 @@ void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
     next_task_.store(0, std::memory_order_relaxed);
     pending_ = num_tasks;
     error_ = nullptr;
+    batch_start_ns_ = NowNs();
     ++generation_;
   }
   batch_cv_.notify_all();

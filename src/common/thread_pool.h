@@ -46,6 +46,15 @@ class ThreadPool {
   /// pool. Rethrows the first task exception after the batch drains.
   void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
 
+  /// Observability hook: called once per claimed task with the
+  /// nanoseconds the task spent queued (batch submission to claim). The
+  /// callback runs on worker threads concurrently and must be
+  /// thread-safe (the engine binds it to a lock-free histogram). Set
+  /// before the first Run(); null disables (the default).
+  void set_queue_wait_callback(std::function<void(uint64_t)> cb) {
+    queue_wait_cb_ = std::move(cb);
+  }
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static uint32_t HardwareThreads();
 
@@ -70,6 +79,11 @@ class ThreadPool {
   size_t pending_ = 0;  // tasks claimed-but-unfinished + unclaimed
   size_t active_ = 0;   // spawned workers currently inside DrainBatch
   std::exception_ptr error_;
+  // Written in Run() before workers wake, constant for the batch's
+  // lifetime (Run() cannot start the next batch while any DrainBatch is
+  // still running), so lock-free reads in DrainBatch are race-free.
+  uint64_t batch_start_ns_ = 0;
+  std::function<void(uint64_t)> queue_wait_cb_;
 };
 
 }  // namespace gdlog

@@ -75,6 +75,29 @@ FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
     }
     gamma_states_[r.gamma_index] = std::move(g);
   }
+  // EXPLAIN ANALYZE: per-goal cardinality counters, one row per rule,
+  // with a shared lock-free fan-out histogram per goal. Sized (and thus
+  // enabled in the executor) only when metrics are on.
+  goal_stats_.resize(profiles_.size());
+  if (obs_.metrics != nullptr) {
+    for (const CompiledRule& r : rules_) {
+      auto& row = goal_stats_[r.rule_index];
+      row.resize(r.num_goals);
+      for (uint32_t g = 0; g < r.num_goals; ++g) {
+        row[g].fanout = obs_.metrics->GetHistogram(
+            "goal.fanout",
+            {{"rule", profiles_[r.rule_index].head + "#" +
+                          std::to_string(r.rule_index)},
+             {"goal", std::to_string(g)}});
+      }
+    }
+    exec_.set_goal_stats(&goal_stats_);
+    delta_rows_hist_ = obs_.metrics->GetHistogram("seminaive.delta_rows");
+    pops_per_fire_hist_ =
+        obs_.metrics->GetHistogram("choice.pops_per_fire");
+    admissible_ = obs_.metrics->GetCounter("choice.admissible");
+    inadmissible_ = obs_.metrics->GetCounter("choice.inadmissible");
+  }
   stats_.threads_used = options_.threads == 0
                             ? ThreadPool::HardwareThreads()
                             : std::max(1u, options_.threads);
@@ -83,6 +106,11 @@ FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
     safety_.resize(profiles_.size());
     for (const CompiledRule& r : rules_) {
       safety_[r.rule_index] = AnalyzeRule(r);
+    }
+    if (obs_.metrics != nullptr) {
+      Histogram* wait = obs_.metrics->GetHistogram("pool.queue_wait_ns");
+      pool_->set_queue_wait_callback(
+          [wait](uint64_t ns) { wait->Record(ns); });
     }
   }
 }
@@ -128,7 +156,26 @@ Status FixpointDriver::GuardCheck(std::string_view probe) {
   c.tuples = exec_.stats().inserts;
   c.stages = stats_.stages_assigned;
   c.iterations = stats_.saturation_rounds;
-  return guard_->Check(c, probe);
+  const Status st = guard_->Check(c, probe);
+  if (obs_.recorder != nullptr) {
+    // Checks are sampled (they run per round and per γ step); trips are
+    // always recorded, once, with the latched reason.
+    if ((++guard_event_tick_ & 15u) == 0) {
+      obs_.recorder->Record(FlightEventKind::kGuardCheck,
+                            static_cast<int64_t>(guard_->checks()),
+                            static_cast<int64_t>(c.tuples));
+    }
+    if (!st.ok() && !trip_recorded_) {
+      trip_recorded_ = true;
+      if (guard_->reason() == TerminationReason::kFault) {
+        obs_.recorder->Record(FlightEventKind::kFaultInjected, 0, 0);
+      }
+      obs_.recorder->Record(FlightEventKind::kGuardTrip,
+                            static_cast<int64_t>(guard_->reason()),
+                            static_cast<int64_t>(guard_->checks()));
+    }
+  }
+  return st;
 }
 
 uint64_t FixpointDriver::ObsNowNs() const {
@@ -161,10 +208,9 @@ void FixpointDriver::PublishMetrics() {
   m.GetCounter("exec.inserts")->Add(exec_.stats().inserts);
   m.GetCounter("exec.scan_rows")->Add(exec_.stats().scan_rows);
   m.GetCounter("guard.checks")->Add(stats_.guard_checks);
-  if (stats_.peak_memory_bytes > 0) {
-    m.GetGauge("memory.tracked_peak_bytes")
-        ->SetMax(static_cast<int64_t>(stats_.peak_memory_bytes));
-  }
+  // memory.tracked_peak_bytes is published by Engine::Run from
+  // MemoryBudget::peak() — the single source of truth — so it is set
+  // even when a bad_alloc bypasses this function.
   for (const RuleProfile& p : profiles_) {
     if (p.head.empty()) continue;
     // Label by head + index so two rules with the same head stay apart.
@@ -405,6 +451,19 @@ void FixpointDriver::RunWorkerTask(WorkerTask* task, const App& app) {
   if (task->ranged) {
     exec.set_scan_range(&(*task->plan)[0].scan, task->begin, task->end);
   }
+  // Task-local goal counters (merged serially in MergeApp); the fan-out
+  // histograms are lock-free and shared with the driver's table, so
+  // workers record into them directly.
+  std::vector<std::vector<GoalStats>> local_goals;
+  if (!goal_stats_[rule.rule_index].empty()) {
+    local_goals.resize(rule.rule_index + 1);
+    auto& row = local_goals[rule.rule_index];
+    row.resize(rule.num_goals);
+    for (uint32_t g = 0; g < rule.num_goals; ++g) {
+      row[g].fanout = goal_stats_[rule.rule_index][g].fanout;
+    }
+    exec.set_goal_stats(&local_goals);
+  }
   const std::vector<uint32_t>& capture = task->safety->capture;
   BindingFrame frame(rule.num_slots);
   exec.Enumerate(rule, *task->plan, app.delta, &frame,
@@ -417,6 +476,9 @@ void FixpointDriver::RunWorkerTask(WorkerTask* task, const App& app) {
                  });
   task->solutions = exec.stats().solutions;
   task->scan_rows = exec.stats().scan_rows;
+  if (!local_goals.empty()) {
+    task->goal_stats = std::move(local_goals[rule.rule_index]);
+  }
   if (guard_ != nullptr && guard_->budget() != nullptr) {
     guard_->budget()->Update(&task->charged,
                              task->values.capacity() * sizeof(Value));
@@ -480,9 +542,19 @@ void FixpointDriver::RunBatch(const App* apps, size_t count) {
   if (!tasks.empty()) {
     ++stats_.parallel_batches;
     stats_.parallel_tasks += tasks.size();
+    if (obs_.recorder != nullptr) {
+      obs_.recorder->Record(FlightEventKind::kBatchStart,
+                            static_cast<int64_t>(count),
+                            static_cast<int64_t>(tasks.size()));
+    }
     pool_->Run(tasks.size(), [&](size_t t) {
       RunWorkerTask(&tasks[t], apps[tasks[t].app]);
     });
+    if (obs_.recorder != nullptr) {
+      obs_.recorder->Record(FlightEventKind::kBatchEnd,
+                            static_cast<int64_t>(count),
+                            static_cast<int64_t>(tasks.size()));
+    }
   }
 
   // Merge in serial application order; applications without tasks run
@@ -529,6 +601,15 @@ void FixpointDriver::MergeApp(const App& app, WorkerTask* tasks,
     WorkerTask& task = tasks[ti];
     exec_.stats().solutions += task.solutions;
     exec_.stats().scan_rows += task.scan_rows;
+    if (!task.goal_stats.empty()) {
+      auto& row = goal_stats_[rule.rule_index];
+      for (size_t gi = 0; gi < task.goal_stats.size() && gi < row.size();
+           ++gi) {
+        row[gi].probes += task.goal_stats[gi].probes;
+        row[gi].rows += task.goal_stats[gi].rows;
+        row[gi].matches += task.goal_stats[gi].matches;
+      }
+    }
     worker_ns += task.t1_ns - task.t0_ns;
     const Value* vals = task.values.data();
     for (uint64_t s = 0; s < task.emitted; ++s, vals += width) {
@@ -726,11 +807,24 @@ Status FixpointDriver::Saturate(CliqueCtx* ctx) {
   std::vector<App> apps;
   for (;;) {
     bool any_delta = false;
+    uint64_t delta_total = 0;
     for (PredicateId id : ctx->relations) {
-      if (catalog_->relation(id).AdvanceEpoch() > 0) any_delta = true;
+      const size_t d = catalog_->relation(id).AdvanceEpoch();
+      if (d > 0) {
+        any_delta = true;
+        delta_total += d;
+        if (delta_rows_hist_ != nullptr) {
+          delta_rows_hist_->Record(static_cast<uint64_t>(d));
+        }
+      }
     }
     if (!any_delta) break;
     ++stats_.saturation_rounds;
+    if (obs_.recorder != nullptr) {
+      obs_.recorder->Record(FlightEventKind::kRoundStart,
+                            static_cast<int64_t>(stats_.saturation_rounds),
+                            static_cast<int64_t>(delta_total));
+    }
     guard_status = GuardCheck(FaultInjector::kEvalSaturate);
     if (!guard_status.ok()) break;
     const bool seminaive = options_.use_seminaive;
@@ -763,7 +857,14 @@ Status FixpointDriver::Saturate(CliqueCtx* ctx) {
                         CompiledScan::kNoOccurrence});
       }
     }
+    const uint64_t inserts_before = exec_.stats().inserts;
     RunApps(apps);
+    if (obs_.recorder != nullptr) {
+      obs_.recorder->Record(
+          FlightEventKind::kRoundEnd,
+          static_cast<int64_t>(stats_.saturation_rounds),
+          static_cast<int64_t>(exec_.stats().inserts - inserts_before));
+    }
   }
   span.AddArg("rounds",
               static_cast<int64_t>(stats_.saturation_rounds - rounds_before));
@@ -777,7 +878,9 @@ size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
   // different tie-break seeds explore different stable models.
   const CompiledRule& rule = *g->rule;
   BindingFrame frame;
+  uint64_t pops = 0;
   while (auto cand = g->queue->Pop()) {
+    ++pops;
     RestoreSnapshot(rule, cand->snapshot, &frame);
     if (rule.has_extremum) {
       // Extrema filtering: pops arrive in cost order, so the first
@@ -797,9 +900,11 @@ size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
       }
     }
     if (!choice_.Admissible(rule, frame)) {
+      if (inadmissible_ != nullptr) inadmissible_->Add(1);
       g->queue->MarkRedundant(*cand);
       continue;
     }
+    if (admissible_ != nullptr) admissible_->Add(1);
     choice_.Commit(rule, frame);
     RuleProfile& prof = profiles_[rule.rule_index];
     if (exec_.InsertHead(rule, frame)) {
@@ -810,6 +915,12 @@ size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
     g->queue->MarkFired(*cand);
     ++stats_.gamma_firings;
     ++prof.firings;
+    if (pops_per_fire_hist_ != nullptr) pops_per_fire_hist_->Record(pops);
+    if (obs_.recorder != nullptr) {
+      obs_.recorder->Record(FlightEventKind::kGammaFire,
+                            static_cast<int64_t>(rule.rule_index),
+                            static_cast<int64_t>(stats_.gamma_firings));
+    }
     if (obs_.tracer != nullptr && obs_.tracer->Sample()) {
       obs_.tracer->Instant("gamma.fire", "gamma",
                            {{"rule", rule.rule_index}});
@@ -830,7 +941,11 @@ bool FixpointDriver::TryFireNext(CliqueCtx* ctx, GammaState* g,
   std::vector<Value> head;
   exec_.Enumerate(rule, rule.post, CompiledScan::kNoOccurrence, &frame,
                   [&](BindingFrame& f) {
-                    if (!choice_.Admissible(rule, f)) return true;
+                    if (!choice_.Admissible(rule, f)) {
+                      if (inadmissible_ != nullptr) inadmissible_->Add(1);
+                      return true;
+                    }
+                    if (admissible_ != nullptr) admissible_->Add(1);
                     choice_.Commit(rule, f);
                     // Build now, insert after: the post plan may hold
                     // index iterators on the head relation.
@@ -853,6 +968,11 @@ bool FixpointDriver::TryFireNext(CliqueCtx* ctx, GammaState* g,
     }
     g->queue->MarkFired(cand);
     ++prof.firings;
+    if (obs_.recorder != nullptr) {
+      obs_.recorder->Record(FlightEventKind::kStageAdvance,
+                            static_cast<int64_t>(rule.rule_index),
+                            ctx->stage_counter);
+    }
     if (obs_.tracer != nullptr && obs_.tracer->Sample()) {
       obs_.tracer->Instant("stage.advance", "gamma",
                            {{"rule", rule.rule_index},
@@ -883,9 +1003,14 @@ bool FixpointDriver::GammaPhase(CliqueCtx* ctx) {
   if (!fired) {
     for (GammaState* g : ctx->gammas) {
       if (!g->rule->is_next) continue;
+      uint64_t pops = 0;
       while (auto cand = g->queue->Pop()) {
+        ++pops;
         if (TryFireNext(ctx, g, *cand)) {
           fired = true;
+          if (pops_per_fire_hist_ != nullptr) {
+            pops_per_fire_hist_->Record(pops);
+          }
           break;
         }
       }

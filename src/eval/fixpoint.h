@@ -33,6 +33,7 @@
 #include "eval/rql.h"
 #include "eval/rule_compiler.h"
 #include "eval/seminaive.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -135,6 +136,13 @@ class FixpointDriver {
   /// rule (program facts).
   const std::vector<RuleProfile>& rule_profiles() const { return profiles_; }
 
+  /// Actual per-goal cardinalities, indexed [rule_index][goal_id]
+  /// (matching PlanDecision::goal_id). Empty rows when metrics are
+  /// disabled — the EXPLAIN ANALYZE source of truth otherwise.
+  const std::vector<std::vector<GoalStats>>& goal_stats() const {
+    return goal_stats_;
+  }
+
   /// Sums candidate-queue statistics over every gamma rule.
   CandidateQueueStats AggregateQueueStats() const;
   /// Queue statistics of one gamma rule (by gamma index); nullptr if the
@@ -181,6 +189,9 @@ class FixpointDriver {
     // sub-enumeration witnesses, so it is NOT the buffered-row count.
     uint64_t solutions = 0;
     uint64_t scan_rows = 0;
+    // Task-local per-goal cardinality counters for this task's rule
+    // (indexed by goal_id), merged serially in MergeApp.
+    std::vector<GoalStats> goal_stats;
     uint64_t t0_ns = 0, t1_ns = 0;  // worker span (obs)
     size_t charged = 0;             // MemoryBudget charge for `values`
   };
@@ -251,6 +262,18 @@ class FixpointDriver {
   bool obs_enabled_ = false;  // == obs_.enabled(), cached for the hot path
   RunGuard* guard_ = nullptr;
   std::vector<RuleProfile> profiles_;  // by rule_index
+
+  // EXPLAIN ANALYZE actuals, indexed [rule_index][goal_id]; rows are
+  // sized (enabling counting) only when metrics are on.
+  std::vector<std::vector<GoalStats>> goal_stats_;
+  // Cached metric handles (null when metrics are off).
+  Histogram* delta_rows_hist_ = nullptr;   // per-relation delta rows/round
+  Histogram* pops_per_fire_hist_ = nullptr;  // choice pops per γ firing
+  Counter* admissible_ = nullptr;          // candidates passing Admissible
+  Counter* inadmissible_ = nullptr;        // candidates rejected by FDs
+  // Flight-recorder bookkeeping.
+  uint32_t guard_event_tick_ = 0;  // samples kGuardCheck events 1/16
+  bool trip_recorded_ = false;
 
   // Parallel evaluation (null / empty when threads == 1).
   std::unique_ptr<ThreadPool> pool_;

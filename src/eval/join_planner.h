@@ -43,6 +43,10 @@ struct PlanDecision {
   uint32_t bound_cols = 0;     // bound columns at pick time
   uint32_t arity = 0;
   double est_rows = -1;        // estimated matching rows; -1 for filters
+  // Per-rule goal id of the positive scan this decision placed (matches
+  // CompiledScan::goal_id), linking the estimate to the executor's
+  // actual cardinality counters for EXPLAIN ANALYZE; -1 for filters.
+  int goal_id = -1;
 };
 
 class JoinPlanner {

@@ -491,6 +491,15 @@ class RuleCompiler {
     return cols;
   }
 
+  /// Dense per-rule id for a positive body atom, assigned on first sight
+  /// and stable thereafter (delta plans recompile the same Literal
+  /// pointers, so they resolve to the generator's ids).
+  uint32_t GoalIdOf(const Literal* lit) {
+    const auto [it, inserted] = goal_id_of_.emplace(lit, out_.num_goals);
+    if (inserted) ++out_.num_goals;
+    return it->second;
+  }
+
   double EstimateAtomCost(const Literal& lit, bool in_post) const {
     const PredicateId pred = catalog_->Ensure(
         lit.predicate, static_cast<uint32_t>(lit.args.size()));
@@ -507,7 +516,10 @@ class RuleCompiler {
         d.arity = static_cast<uint32_t>(lit.args.size());
         d.bound_cols =
             static_cast<uint32_t>(BoundColsOf(lit, in_post).size());
-        if (!lit.negated) d.est_rows = EstimateAtomCost(lit, in_post);
+        if (!lit.negated) {
+          d.est_rows = EstimateAtomCost(lit, in_post);
+          d.goal_id = static_cast<int>(GoalIdOf(&lit));
+        }
         break;
       case LiteralKind::kComparison:
         d.goal = std::string(ComparisonOpName(lit.op));
@@ -680,6 +692,10 @@ class RuleCompiler {
     if (occ_it != occurrence_of_.end()) {
       scan.clique_occurrence = occ_it->second;
     }
+    // Goal ids key off the AST literal, so every plan variant (generator,
+    // delta plans, post) compiling the same body atom shares one id and
+    // the executor's cardinality counters aggregate across variants.
+    if (!lit.negated) scan.goal_id = GoalIdOf(&lit);
 
     const auto bound = VisibleBound(in_post);
     for (size_t col = 0; col < lit.args.size(); ++col) {
@@ -997,6 +1013,7 @@ class RuleCompiler {
   std::vector<uint32_t> live_scratch_;
   std::unordered_map<std::string, int> total_var_count_;
   std::unordered_map<const Literal*, uint32_t> occurrence_of_;
+  std::unordered_map<const Literal*, uint32_t> goal_id_of_;
   std::string stage_var_name_;
   PredIndex head_pred_index_ = kNoPred;
   uint32_t head_scc_ = 0;

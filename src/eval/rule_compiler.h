@@ -78,6 +78,12 @@ struct CompiledScan {
   // for seminaive delta variants; kNoOccurrence otherwise.
   static constexpr uint32_t kNoOccurrence = UINT32_MAX;
   uint32_t clique_occurrence = kNoOccurrence;
+  // Dense per-rule id of the body atom this scan compiles (stable across
+  // the generator, delta, and post plan variants of one rule) — the key
+  // the executor's per-goal cardinality counters are indexed by for
+  // EXPLAIN ANALYZE. kNoGoal for negated scans and subplan scans.
+  static constexpr uint32_t kNoGoal = UINT32_MAX;
+  uint32_t goal_id = kNoGoal;
 };
 
 struct CompiledCompare {
@@ -175,6 +181,10 @@ struct CompiledRule {
   // body literal in plan order. Populated only when a JoinPlanner drove
   // the ordering; surfaced in the run report.
   std::vector<PlanDecision> plan_decisions;
+
+  // Number of distinct goal_id values assigned to this rule's positive
+  // body atoms — the size of the per-rule GoalStats row.
+  uint32_t num_goals = 0;
 };
 
 struct CompileProgramOptions {

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace gdlog {
 
@@ -97,6 +98,16 @@ bool PlanExecutor::RunScan(const CompiledRule& rule, const CompiledScan& scan,
     window.end = std::min(window.end, range_end_);
   }
 
+  GoalStats* gs = nullptr;
+  if (goal_stats_ != nullptr && !scan.negated &&
+      scan.goal_id != CompiledScan::kNoGoal &&
+      rule.rule_index < goal_stats_->size() &&
+      scan.goal_id < (*goal_stats_)[rule.rule_index].size()) {
+    gs = &(*goal_stats_)[rule.rule_index][scan.goal_id];
+    ++gs->probes;
+  }
+  uint64_t probe_matches = 0;
+
   auto try_row = [&](RowId row) -> int {
     // Returns -1 mismatch, 0 matched-and-continue, 1 aborted.
     if (cancel_ != nullptr && (++cancel_tick_ & 4095u) == 0 &&
@@ -104,6 +115,7 @@ bool PlanExecutor::RunScan(const CompiledRule& rule, const CompiledScan& scan,
       return 1;
     }
     ++stats_.scan_rows;
+    if (gs != nullptr) ++gs->rows;
     const size_t mark = frame->Mark();
     TupleView tuple = rel.Row(row);
     bool ok = true;
@@ -120,6 +132,10 @@ bool PlanExecutor::RunScan(const CompiledRule& rule, const CompiledScan& scan,
     if (scan.negated) {
       frame->UndoTo(mark);
       return 1;  // a witness refutes the negation — abort with failure
+    }
+    if (gs != nullptr) {
+      ++gs->matches;
+      ++probe_matches;
     }
     const bool keep_going = on_match();
     frame->UndoTo(mark);
@@ -170,6 +186,7 @@ bool PlanExecutor::RunScan(const CompiledRule& rule, const CompiledScan& scan,
     if (aborted) return true;  // literal failed; caller continues siblings
     return on_match();
   }
+  if (gs != nullptr && gs->fanout != nullptr) gs->fanout->Record(probe_matches);
   return !aborted;
 }
 

@@ -24,10 +24,24 @@
 
 namespace gdlog {
 
+class Histogram;
+
 struct ExecStats {
   uint64_t solutions = 0;   // complete body bindings enumerated
   uint64_t inserts = 0;     // new head tuples
   uint64_t scan_rows = 0;   // rows touched by scans (work measure)
+};
+
+/// Actual per-goal cardinality counters for EXPLAIN ANALYZE, accumulated
+/// by RunScan for positive scans carrying a goal_id. Counters are plain
+/// (each executor writes its own table; parallel workers merge their
+/// task-local tables serially); the fan-out histogram, when set, is
+/// lock-free and may be shared across executors.
+struct GoalStats {
+  uint64_t probes = 0;   // scan invocations (outer-binding probes)
+  uint64_t rows = 0;     // rows touched (window rows / index postings)
+  uint64_t matches = 0;  // rows matching every term (join fan-out)
+  Histogram* fanout = nullptr;  // per-probe match count distribution
 };
 
 class PlanExecutor {
@@ -57,6 +71,13 @@ class PlanExecutor {
   /// enumeration on cancellation (workers observe a cancel mid-scan
   /// instead of running their partition to completion).
   void set_cancel_token(const CancelToken* cancel) { cancel_ = cancel; }
+
+  /// Per-goal cardinality sink, indexed [rule_index][goal_id]. Rows
+  /// shorter than a rule's goal count (or missing) disable counting for
+  /// that rule. Not owned.
+  void set_goal_stats(std::vector<std::vector<GoalStats>>* table) {
+    goal_stats_ = table;
+  }
 
   /// The seminaive row window `scan` reads under `delta_occurrence`
   /// (exposed for partition planning).
@@ -115,6 +136,7 @@ class PlanExecutor {
   RowId range_end_ = 0;
   const CancelToken* cancel_ = nullptr;
   uint32_t cancel_tick_ = 0;
+  std::vector<std::vector<GoalStats>>* goal_stats_ = nullptr;
 };
 
 }  // namespace gdlog

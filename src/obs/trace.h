@@ -120,10 +120,20 @@ class TraceSpan {
 // Engine-facing observability wiring
 // ---------------------------------------------------------------------------
 
-/// Per-engine observability switches, carried on EngineOptions. With
-/// `enabled == false` (the default) no tracer or registry is created and
-/// every instrumented site reduces to one branch on a null pointer.
+class FlightRecorder;
+
+/// Per-engine observability switches, carried on EngineOptions.
+///
+/// Metrics and the flight recorder are ALWAYS ON by default: histogram
+/// recording is one relaxed atomic add per event and the recorder is one
+/// slot claim plus four relaxed stores, both measured under 5% on the
+/// bench kernels (tests/obs_overhead_test.cc keeps that honest). Tracing
+/// stays opt-in via `enabled` — it allocates per event. Setting both
+/// `metrics_enabled` and `recorder_enabled` false reproduces the old
+/// fully-off behavior (every instrumented site reduces to one branch on
+/// a null pointer).
 struct ObsOptions {
+  /// Enables the tracer (Chrome trace_event timeline). Opt-in.
   bool enabled = false;
   /// When non-empty, Engine::Run writes the Chrome trace here on
   /// completion (Engine::WriteTrace can re-export it elsewhere).
@@ -135,13 +145,25 @@ struct ObsOptions {
   /// Engine). Null = the engine owns a private registry. Lets callers
   /// (e.g. bench --json) accumulate metrics across many engine runs.
   MetricsRegistry* metrics = nullptr;
+  /// Always-on histogram/counter metrics (latency, delta sizes, queue
+  /// wait, admissibility). False = no registry at all.
+  bool metrics_enabled = true;
+  /// Always-on flight recorder (ring buffer of structured events, dumped
+  /// on bounded stops). False = no recorder.
+  bool recorder_enabled = true;
+  /// Ring capacity (events retained); rounded up to a power of two.
+  uint32_t recorder_capacity = 256;
+  /// Auto-dump the recorder to stderr when a run ends in anything other
+  /// than a completed fixpoint (cancel, limit, OOM, fault).
+  bool recorder_dump_on_stop = true;
 };
 
-/// The pair of sinks threaded through the evaluator; both null when
-/// observability is disabled.
+/// The sinks threaded through the evaluator; all null when observability
+/// is fully disabled.
 struct ObsContext {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  FlightRecorder* recorder = nullptr;
   bool enabled() const { return metrics != nullptr || tracer != nullptr; }
 };
 

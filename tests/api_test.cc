@@ -283,17 +283,169 @@ TEST(Api, RunReportAndTraceForDijkstra) {
   EXPECT_TRUE(saw_gamma);
 }
 
-TEST(Api, RunReportWithObsDisabledStillValid) {
+TEST(Api, DefaultObsIsAlwaysOn) {
+  // Metrics and the flight recorder default on; only the Chrome-trace
+  // tracer stays opt-in.
   Engine e;
   ASSERT_TRUE(e.LoadProgram("p(X) <- q(X). q(1).").ok());
   ASSERT_TRUE(e.Run().ok());
+  EXPECT_NE(e.metrics(), nullptr);
+  EXPECT_NE(e.flight_recorder(), nullptr);
+  EXPECT_EQ(e.tracer(), nullptr);
+  auto report = e.RunReport();
+  ASSERT_TRUE(report.ok());
+  auto doc = ParseJson(*report);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("metrics")->kind, JsonValue::Kind::kObject);
+  ASSERT_TRUE(e.MetricsText().ok());
+  EXPECT_NE(e.DumpFlightRecorder().find("run-start"), std::string::npos);
+  // Tracing off: WriteTrace refuses rather than writing an empty file.
+  EXPECT_FALSE(e.WriteTrace("/tmp/never.json").ok());
+}
+
+TEST(Api, RunReportWithObsFullyOffStillValid) {
+  EngineOptions opts;
+  opts.obs.metrics_enabled = false;
+  opts.obs.recorder_enabled = false;
+  Engine e(opts);
+  ASSERT_TRUE(e.LoadProgram("p(X) <- q(X). q(1).").ok());
+  ASSERT_TRUE(e.Run().ok());
+  EXPECT_EQ(e.metrics(), nullptr);
+  EXPECT_EQ(e.flight_recorder(), nullptr);
+  EXPECT_FALSE(e.MetricsText().ok());
+  EXPECT_NE(e.DumpFlightRecorder().find("disabled"), std::string::npos);
   auto report = e.RunReport();
   ASSERT_TRUE(report.ok());
   auto doc = ParseJson(*report);
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
   EXPECT_EQ(doc->Find("metrics")->kind, JsonValue::Kind::kNull);
-  // Tracing off: WriteTrace refuses rather than writing an empty file.
-  EXPECT_FALSE(e.WriteTrace("/tmp/never.json").ok());
+}
+
+TEST(Api, HostileRuleNamesSurviveJsonWriters) {
+  // Predicate names with quotes, backslashes, and newlines cannot come
+  // from the parser, but LoadProgramAst accepts any string — and those
+  // names flow into the trace JSON, the run report's rule/plan sections,
+  // and metric label values. Every writer must escape, not interpolate.
+  const std::string evil = "we\"ird\\p\n\ttick`$";
+  Program prog;
+  Rule fact;
+  fact.head = Literal::Atom("base", {TermNode::Const(Value::Int(1))});
+  prog.rules.push_back(fact);
+  Rule fact2;
+  fact2.head = Literal::Atom("base", {TermNode::Const(Value::Int(2))});
+  prog.rules.push_back(fact2);
+  Rule rule;
+  rule.head = Literal::Atom(evil, {TermNode::Var("X")});
+  rule.body.push_back(Literal::Atom("base", {TermNode::Var("X")}));
+  prog.rules.push_back(rule);
+
+  EngineOptions opts;
+  opts.obs.enabled = true;  // tracer on: exercise the Chrome writer too
+  Engine e(opts);
+  ASSERT_TRUE(e.LoadProgramAst(std::move(prog)).ok());
+  ASSERT_TRUE(e.Run().ok());
+  EXPECT_EQ(e.Query(evil, 1).size(), 2u);
+
+  // --json-report path: the report must parse and round-trip the name.
+  auto report = e.RunReport();
+  ASSERT_TRUE(report.ok());
+  auto doc = ParseJson(*report);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* rules = doc->Find("rules");
+  ASSERT_TRUE(rules != nullptr && rules->is_array());
+  bool found = false;
+  for (const JsonValue& r : rules->items) {
+    const JsonValue* head = r.Find("head");
+    if (head != nullptr && head->string == evil + "/1") found = true;
+  }
+  EXPECT_TRUE(found) << *report;
+
+  // Chrome trace path: the written file must be valid JSON.
+  const std::string path = ::testing::TempDir() + "/gdlog_evil_trace.json";
+  ASSERT_TRUE(e.WriteTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream text;
+  text << in.rdbuf();
+  std::remove(path.c_str());
+  auto trace = ParseJson(text.str());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_TRUE(trace->Find("traceEvents")->is_array());
+
+  // Prometheus path: label values must come out escaped.
+  auto metrics = e.MetricsText();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->find("we\"ird"), std::string::npos) << *metrics;
+  EXPECT_NE(metrics->find("we\\\"ird"), std::string::npos) << *metrics;
+}
+
+TEST(Api, ReportAndMetricsAgreeOnPeakMemory) {
+  // Single source of truth: termination.peak_memory_bytes in the report,
+  // outcome().peak_memory_bytes, and the memory.tracked_peak_bytes gauge
+  // are all filled from MemoryBudget::peak() at the same instant.
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram("p(X) <- q(X). q(1). q(2). q(3).").ok());
+  ASSERT_TRUE(e.Run().ok());
+  ASSERT_NE(e.metrics(), nullptr);
+  const Gauge* g = e.metrics()->FindGauge("memory.tracked_peak_bytes");
+  ASSERT_NE(g, nullptr);
+  EXPECT_GT(g->value(), 0);
+  EXPECT_EQ(static_cast<uint64_t>(g->value()), e.outcome().peak_memory_bytes);
+  auto report = e.RunReport();
+  ASSERT_TRUE(report.ok());
+  auto doc = ParseJson(*report);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("termination")->Find("peak_memory_bytes")->number,
+            static_cast<double>(g->value()));
+}
+
+TEST(Api, BoundedStopReportGolden) {
+  // Golden shape of a bounded-stop report: the termination section names
+  // the limit, carries the GD code in its status, and its peak memory
+  // equals both outcome() and the memory.tracked_peak_bytes gauge —
+  // MemoryBudget::peak() read once at the Run boundary.
+  EngineOptions opts;
+  opts.limits.max_tuples = 200;
+  opts.obs.recorder_dump_on_stop = false;  // keep test logs quiet
+  Engine e(opts);
+  ASSERT_TRUE(
+      e.LoadProgram("c(0). c(M) <- c(N), M = N + 1, N < 2000000000.").ok());
+  ASSERT_FALSE(e.Run().ok());
+  ASSERT_TRUE(e.has_run());
+
+  auto report = e.RunReport();
+  ASSERT_TRUE(report.ok());
+  auto doc = ParseJson(*report);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* term = doc->Find("termination");
+  ASSERT_NE(term, nullptr);
+  EXPECT_EQ(term->Find("reason")->string, "tuple-limit");
+  EXPECT_FALSE(term->Find("ok")->boolean);
+  EXPECT_NE(term->Find("status")->string.find("GD201"), std::string::npos);
+  EXPECT_GT(term->Find("guard_checks")->number, 0);
+
+  const double report_peak = term->Find("peak_memory_bytes")->number;
+  EXPECT_GT(report_peak, 0);
+  EXPECT_EQ(report_peak,
+            static_cast<double>(e.outcome().peak_memory_bytes));
+  ASSERT_NE(e.metrics(), nullptr);
+  const Gauge* g = e.metrics()->FindGauge("memory.tracked_peak_bytes");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(report_peak, static_cast<double>(g->value()));
+
+  // The metrics snapshot embedded in the same report agrees too.
+  const JsonValue* metrics = doc->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* gauges = metrics->Find("gauges");
+  ASSERT_TRUE(gauges != nullptr && gauges->is_array());
+  bool found = false;
+  for (const JsonValue& gj : gauges->items) {
+    if (gj.Find("name")->string == "memory.tracked_peak_bytes") {
+      found = true;
+      EXPECT_EQ(gj.Find("value")->number, report_peak);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 }  // namespace

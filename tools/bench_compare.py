@@ -3,7 +3,8 @@
 
 Usage:
   bench_compare.py BASELINE.json CURRENT.json [CURRENT2.json ...]
-      [--threshold 0.20] [--report-only]
+      [--threshold 0.20] [--noise-mult 3.0] [--max-threshold 0.60]
+      [--allow PATTERN ...] [--report-only]
 
 Reports are the `bench_* --json out.json` format (schema
 gdlog-bench-v1, see bench/bench_util.h). Experiments are matched by
@@ -12,8 +13,23 @@ in `_ms` or `_s`) the script compares the median over repetitions when
 rep spreads were recorded, falling back to the single recorded value.
 Derived ratio columns (anything else) are reported but never gate.
 
-Exit status: 1 when any timing median regressed by more than the
-threshold (default 20%) and --report-only was not given; 0 otherwise.
+The gate is noise-aware: each cell's allowed slowdown is
+
+    max(--threshold, --noise-mult * max(rel spread of either side))
+
+capped at --max-threshold, where a side's relative spread is
+(max - min) / median over its recorded repetitions. A cell whose own
+reps are jittery earns a proportionally looser gate; a rock-steady cell
+is held to the base threshold. Cells with no recorded spread use the
+base threshold unchanged.
+
+--allow PATTERN (repeatable) downgrades matching regressions to notes;
+patterns are fnmatch globs tested against the cell label
+"TITLE [COLUMN @ x=X]" and against the bare experiment title. Use it to
+ride out a known, accepted regression until the baseline is refreshed.
+
+Exit status: 1 when any non-allowlisted timing median regressed beyond
+its effective threshold and --report-only was not given; 0 otherwise.
 Experiments or rows present on only one side are listed as notes — new
 benchmarks must not fail the gate retroactively.
 
@@ -23,6 +39,7 @@ refresh it with the workflow described in docs/PERFORMANCE.md.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -46,12 +63,38 @@ def median_of(row, col_index):
     return row["values"][col_index]
 
 
+def rel_spread(row, col_index):
+    """(max - min) / median over the recorded reps, or None if absent."""
+    reps = row.get("reps", [])
+    if col_index >= len(reps):
+        return None
+    r = reps[col_index]
+    if r.get("median", 0) <= 0:
+        return None
+    return max(0.0, (r.get("max", 0) - r.get("min", 0))) / r["median"]
+
+
+def effective_threshold(base, noise_mult, cap, brow, bi, row, ci):
+    """Noise-aware per-cell gate: spreads widen it, the cap bounds it."""
+    spreads = [s for s in (rel_spread(brow, bi), rel_spread(row, ci))
+               if s is not None]
+    thr = base
+    if spreads:
+        thr = max(thr, noise_mult * max(spreads))
+    return min(thr, cap)
+
+
+def is_allowed(where, title, patterns):
+    return any(fnmatch.fnmatch(where, p) or fnmatch.fnmatch(title, p)
+               for p in patterns)
+
+
 def index_rows(experiment):
     return {row["x"]: row for row in experiment["rows"]}
 
 
-def compare(baseline, current, threshold):
-    """Yields (kind, message) where kind is 'regression', 'note' or 'ok'."""
+def compare(baseline, current, args):
+    """Yields (kind, message): 'regression', 'allowed', 'note' or 'ok'."""
     base_by_title = {e["title"]: e for e in baseline["experiments"]}
     for exp in current["experiments"]:
         base = base_by_title.get(exp["title"])
@@ -80,13 +123,18 @@ def compare(baseline, current, threshold):
                 if ref <= 0:
                     yield "note", f"{where}: baseline median is {ref:g}"
                     continue
+                thr = effective_threshold(args.threshold, args.noise_mult,
+                                          args.max_threshold, brow, bi,
+                                          row, ci)
                 ratio = cur / ref
                 line = (f"{where}: {ref:.4f} -> {cur:.4f} "
-                        f"({ratio - 1.0:+.1%})")
-                if ratio > 1.0 + threshold:
-                    yield "regression", line
-                else:
+                        f"({ratio - 1.0:+.1%}, gate {thr:+.1%})")
+                if ratio <= 1.0 + thr:
                     yield "ok", line
+                elif is_allowed(where, exp["title"], args.allow):
+                    yield "allowed", line + " [allowlisted]"
+                else:
+                    yield "regression", line
 
 
 def main():
@@ -95,8 +143,19 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("current", nargs="+")
     parser.add_argument("--threshold", type=float, default=0.20,
-                        help="allowed median slowdown fraction "
+                        help="base allowed median slowdown fraction "
                              "(default 0.20 = 20%%)")
+    parser.add_argument("--noise-mult", type=float, default=3.0,
+                        help="widen a cell's gate to this multiple of its "
+                             "worst relative rep spread (default 3.0)")
+    parser.add_argument("--max-threshold", type=float, default=0.60,
+                        help="hard cap on any cell's effective gate "
+                             "(default 0.60 = 60%%)")
+    parser.add_argument("--allow", action="append", default=[],
+                        metavar="PATTERN",
+                        help="fnmatch glob of cell labels or experiment "
+                             "titles whose regressions become notes "
+                             "(repeatable)")
     parser.add_argument("--report-only", action="store_true",
                         help="print the comparison but always exit 0")
     args = parser.parse_args()
@@ -106,9 +165,11 @@ def main():
     for path in args.current:
         current = load(path)
         print(f"== {path} vs {args.baseline} "
-              f"(threshold {args.threshold:.0%}) ==")
-        for kind, message in compare(baseline, current, args.threshold):
-            tag = {"regression": "REGRESSION", "note": "note", "ok": "ok"}[kind]
+              f"(base threshold {args.threshold:.0%}, noise x"
+              f"{args.noise_mult:g}, cap {args.max_threshold:.0%}) ==")
+        for kind, message in compare(baseline, current, args):
+            tag = {"regression": "REGRESSION", "allowed": "allowed",
+                   "note": "note", "ok": "ok"}[kind]
             print(f"  [{tag}] {message}")
             if kind == "regression":
                 regressions += 1

@@ -12,7 +12,9 @@
 //   --rewrite            print the first-order rewriting (Sections 2-3)
 //   --verify             run the Gelfond-Lifschitz stable-model check
 //   --stats              print evaluation statistics (per-rule profiles)
+//   --explain-analyze    per-goal planner estimates vs measured actuals
 //   --json-report        print the machine-readable run report JSON
+//   --metrics-out PATH   write metrics in Prometheus text format
 //   --trace PATH         record a phase timeline, write Chrome trace JSON
 //   --no-merge           disable congruence merging ((R,Q,L) ablation)
 //   --linear-least       naive linear-scan retrieval instead of the heap
@@ -34,6 +36,7 @@
 //
 // Interactive commands (see .help):
 //   .load PATH | .run | .query pred/arity | .lint | .stats | .json
+//   .explain | .blackbox | .metrics [PATH]
 //   .report | .rewrite | .verify | .trace on [PATH] | .trace off
 //   .seed N | .quit
 //
@@ -112,7 +115,8 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s PROGRAM.dl [--query pred/arity]... [--seed N] "
                "[--lint] [--lint-json] "
-               "[--report] [--rewrite] [--verify] [--stats] [--json-report] "
+               "[--report] [--rewrite] [--verify] [--stats] "
+               "[--explain-analyze] [--json-report] [--metrics-out PATH] "
                "[--trace PATH] [--no-merge] [--linear-least] "
                "[--threads N] [--no-planner] "
                "[--deadline-ms N] [--max-tuples N] [--max-stages N] "
@@ -148,6 +152,17 @@ void PrintRelation(const gdlog::Engine& engine, const std::string& pred,
   }
 }
 
+/// One percentile row of the `.stats` histogram table; silent when the
+/// histogram was never registered or never recorded.
+void PrintHistPercentiles(const char* label, const gdlog::Histogram* h,
+                          double scale, const char* unit) {
+  if (h == nullptr || h->count() == 0) return;
+  std::printf("%%   %-22s p50 %10.1f  p90 %10.1f  p99 %10.1f %-4s (n=%llu)\n",
+              label, h->Quantile(0.5) / scale, h->Quantile(0.9) / scale,
+              h->Quantile(0.99) / scale, unit,
+              static_cast<unsigned long long>(h->count()));
+}
+
 void PrintStats(const gdlog::Engine& engine) {
   const gdlog::FixpointStats* s = engine.stats();
   if (s == nullptr) {
@@ -178,22 +193,37 @@ void PrintStats(const gdlog::Engine& engine) {
       static_cast<unsigned long long>(s->exec.inserts),
       static_cast<unsigned long long>(s->exec.scan_rows),
       s->queues.max_queue);
+  const gdlog::MetricsRegistry* m = engine.metrics();
+  if (m != nullptr) {
+    std::printf("%% histograms (p50/p90/p99):\n");
+    PrintHistPercentiles("delta rows/round", m->FindHistogram("seminaive.delta_rows"),
+                         1.0, "rows");
+    PrintHistPercentiles("pool queue wait", m->FindHistogram("pool.queue_wait_ns"),
+                         1e3, "us");
+    PrintHistPercentiles("pops per gamma fire",
+                         m->FindHistogram("choice.pops_per_fire"), 1.0, "pops");
+  }
   const std::vector<gdlog::RuleProfile>* profiles = engine.RuleProfiles();
   if (profiles == nullptr) return;
-  std::printf("%% %-4s %-18s %-9s %10s %9s %9s %9s %9s %10s\n", "rule",
-              "head", "kind", "invoc", "firings", "tuples", "dedup",
-              "cands", "wall_ms");
+  std::printf("%% %-4s %-18s %-9s %10s %9s %9s %9s %9s %10s %9s %9s\n",
+              "rule", "head", "kind", "invoc", "firings", "tuples", "dedup",
+              "cands", "wall_ms", "p50_us", "p99_us");
   for (size_t i = 0; i < profiles->size(); ++i) {
     const gdlog::RuleProfile& p = (*profiles)[i];
     if (p.head.empty()) continue;
     std::printf(
-        "%% %-4zu %-18s %-9s %10llu %9llu %9llu %9llu %9llu %10.3f\n", i,
+        "%% %-4zu %-18s %-9s %10llu %9llu %9llu %9llu %9llu %10.3f", i,
         p.head.c_str(), p.kind,
         static_cast<unsigned long long>(p.invocations),
         static_cast<unsigned long long>(p.firings),
         static_cast<unsigned long long>(p.tuples),
         static_cast<unsigned long long>(p.dedup_hits),
         static_cast<unsigned long long>(p.candidates), p.wall_ns / 1e6);
+    if (p.latency != nullptr && p.latency->count() > 0) {
+      std::printf(" %9.1f %9.1f", p.latency->Quantile(0.5) / 1e3,
+                  p.latency->Quantile(0.99) / 1e3);
+    }
+    std::printf("\n");
   }
 }
 
@@ -250,6 +280,9 @@ void PrintHelp() {
       ".query pred/arity print one relation\n"
       ".lint             compile-time diagnostics for the loaded program\n"
       ".stats            per-phase and per-rule evaluation statistics\n"
+      ".explain          planner estimates vs measured actuals per goal\n"
+      ".blackbox         dump the flight-recorder ring (recent events)\n"
+      ".metrics [PATH]   Prometheus text metrics (to PATH or stdout)\n"
       ".json             machine-readable run report (RunReport JSON)\n"
       ".report           Section 4 stage-analysis report\n"
       ".rewrite          first-order rewriting (Sections 2-3)\n"
@@ -360,6 +393,43 @@ int RunInteractive(gdlog::EngineOptions options) {
       } else {
         std::printf("%% no run yet\n");
       }
+    } else if (cmd == ".explain") {
+      if (!sh.engine) {
+        std::printf("error: no program loaded\n");
+        continue;
+      }
+      auto r = sh.engine->ExplainAnalyzeText();
+      if (r.ok()) {
+        std::printf("%s", r->c_str());
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+    } else if (cmd == ".blackbox") {
+      if (!sh.engine) {
+        std::printf("error: no program loaded\n");
+        continue;
+      }
+      std::printf("%s", sh.engine->DumpFlightRecorder().c_str());
+    } else if (cmd == ".metrics") {
+      if (!sh.engine) {
+        std::printf("error: no program loaded\n");
+        continue;
+      }
+      if (arg1.empty()) {
+        auto r = sh.engine->MetricsText();
+        if (r.ok()) {
+          std::printf("%s", r->c_str());
+        } else {
+          std::printf("error: %s\n", r.status().ToString().c_str());
+        }
+      } else {
+        const gdlog::Status st = sh.engine->WriteMetricsText(arg1);
+        if (st.ok()) {
+          std::printf("metrics written to %s\n", arg1.c_str());
+        } else {
+          std::printf("error: %s\n", st.ToString().c_str());
+        }
+      }
     } else if (cmd == ".json") {
       if (!sh.engine) {
         std::printf("error: no program loaded\n");
@@ -415,7 +485,8 @@ int main(int argc, char** argv) {
   std::vector<Query> queries;
   bool report = false, rewrite = false, verify = false, stats = false;
   bool json_report = false, interactive = false;
-  bool lint = false, lint_json = false;
+  bool lint = false, lint_json = false, explain_analyze = false;
+  std::string metrics_out;
   gdlog::EngineOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -445,8 +516,12 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--explain-analyze") {
+      explain_analyze = true;
     } else if (arg == "--json-report") {
       json_report = true;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else if (arg == "--interactive" || arg == "-i") {
       interactive = true;
     } else if (arg == "--no-merge") {
@@ -538,9 +613,25 @@ int main(int argc, char** argv) {
   }
 
   if (stats) PrintStats(engine);
+  if (explain_analyze) {
+    auto r = engine.ExplainAnalyzeText();
+    if (r.ok()) {
+      std::printf("%s", r->c_str());
+    } else {
+      std::fprintf(stderr, "explain-analyze error: %s\n",
+                   r.status().ToString().c_str());
+    }
+  }
   if (json_report) {
     auto r = engine.RunReport();
     if (r.ok()) std::printf("%s\n", r->c_str());
+  }
+  if (!metrics_out.empty()) {
+    const gdlog::Status mst = engine.WriteMetricsText(metrics_out);
+    if (!mst.ok()) {
+      std::fprintf(stderr, "metrics error: %s\n", mst.ToString().c_str());
+      return 1;
+    }
   }
   if (verify) {
     if (bounded_stop) {
