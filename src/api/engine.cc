@@ -8,6 +8,7 @@
 #include "analysis/diagnostics.h"
 #include "analysis/rewriter.h"
 #include "ast/printer.h"
+#include "common/build_info.h"
 #include "common/logging.h"
 #include "obs/json.h"
 #include "parser/parser.h"
@@ -37,6 +38,13 @@ Engine::Engine(EngineOptions options)
   // stores can never trip the "alloc" probe.
   store_->set_memory_budget(&budget_);
   catalog_->set_memory_budget(&budget_);
+  // Provenance: either flag (top-level or eval-level) turns on both the
+  // storage side-column and the driver's trail/audit.
+  if (options_.provenance || options_.eval.provenance) {
+    options_.provenance = true;
+    options_.eval.provenance = true;
+    catalog_->EnableProvenance();
+  }
   // Fault injection: explicit option first, GDLOG_FAULTS env fallback. A
   // malformed spec is remembered and surfaced by LoadProgram/Run rather
   // than aborting construction.
@@ -69,6 +77,17 @@ Engine::Engine(EngineOptions options)
   if (options_.obs.recorder_enabled) {
     recorder_ =
         std::make_unique<FlightRecorder>(options_.obs.recorder_capacity);
+  }
+  if (metrics_ != nullptr) {
+    // Build identity as a constant gauge, the node_exporter convention:
+    // the value is always 1, the information lives in the labels.
+    const BuildInfo& bi = GetBuildInfo();
+    metrics_
+        ->GetGauge("build.info", {{"version", bi.version},
+                                  {"git_sha", bi.git_sha},
+                                  {"compiler", bi.compiler},
+                                  {"sanitizer", bi.sanitizer}})
+        ->Set(1);
   }
 }
 
@@ -153,7 +172,11 @@ Status Engine::AddFact(std::string_view predicate, std::vector<Value> args) {
   try {
     const PredicateId id =
         catalog_->Ensure(predicate, static_cast<uint32_t>(args.size()));
-    catalog_->relation(id).Insert(TupleView(args));
+    Relation& rel = catalog_->relation(id);
+    const auto res = rel.Insert(TupleView(args));
+    if (res.inserted && rel.provenance_enabled()) {
+      rel.Annotate(res.row, Relation::kEdbRule, nullptr, 0);
+    }
     return Status::OK();
   } catch (const std::bad_alloc&) {
     return OomStatus();
@@ -263,7 +286,11 @@ Status Engine::RunInner() {
     }
     const PredicateId id = catalog_->Ensure(
         r.head.predicate, static_cast<uint32_t>(r.head.args.size()));
-    catalog_->relation(id).Insert(TupleView(tuple));
+    Relation& rel = catalog_->relation(id);
+    const auto res = rel.Insert(TupleView(tuple));
+    if (res.inserted && rel.provenance_enabled()) {
+      rel.Annotate(res.row, Relation::kEdbRule, nullptr, 0);
+    }
   }
 
   // Everything present now (user facts + program facts) seeds the
@@ -360,6 +387,18 @@ Result<std::string> Engine::RunReport() const {
   w.Key("relations").UInt(catalog_->size());
   w.EndObject();
 
+  // Build identity: which binary produced this report (mirrors the
+  // gdlog_build_info Prometheus gauge).
+  {
+    const BuildInfo& bi = GetBuildInfo();
+    w.Key("build").BeginObject();
+    w.Key("version").String(bi.version);
+    w.Key("git_sha").String(bi.git_sha);
+    w.Key("compiler").String(bi.compiler);
+    w.Key("sanitizer").String(bi.sanitizer);
+    w.EndObject();
+  }
+
   // Options echo: every ablation flag, so a saved report fully describes
   // the configuration that produced it.
   w.Key("options").BeginObject();
@@ -369,6 +408,7 @@ Result<std::string> Engine::RunReport() const {
   w.Key("use_seminaive").Bool(options_.eval.use_seminaive);
   w.Key("use_join_planner").Bool(options_.eval.use_join_planner);
   w.Key("threads").UInt(options_.eval.threads);
+  w.Key("provenance").Bool(options_.eval.provenance);
   w.Key("obs_enabled").Bool(options_.obs.enabled);
   w.Key("obs_sample_every").UInt(options_.obs.sample_every);
   w.Key("metrics_enabled").Bool(metrics_ != nullptr);
@@ -521,6 +561,55 @@ Result<std::string> Engine::RunReport() const {
     w.EndObject();
   }
   w.EndArray();
+
+  // Provenance: annotation volume and the choice-audit trail (capped so
+  // a long run cannot blow up the report; the full trail stays queryable
+  // via Engine::ChoiceAudit / shell .choices).
+  {
+    w.Key("provenance").BeginObject();
+    w.Key("enabled").Bool(catalog_->provenance_enabled());
+    size_t rows = 0, premises = 0;
+    for (PredicateId id = 0; id < catalog_->size(); ++id) {
+      rows += catalog_->relation(id).provenance_rows();
+      premises += catalog_->relation(id).provenance_premises();
+    }
+    w.Key("rows_annotated").UInt(rows);
+    w.Key("premises").UInt(premises);
+    w.EndObject();
+
+    w.Key("choices");
+    const ChoiceAuditTrail* audit = driver_->choice_audit();
+    if (audit == nullptr) {
+      w.Null();
+    } else {
+      constexpr size_t kMaxEntries = 256;
+      const auto& entries = audit->entries();
+      w.BeginObject();
+      w.Key("total").UInt(entries.size());
+      w.Key("truncated").Bool(entries.size() > kMaxEntries);
+      w.Key("entries").BeginArray();
+      const size_t n = std::min(entries.size(), kMaxEntries);
+      for (size_t i = 0; i < n; ++i) {
+        const ChoiceAuditEntry& e = entries[i];
+        w.BeginObject();
+        w.Key("firing").UInt(e.firing);
+        w.Key("rule").UInt(e.rule_index);
+        w.Key("gamma").Int(e.gamma_index);
+        if (e.stage >= 0) w.Key("stage").Int(e.stage);
+        w.Key("witness").String(e.witness);
+        w.Key("cost").String(store_->ToString(e.cost));
+        w.Key("candidate_set").UInt(e.candidate_set);
+        w.Key("pops").UInt(e.pops);
+        w.Key("ties").UInt(e.ties);
+        w.Key("rejected_extremum").UInt(e.rejected_extremum);
+        w.Key("rejected_fd").UInt(e.rejected_fd);
+        w.Key("rejected_post").UInt(e.rejected_post);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+  }
 
   // Lint summary, same code scheme as the standalone diagnostics JSON
   // (--lint-json), so report consumers see compile-time findings too.
@@ -719,6 +808,138 @@ Result<StableCheckResult> Engine::VerifyStableModel() const {
   watermarks.resize(catalog_->size(), 0);
   return CheckStableModel(*program_, *catalog_, store_.get(), chosen,
                           watermarks);
+}
+
+std::vector<std::string> Engine::RuleTexts() const {
+  std::vector<std::string> texts;
+  if (!program_) return texts;
+  texts.reserve(program_->rules.size());
+  for (const Rule& r : program_->rules) {
+    texts.push_back(r.is_fact() ? std::string()
+                                : RuleToString(*store_, r));
+  }
+  return texts;
+}
+
+Result<ProofNode> Engine::WhyRow(PredicateId pred, RowId row,
+                                 uint32_t max_depth) const {
+  if (!ran_) return Status::InvalidArgument("call Run first");
+  if (!catalog_->provenance_enabled()) {
+    return Status::InvalidArgument(
+        "provenance disabled: set EngineOptions::provenance");
+  }
+  return BuildProofTree(*catalog_, *store_, pred, row, RuleTexts(),
+                        max_depth);
+}
+
+Result<ProofNode> Engine::Why(std::string_view predicate,
+                              const std::vector<Value>& tuple,
+                              uint32_t max_depth) const {
+  const PredicateId id =
+      catalog_->Lookup(predicate, static_cast<uint32_t>(tuple.size()));
+  if (id == kNoPredicate) {
+    return Status::InvalidArgument("unknown predicate: " +
+                                   std::string(predicate) + "/" +
+                                   std::to_string(tuple.size()));
+  }
+  const Relation& rel = catalog_->relation(id);
+  const RowId row = rel.Find(TupleView(tuple));
+  if (row == kNoRow) {
+    return Status::InvalidArgument("tuple not in the model: " + rel.name() +
+                                   TupleToString(*store_, TupleView(tuple)));
+  }
+  return WhyRow(id, row, max_depth);
+}
+
+Result<std::pair<PredicateId, RowId>> Engine::ResolveWhyTarget(
+    const std::string& target) {
+  if (target.find('(') != std::string::npos) {
+    // A ground atom: parse it as a one-fact program.
+    GDLOG_ASSIGN_OR_RETURN(Program p,
+                           ParseProgram(store_.get(), target + "."));
+    if (p.rules.size() != 1 || !p.rules[0].is_fact()) {
+      return Status::InvalidArgument("expected one ground atom: " + target);
+    }
+    const Rule& fact = p.rules[0];
+    std::vector<Value> tuple;
+    for (const TermNode& t : fact.head.args) {
+      GDLOG_ASSIGN_OR_RETURN(Value v, GroundValue(t, store_.get()));
+      tuple.push_back(v);
+    }
+    const PredicateId id = catalog_->Lookup(
+        fact.head.predicate, static_cast<uint32_t>(tuple.size()));
+    if (id == kNoPredicate) {
+      return Status::InvalidArgument("unknown predicate: " +
+                                     fact.head.predicate);
+    }
+    const RowId row = catalog_->relation(id).Find(TupleView(tuple));
+    if (row == kNoRow) {
+      return Status::InvalidArgument("tuple not in the model: " + target);
+    }
+    return std::make_pair(id, row);
+  }
+  // "pred/arity": the relation's most recently derived row.
+  const size_t slash = target.rfind('/');
+  if (slash == std::string::npos) {
+    return Status::InvalidArgument(
+        "expected a ground atom or pred/arity spec: " + target);
+  }
+  uint32_t arity = 0;
+  for (size_t i = slash + 1; i < target.size(); ++i) {
+    if (target[i] < '0' || target[i] > '9') {
+      return Status::InvalidArgument("bad arity in spec: " + target);
+    }
+    arity = arity * 10 + static_cast<uint32_t>(target[i] - '0');
+  }
+  const PredicateId id = catalog_->Lookup(target.substr(0, slash), arity);
+  if (id == kNoPredicate) {
+    return Status::InvalidArgument("unknown predicate: " + target);
+  }
+  const Relation& rel = catalog_->relation(id);
+  if (rel.empty()) {
+    return Status::InvalidArgument("relation is empty: " + target);
+  }
+  return std::make_pair(id, static_cast<RowId>(rel.size() - 1));
+}
+
+Result<std::string> Engine::WhyText(const std::string& target,
+                                    uint32_t max_depth) {
+  GDLOG_ASSIGN_OR_RETURN(auto at, ResolveWhyTarget(target));
+  GDLOG_ASSIGN_OR_RETURN(ProofNode tree,
+                         WhyRow(at.first, at.second, max_depth));
+  return ProofTreeText(tree);
+}
+
+Result<std::string> Engine::WhyJson(const std::string& target,
+                                    uint32_t max_depth) {
+  GDLOG_ASSIGN_OR_RETURN(auto at, ResolveWhyTarget(target));
+  GDLOG_ASSIGN_OR_RETURN(ProofNode tree,
+                         WhyRow(at.first, at.second, max_depth));
+  JsonWriter w;
+  ProofTreeJson(tree, &w);
+  return w.Take();
+}
+
+Result<std::string> Engine::WhyDot(const std::string& target,
+                                   uint32_t max_depth) {
+  GDLOG_ASSIGN_OR_RETURN(auto at, ResolveWhyTarget(target));
+  GDLOG_ASSIGN_OR_RETURN(ProofNode tree,
+                         WhyRow(at.first, at.second, max_depth));
+  return ProofTreeDot(tree);
+}
+
+const ChoiceAuditTrail* Engine::ChoiceAudit() const {
+  return driver_ ? driver_->choice_audit() : nullptr;
+}
+
+Result<std::string> Engine::ChoiceAuditText() const {
+  if (!ran_) return Status::InvalidArgument("call Run first");
+  const ChoiceAuditTrail* audit = ChoiceAudit();
+  if (audit == nullptr) {
+    return Status::InvalidArgument(
+        "choice audit disabled: set EngineOptions::provenance");
+  }
+  return gdlog::ChoiceAuditText(*audit, *store_);
 }
 
 }  // namespace gdlog

@@ -55,6 +55,13 @@ struct EngineOptions {
   /// falls back to the GDLOG_FAULTS environment variable; a malformed
   /// spec fails LoadProgram/Run with InvalidArgument.
   std::string faults;
+  /// Derivation provenance & choice audit: annotate every row with its
+  /// deriving rule and premise rows (queryable via Engine::Why) and
+  /// record one audit entry per choice firing (Engine::ChoiceAudit).
+  /// The fixpoint itself is bit-identical with the flag off, at any
+  /// thread count; memory for annotations is charged to the engine's
+  /// MemoryBudget. See docs/OBSERVABILITY.md.
+  bool provenance = false;
 };
 
 /// Wall time of the coarse engine phases, nanoseconds. Parse/analyze/
@@ -206,10 +213,45 @@ class Engine {
   /// after Run; intended for tests at small scale.
   Result<StableCheckResult> VerifyStableModel() const;
 
+  // -- Provenance (EngineOptions::provenance) ------------------------------
+  /// Proof tree for one tuple of the model: why is it there? The tree
+  /// follows the stored (rule, premises) annotations down to asserted
+  /// facts, bounded at `max_depth` levels. Requires provenance and Run.
+  Result<ProofNode> Why(std::string_view predicate,
+                        const std::vector<Value>& tuple,
+                        uint32_t max_depth = 8) const;
+
+  /// Why() with a textual target and a rendered result. `target` is
+  /// either a ground atom ("prm(a, b, 3, 1)" — parsed with the engine's
+  /// store, so it may intern new symbols) or a "pred/arity" spec, which
+  /// picks the relation's most recently derived row (handy for smoke
+  /// artifacts). Text / JSON / DOT renderings of the same tree.
+  Result<std::string> WhyText(const std::string& target,
+                              uint32_t max_depth = 8);
+  Result<std::string> WhyJson(const std::string& target,
+                              uint32_t max_depth = 8);
+  Result<std::string> WhyDot(const std::string& target,
+                             uint32_t max_depth = 8);
+
+  /// The choice-audit trail (one entry per γ firing): candidate-set
+  /// size, chosen witness, tie count, admissibility rejections. Null
+  /// when provenance is off or before Run.
+  const ChoiceAuditTrail* ChoiceAudit() const;
+  /// The audit trail rendered one line per firing (shell `.choices`).
+  Result<std::string> ChoiceAuditText() const;
+
  private:
   /// The body of Run, separated so the Run boundary can catch
   /// std::bad_alloc and fill the outcome uniformly.
   Status RunInner();
+  /// Resolves a Why target ("atom(...)" or "pred/arity") to a stored row.
+  Result<std::pair<PredicateId, RowId>> ResolveWhyTarget(
+      const std::string& target);
+  /// Guard + proof-tree construction shared by the Why* renderers.
+  Result<ProofNode> WhyRow(PredicateId pred, RowId row,
+                           uint32_t max_depth) const;
+  /// Rendered program rules indexed by rule index (facts stay empty).
+  std::vector<std::string> RuleTexts() const;
 
   EngineOptions options_;
   // Guardrails. Declared before the stores: members destroy in reverse

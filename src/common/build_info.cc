@@ -1,0 +1,24 @@
+#include "common/build_info.h"
+
+#ifndef GDLOG_VERSION_STRING
+#define GDLOG_VERSION_STRING "unknown"
+#endif
+#ifndef GDLOG_GIT_SHA
+#define GDLOG_GIT_SHA "unknown"
+#endif
+#ifndef GDLOG_COMPILER_ID
+#define GDLOG_COMPILER_ID "unknown"
+#endif
+#ifndef GDLOG_SANITIZE_MODE
+#define GDLOG_SANITIZE_MODE "unknown"
+#endif
+
+namespace gdlog {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{GDLOG_VERSION_STRING, GDLOG_GIT_SHA,
+                              GDLOG_COMPILER_ID, GDLOG_SANITIZE_MODE};
+  return info;
+}
+
+}  // namespace gdlog

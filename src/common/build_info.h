@@ -1,0 +1,22 @@
+// Build identity for observability surfaces: the gdlog_build_info
+// Prometheus gauge, the run report's "build" section, and shell
+// diagnostics. Values are baked in at compile time by the build system
+// (see src/CMakeLists.txt); a build outside CMake degrades every field
+// to "unknown" rather than failing.
+#ifndef GDLOG_COMMON_BUILD_INFO_H_
+#define GDLOG_COMMON_BUILD_INFO_H_
+
+namespace gdlog {
+
+struct BuildInfo {
+  const char* version;    // release version, e.g. "0.6.0"
+  const char* git_sha;    // short commit hash of the source tree
+  const char* compiler;   // compiler id + version
+  const char* sanitizer;  // GDLOG_SANITIZE mode: OFF/address/thread/...
+};
+
+const BuildInfo& GetBuildInfo();
+
+}  // namespace gdlog
+
+#endif  // GDLOG_COMMON_BUILD_INFO_H_

@@ -98,6 +98,11 @@ FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
     admissible_ = obs_.metrics->GetCounter("choice.admissible");
     inadmissible_ = obs_.metrics->GetCounter("choice.inadmissible");
   }
+  if (options_.provenance) {
+    prov_ = true;
+    exec_.set_provenance_trail(&prov_trail_);
+    audit_ = std::make_unique<ChoiceAuditTrail>();
+  }
   stats_.threads_used = options_.threads == 0
                             ? ThreadPool::HardwareThreads()
                             : std::max(1u, options_.threads);
@@ -199,6 +204,13 @@ void FixpointDriver::RecordApply(RuleProfile* prof, uint64_t start_ns,
   }
 }
 
+void FixpointDriver::AddAuditEntry(ChoiceAuditEntry entry) {
+  audit_->Add(std::move(entry));
+  if (guard_ != nullptr && guard_->budget() != nullptr) {
+    guard_->budget()->Update(&audit_charged_, audit_->ApproxBytes());
+  }
+}
+
 void FixpointDriver::PublishMetrics() {
   MetricsRegistry& m = *obs_.metrics;
   m.GetCounter("fixpoint.saturation_rounds")->Add(stats_.saturation_rounds);
@@ -232,6 +244,25 @@ void FixpointDriver::PublishMetrics() {
     m.GetCounter("queue.fired", labels)->Add(s.fired);
     m.GetGauge("queue.max_queue", labels)
         ->SetMax(static_cast<int64_t>(s.max_queue));
+  }
+  if (audit_ != nullptr) {
+    // Choice-audit series (gdlog_choice_* in the Prometheus export).
+    Histogram* cand_hist = m.GetHistogram("choice.candidate_set");
+    Histogram* tie_hist = m.GetHistogram("choice.tie_count");
+    uint64_t rej_ext = 0, rej_fd = 0, rej_post = 0;
+    for (const ChoiceAuditEntry& e : audit_->entries()) {
+      cand_hist->Record(e.candidate_set);
+      tie_hist->Record(e.ties);
+      rej_ext += e.rejected_extremum;
+      rej_fd += e.rejected_fd;
+      rej_post += e.rejected_post;
+    }
+    m.GetCounter("choice.audit_firings")->Add(audit_->entries().size());
+    m.GetCounter("choice.audit_rejections", {{"reason", "extremum"}})
+        ->Add(rej_ext);
+    m.GetCounter("choice.audit_rejections", {{"reason", "fd"}})->Add(rej_fd);
+    m.GetCounter("choice.audit_rejections", {{"reason", "post"}})
+        ->Add(rej_post);
   }
 }
 
@@ -304,6 +335,8 @@ void FixpointDriver::EvalAggregate(const CompiledRule& rule) {
   struct Group {
     Value best;
     std::vector<std::vector<Value>> heads;
+    // Premises per head, kept parallel to `heads` (provenance only).
+    std::vector<std::vector<ProvPremise>> provs;
   };
   std::unordered_map<Value, Group, ValueHash> groups;
   BindingFrame frame(rule.num_slots);
@@ -327,18 +360,26 @@ void FixpointDriver::EvalAggregate(const CompiledRule& rule) {
                     if (better) {
                       g.best = cost;
                       g.heads.clear();
+                      g.provs.clear();
                       g.heads.push_back(std::move(head));
+                      if (prov_) g.provs.push_back(prov_trail_);
                     } else if (c == 0) {
                       g.heads.push_back(std::move(head));
+                      if (prov_) g.provs.push_back(prov_trail_);
                     }
                     return true;
                   });
   Relation& head_rel = catalog_->relation(rule.head_pred);
   for (auto& [group, g] : groups) {
-    for (auto& head : g.heads) {
-      if (head_rel.Insert(TupleView(head)).inserted) {
+    for (size_t i = 0; i < g.heads.size(); ++i) {
+      const auto res = head_rel.Insert(TupleView(g.heads[i]));
+      if (res.inserted) {
         ++exec_.stats().inserts;
         ++prof.tuples;
+        if (prov_) {
+          head_rel.Annotate(res.row, rule.rule_index, g.provs[i].data(),
+                            g.provs[i].size());
+        }
       } else {
         ++prof.dedup_hits;
       }
@@ -384,7 +425,9 @@ void FixpointDriver::InsertCandidates(GammaState* g,
                     } else {
                       key = store_->MakeTuple(snapshot);
                     }
-                    g->queue->Push(cost, key, std::move(snapshot));
+                    g->queue->Push(cost, key, std::move(snapshot),
+                                   prov_ ? prov_trail_
+                                         : std::vector<ProvPremise>{});
                     return true;
                   });
   prof.candidates += g->queue->stats().inserted - pushed_before;
@@ -464,6 +507,10 @@ void FixpointDriver::RunWorkerTask(WorkerTask* task, const App& app) {
     }
     exec.set_goal_stats(&local_goals);
   }
+  // Task-local premise trail; per-solution contents are appended to the
+  // task's flat premise buffer, mirroring the value capture.
+  std::vector<ProvPremise> trail;
+  if (prov_) exec.set_provenance_trail(&trail);
   const std::vector<uint32_t>& capture = task->safety->capture;
   BindingFrame frame(rule.num_slots);
   exec.Enumerate(rule, *task->plan, app.delta, &frame,
@@ -471,6 +518,10 @@ void FixpointDriver::RunWorkerTask(WorkerTask* task, const App& app) {
                    ++task->emitted;
                    for (uint32_t s : capture) {
                      task->values.push_back(f.Get(s));
+                   }
+                   if (prov_) {
+                     task->premises.insert(task->premises.end(),
+                                           trail.begin(), trail.end());
                    }
                    return true;
                  });
@@ -480,8 +531,10 @@ void FixpointDriver::RunWorkerTask(WorkerTask* task, const App& app) {
     task->goal_stats = std::move(local_goals[rule.rule_index]);
   }
   if (guard_ != nullptr && guard_->budget() != nullptr) {
-    guard_->budget()->Update(&task->charged,
-                             task->values.capacity() * sizeof(Value));
+    guard_->budget()->Update(
+        &task->charged,
+        task->values.capacity() * sizeof(Value) +
+            task->premises.capacity() * sizeof(ProvPremise));
   }
   if (obs_enabled_) task->t1_ns = ObsNowNs();
 }
@@ -581,12 +634,23 @@ void FixpointDriver::MergeApp(const App& app, WorkerTask* tasks,
 
   const std::vector<uint32_t>& capture = safety_[rule.rule_index].capture;
   const size_t width = capture.size();
+  // Premises per solution: one per positive top-level scan of the plan
+  // (fixed for a given plan — see PlanExecutor::set_provenance_trail).
+  size_t prov_width = 0;
+  if (prov_ && count > 0) {
+    for (const CompiledLiteral& lit : *tasks[0].plan) {
+      if (lit.kind == CompiledLiteral::Kind::kScan && !lit.scan.negated) {
+        ++prov_width;
+      }
+    }
+  }
   BindingFrame frame(rule.num_slots);
 
   // kAggregate fold state (mirrors EvalAggregate exactly).
   struct Group {
     Value best;
     std::vector<std::vector<Value>> heads;
+    std::vector<std::vector<ProvPremise>> provs;
   };
   std::unordered_map<Value, Group, ValueHash> groups;
 
@@ -612,18 +676,23 @@ void FixpointDriver::MergeApp(const App& app, WorkerTask* tasks,
     }
     worker_ns += task.t1_ns - task.t0_ns;
     const Value* vals = task.values.data();
-    for (uint64_t s = 0; s < task.emitted; ++s, vals += width) {
+    const ProvPremise* prem = task.premises.data();
+    for (uint64_t s = 0; s < task.emitted;
+         ++s, vals += width, prem += prov_width) {
       const size_t mark = frame.Mark();
       for (size_t k = 0; k < width; ++k) frame.Bind(capture[k], vals[k]);
       switch (app.kind) {
         case App::Kind::kPlain: {
           if (exec_.BuildHead(rule, frame, &head)) {
             ++attempted;
-            if (catalog_->relation(rule.head_pred)
-                    .Insert(TupleView(head))
-                    .inserted) {
+            Relation& head_rel = catalog_->relation(rule.head_pred);
+            const auto res = head_rel.Insert(TupleView(head));
+            if (res.inserted) {
               ++inserted;
               ++exec_.stats().inserts;
+              if (prov_) {
+                head_rel.Annotate(res.row, rule.rule_index, prem, prov_width);
+              }
             }
           }
           break;
@@ -643,9 +712,12 @@ void FixpointDriver::MergeApp(const App& app, WorkerTask* tasks,
           if (better) {
             grp.best = cost;
             grp.heads.clear();
+            grp.provs.clear();
             grp.heads.push_back(std::move(agg_head));
+            if (prov_) grp.provs.emplace_back(prem, prem + prov_width);
           } else if (c == 0) {
             grp.heads.push_back(std::move(agg_head));
+            if (prov_) grp.provs.emplace_back(prem, prem + prov_width);
           }
           break;
         }
@@ -671,7 +743,10 @@ void FixpointDriver::MergeApp(const App& app, WorkerTask* tasks,
           } else {
             key = store_->MakeTuple(snapshot);
           }
-          g->queue->Push(cost, key, std::move(snapshot));
+          g->queue->Push(cost, key, std::move(snapshot),
+                         prov_ ? std::vector<ProvPremise>(prem,
+                                                          prem + prov_width)
+                               : std::vector<ProvPremise>{});
           break;
         }
       }
@@ -681,6 +756,7 @@ void FixpointDriver::MergeApp(const App& app, WorkerTask* tasks,
       guard_->budget()->Update(&task.charged, 0);
     }
     std::vector<Value>().swap(task.values);
+    std::vector<ProvPremise>().swap(task.premises);
   }
 
   switch (app.kind) {
@@ -691,10 +767,15 @@ void FixpointDriver::MergeApp(const App& app, WorkerTask* tasks,
     case App::Kind::kAggregate: {
       Relation& head_rel = catalog_->relation(rule.head_pred);
       for (auto& [group, grp] : groups) {
-        for (auto& h : grp.heads) {
-          if (head_rel.Insert(TupleView(h)).inserted) {
+        for (size_t i = 0; i < grp.heads.size(); ++i) {
+          const auto res = head_rel.Insert(TupleView(grp.heads[i]));
+          if (res.inserted) {
             ++exec_.stats().inserts;
             ++prof.tuples;
+            if (prov_) {
+              head_rel.Annotate(res.row, rule.rule_index,
+                                grp.provs[i].data(), grp.provs[i].size());
+            }
           } else {
             ++prof.dedup_hits;
           }
@@ -879,6 +960,9 @@ size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
   const CompiledRule& rule = *g->rule;
   BindingFrame frame;
   uint64_t pops = 0;
+  uint64_t rej_ext = 0, rej_fd = 0;
+  const uint64_t live_before =
+      audit_ != nullptr ? g->queue->LiveSize() : 0;
   while (auto cand = g->queue->Pop()) {
     ++pops;
     RestoreSnapshot(rule, cand->snapshot, &frame);
@@ -895,20 +979,43 @@ size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
       GDLOG_CHECK(ok);
       auto [it, fresh] = g->group_best.try_emplace(group, cost);
       if (!fresh && it->second != cost) {
+        ++rej_ext;
+        if (obs_.recorder != nullptr) {
+          obs_.recorder->Record(
+              FlightEventKind::kChoiceReject,
+              static_cast<int64_t>(rule.rule_index),
+              static_cast<int64_t>(g->queue->LiveSize()));
+        }
         g->queue->MarkRedundant(*cand);
         continue;
       }
     }
     if (!choice_.Admissible(rule, frame)) {
       if (inadmissible_ != nullptr) inadmissible_->Add(1);
+      ++rej_fd;
+      if (obs_.recorder != nullptr) {
+        obs_.recorder->Record(FlightEventKind::kChoiceReject,
+                              static_cast<int64_t>(rule.rule_index),
+                              static_cast<int64_t>(g->queue->LiveSize()));
+      }
       g->queue->MarkRedundant(*cand);
       continue;
     }
     if (admissible_ != nullptr) admissible_->Add(1);
     choice_.Commit(rule, frame);
     RuleProfile& prof = profiles_[rule.rule_index];
-    if (exec_.InsertHead(rule, frame)) {
+    std::vector<Value> head;
+    const bool built = exec_.BuildHead(rule, frame, &head);
+    GDLOG_CHECK(built);
+    Relation& head_rel = catalog_->relation(rule.head_pred);
+    const auto res = head_rel.Insert(TupleView(head));
+    if (res.inserted) {
+      ++exec_.stats().inserts;
       ++prof.tuples;
+      if (prov_) {
+        head_rel.Annotate(res.row, rule.rule_index, cand->premises.data(),
+                          cand->premises.size());
+      }
     } else {
       ++prof.dedup_hits;
     }
@@ -925,24 +1032,46 @@ size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
       obs_.tracer->Instant("gamma.fire", "gamma",
                            {{"rule", rule.rule_index}});
     }
+    if (audit_ != nullptr) {
+      ChoiceAuditEntry e;
+      e.rule_index = rule.rule_index;
+      e.gamma_index = rule.gamma_index;
+      e.firing = stats_.gamma_firings;
+      e.candidate_set = live_before;
+      e.pops = pops;
+      e.ties = rule.has_extremum ? g->queue->CountLiveEqualCost(cand->cost)
+                                 : 0;
+      e.rejected_extremum = rej_ext;
+      e.rejected_fd = rej_fd;
+      e.cost = rule.has_extremum ? cand->cost : Value::Int(0);
+      e.witness = head_rel.name() + TupleToString(*store_, TupleView(head));
+      e.head_pred = rule.head_pred;
+      e.head_row = res.row;
+      AddAuditEntry(std::move(e));
+    }
     return 1;
   }
   return 0;
 }
 
 bool FixpointDriver::TryFireNext(CliqueCtx* ctx, GammaState* g,
-                                 const Candidate& cand) {
+                                 const Candidate& cand,
+                                 ChoiceAuditEntry* audit) {
   const CompiledRule& rule = *g->rule;
   BindingFrame frame;
   RestoreSnapshot(rule, cand.snapshot, &frame);
   frame.Bind(rule.stage_slot, Value::Int(ctx->stage_counter));
 
   bool fired = false;
+  bool saw_solution = false;
   std::vector<Value> head;
+  std::vector<ProvPremise> post_prov;
   exec_.Enumerate(rule, rule.post, CompiledScan::kNoOccurrence, &frame,
                   [&](BindingFrame& f) {
+                    saw_solution = true;
                     if (!choice_.Admissible(rule, f)) {
                       if (inadmissible_ != nullptr) inadmissible_->Add(1);
+                      if (audit != nullptr) ++audit->rejected_fd;
                       return true;
                     }
                     if (admissible_ != nullptr) admissible_->Add(1);
@@ -950,15 +1079,36 @@ bool FixpointDriver::TryFireNext(CliqueCtx* ctx, GammaState* g,
                     // Build now, insert after: the post plan may hold
                     // index iterators on the head relation.
                     exec_.BuildHead(rule, f, &head);
+                    // The firing's post premises; the trail pops back to
+                    // empty as the enumeration unwinds, so copy here.
+                    if (prov_) post_prov = prov_trail_;
                     fired = true;
                     return false;  // one firing per γ
                   });
   if (fired) {
     RuleProfile& prof = profiles_[rule.rule_index];
-    if (catalog_->relation(rule.head_pred).Insert(TupleView(head)).inserted) {
+    Relation& head_rel = catalog_->relation(rule.head_pred);
+    const auto res = head_rel.Insert(TupleView(head));
+    if (res.inserted) {
       ++prof.tuples;
+      if (prov_) {
+        // Full justification: the generator premises carried by the
+        // candidate plus the post plan's premises at the firing.
+        std::vector<ProvPremise> prems = cand.premises;
+        prems.insert(prems.end(), post_prov.begin(), post_prov.end());
+        head_rel.Annotate(res.row, rule.rule_index, prems.data(),
+                          prems.size());
+      }
     } else {
       ++prof.dedup_hits;
+    }
+    if (audit != nullptr) {
+      audit->stage = ctx->stage_counter;
+      audit->cost = rule.has_extremum ? cand.cost : Value::Int(0);
+      audit->witness =
+          head_rel.name() + TupleToString(*store_, TupleView(head));
+      audit->head_pred = rule.head_pred;
+      audit->head_row = res.row;
     }
     static const bool kTrace = std::getenv("GDLOG_TRACE") != nullptr;
     if (kTrace) {
@@ -982,6 +1132,12 @@ bool FixpointDriver::TryFireNext(CliqueCtx* ctx, GammaState* g,
     ++stats_.gamma_firings;
     ++stats_.stages_assigned;
   } else {
+    if (audit != nullptr && !saw_solution) ++audit->rejected_post;
+    if (obs_.recorder != nullptr) {
+      obs_.recorder->Record(FlightEventKind::kChoiceReject,
+                            static_cast<int64_t>(rule.rule_index),
+                            static_cast<int64_t>(g->queue->LiveSize()));
+    }
     g->queue->MarkRedundant(cand);
   }
   return fired;
@@ -1004,12 +1160,28 @@ bool FixpointDriver::GammaPhase(CliqueCtx* ctx) {
     for (GammaState* g : ctx->gammas) {
       if (!g->rule->is_next) continue;
       uint64_t pops = 0;
+      ChoiceAuditEntry entry;  // accumulates across rejected pops
+      const uint64_t live_before =
+          audit_ != nullptr ? g->queue->LiveSize() : 0;
       while (auto cand = g->queue->Pop()) {
         ++pops;
-        if (TryFireNext(ctx, g, *cand)) {
+        const Value cand_cost = cand->cost;
+        if (TryFireNext(ctx, g, *cand,
+                        audit_ != nullptr ? &entry : nullptr)) {
           fired = true;
           if (pops_per_fire_hist_ != nullptr) {
             pops_per_fire_hist_->Record(pops);
+          }
+          if (audit_ != nullptr) {
+            entry.rule_index = g->rule->rule_index;
+            entry.gamma_index = g->rule->gamma_index;
+            entry.firing = stats_.gamma_firings;
+            entry.candidate_set = live_before;
+            entry.pops = pops;
+            entry.ties = g->rule->has_extremum
+                             ? g->queue->CountLiveEqualCost(cand_cost)
+                             : 0;
+            AddAuditEntry(std::move(entry));
           }
           break;
         }

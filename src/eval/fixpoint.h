@@ -35,6 +35,7 @@
 #include "eval/seminaive.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace gdlog {
@@ -69,6 +70,13 @@ struct EvalOptions {
   /// across workers; below it the application still runs as a single
   /// parallel task. Tests lower this to force partitioning on tiny data.
   uint32_t parallel_min_rows = 64;
+  /// Derivation provenance + choice audit: annotate every derived row
+  /// with (rule, premises) and record one ChoiceAuditEntry per γ firing.
+  /// Annotations are pure metadata — evaluation order, insert order, and
+  /// the fixpoint itself are bit-identical with the flag off, at any
+  /// thread count. The caller must also enable the catalog's provenance
+  /// column (Engine does both from EngineOptions::provenance).
+  bool provenance = false;
 };
 
 struct FixpointStats {
@@ -143,6 +151,10 @@ class FixpointDriver {
     return goal_stats_;
   }
 
+  /// The choice-audit trail (one entry per γ firing), or nullptr when
+  /// EvalOptions::provenance is off.
+  const ChoiceAuditTrail* choice_audit() const { return audit_.get(); }
+
   /// Sums candidate-queue statistics over every gamma rule.
   CandidateQueueStats AggregateQueueStats() const;
   /// Queue statistics of one gamma rule (by gamma index); nullptr if the
@@ -184,6 +196,9 @@ class FixpointDriver {
     bool ranged = false;
     RowId begin = 0, end = 0;  // leading-scan partition when ranged
     std::vector<Value> values;  // emitted * capture.size(), in order
+    // Provenance premises, emitted * (positive scans in plan), in order
+    // (empty when provenance is off).
+    std::vector<ProvPremise> premises;
     uint64_t emitted = 0;       // top-level solutions (buffered rows)
     // Executor stat counters; `solutions` also counts NotExists
     // sub-enumeration witnesses, so it is NOT the buffered-row count.
@@ -230,7 +245,10 @@ class FixpointDriver {
                        BindingFrame* frame);
 
   /// Attempts to fire one popped candidate of a next rule; true on fire.
-  bool TryFireNext(CliqueCtx* ctx, GammaState* g, const Candidate& cand);
+  /// `audit` (audit mode only, else null) accumulates per-candidate
+  /// rejections and, on fire, receives the witness/stage/cost fields.
+  bool TryFireNext(CliqueCtx* ctx, GammaState* g, const Candidate& cand,
+                   ChoiceAuditEntry* audit);
 
   /// Drains a non-next gamma rule's queue, firing every admissible
   /// candidate (extrema-filtered when the rule has one). Returns the
@@ -243,6 +261,8 @@ class FixpointDriver {
   /// Closes one timed rule application: profile wall time, latency
   /// histogram, and a sampled trace span.
   void RecordApply(RuleProfile* prof, uint64_t start_ns, const char* cat);
+  /// Appends an audit entry and re-charges the trail to the MemoryBudget.
+  void AddAuditEntry(ChoiceAuditEntry entry);
   /// Publishes end-of-run totals into the metrics registry.
   void PublishMetrics();
 
@@ -274,6 +294,14 @@ class FixpointDriver {
   // Flight-recorder bookkeeping.
   uint32_t guard_event_tick_ = 0;  // samples kGuardCheck events 1/16
   bool trip_recorded_ = false;
+
+  // Provenance (see EvalOptions::provenance). `prov_trail_` is the
+  // serial executor's premise trail; worker executors get task-local
+  // trails. `audit_` is allocated iff provenance is on.
+  bool prov_ = false;
+  std::vector<ProvPremise> prov_trail_;
+  std::unique_ptr<ChoiceAuditTrail> audit_;
+  size_t audit_charged_ = 0;  // MemoryBudget charge for the trail
 
   // Parallel evaluation (null / empty when threads == 1).
   std::unique_ptr<ThreadPool> pool_;

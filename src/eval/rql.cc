@@ -27,7 +27,8 @@ bool CandidateQueue::After(const HeapEntry& a, const HeapEntry& b) const {
 }
 
 void CandidateQueue::Push(Value cost, Value congruence_key,
-                          std::vector<Value> snapshot) {
+                          std::vector<Value> snapshot,
+                          std::vector<ProvPremise> premises) {
   ++stats_.inserted;
   if (fired_.count(congruence_key)) {
     ++stats_.merged;
@@ -66,6 +67,7 @@ void CandidateQueue::Push(Value cost, Value congruence_key,
   e.tie = tie_seed_ ? Mix64(seq ^ tie_seed_) : seq;
   e.key = congruence_key;
   e.snapshot = std::move(snapshot);
+  e.premises = std::move(premises);
   heap_.push_back(std::move(e));
   if (!linear_scan_) {
     // Sift up.
@@ -128,9 +130,46 @@ std::optional<Candidate> CandidateQueue::Pop() {
   c.seq = top.seq;
   c.congruence_key = top.key;
   c.snapshot = std::move(top.snapshot);
+  c.premises = std::move(top.premises);
   if (live_count_ > 0) --live_count_;
   if (tracer_ != nullptr) TraceOp(".pop");
   return c;
+}
+
+bool CandidateQueue::EntryLive(const HeapEntry& e) const {
+  const auto it = live_.find(e.key);
+  return it != live_.end() && it->second == e.seq && fired_.count(e.key) == 0;
+}
+
+size_t CandidateQueue::CountLiveEqualCost(const Value& cost) const {
+  if (heap_.empty()) return 0;
+  if (linear_scan_ || order_ == Order::kFifo) {
+    // FIFO heaps order by seq, not cost, so there is nothing to prune;
+    // the linear ablation has no heap order at all.
+    size_t n = 0;
+    for (const HeapEntry& e : heap_) {
+      if (EntryLive(e) && store_->Compare(e.cost, cost) == 0) ++n;
+    }
+    return n;
+  }
+  // Min/max heap: walk from the root, pruning any subtree whose root is
+  // already strictly worse than `cost` (its descendants are worse still).
+  // Stale entries may be better than `cost`, so "better" roots are
+  // traversed without being counted.
+  size_t n = 0;
+  std::vector<size_t> stack{0};
+  while (!stack.empty()) {
+    const size_t i = stack.back();
+    stack.pop_back();
+    if (i >= heap_.size()) continue;
+    const int c = store_->Compare(heap_[i].cost, cost);
+    const bool worse = order_ == Order::kMin ? c > 0 : c < 0;
+    if (worse) continue;
+    if (c == 0 && EntryLive(heap_[i])) ++n;
+    stack.push_back(2 * i + 1);
+    stack.push_back(2 * i + 2);
+  }
+  return n;
 }
 
 void CandidateQueue::MarkFired(const Candidate& c) {
@@ -174,6 +213,7 @@ std::optional<Candidate> CandidateQueue::PopLinear() {
     c.seq = e.seq;
     c.congruence_key = e.key;
     c.snapshot = std::move(e.snapshot);
+    c.premises = std::move(e.premises);
     if (live_count_ > 0) --live_count_;
     if (tracer_ != nullptr) TraceOp(".pop");
     return c;

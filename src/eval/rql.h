@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "storage/relation.h"
 #include "value/value.h"
 
 namespace gdlog {
@@ -40,6 +41,9 @@ struct Candidate {
   uint64_t seq = 0;             // insertion order; ties and staleness
   Value congruence_key;         // interned tuple
   std::vector<Value> snapshot;  // generator-bound slot values
+  // Generator premises (provenance mode only; empty otherwise). Carried
+  // through supersede/pop so a firing can annotate its head row.
+  std::vector<ProvPremise> premises;
 };
 
 struct CandidateQueueStats {
@@ -71,7 +75,8 @@ class CandidateQueue {
   /// candidate to R; a congruent better entry in Q sends it to R; a
   /// congruent worse entry is superseded. In full mode exact duplicates
   /// (same key) are dropped.
-  void Push(Value cost, Value congruence_key, std::vector<Value> snapshot);
+  void Push(Value cost, Value congruence_key, std::vector<Value> snapshot,
+            std::vector<ProvPremise> premises = {});
 
   /// Pops the best live candidate (skipping stale/L-hit entries into R).
   /// Returns nullopt when the queue is drained.
@@ -86,6 +91,13 @@ class CandidateQueue {
 
   bool Empty();
   size_t QueueSize() const { return heap_.size(); }
+  /// Live (non-stale, non-fired) candidates currently in Q — the
+  /// candidate-set size the choice audit reports.
+  size_t LiveSize() const { return live_count_; }
+  /// Live candidates whose cost compares equal to `cost` — the audit's
+  /// tie count. O(|heap|) worst case, but heap order prunes subtrees
+  /// that cannot hold equal-cost entries; called only in audit mode.
+  size_t CountLiveEqualCost(const Value& cost) const;
   const CandidateQueueStats& stats() const { return stats_; }
 
   /// Attaches a tracer for sampled push/pop/lazy-delete instant events;
@@ -102,6 +114,7 @@ class CandidateQueue {
     uint64_t seq;
     Value key;
     std::vector<Value> snapshot;
+    std::vector<ProvPremise> premises;
   };
 
   /// True when a comes after b in pop order (std::priority_queue keeps
@@ -110,6 +123,7 @@ class CandidateQueue {
 
   void SkimDead();
   std::optional<Candidate> PopLinear();
+  bool EntryLive(const HeapEntry& e) const;
 
   const ValueStore* store_;
   Order order_;

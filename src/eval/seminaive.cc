@@ -137,7 +137,10 @@ bool PlanExecutor::RunScan(const CompiledRule& rule, const CompiledScan& scan,
       ++gs->matches;
       ++probe_matches;
     }
+    // Provenance: this row justifies everything derived under it.
+    if (trail_ != nullptr) trail_->push_back({scan.pred, row});
     const bool keep_going = on_match();
+    if (trail_ != nullptr) trail_->pop_back();
     frame->UndoTo(mark);
     return keep_going ? 0 : 1;
   };
@@ -214,11 +217,16 @@ bool PlanExecutor::RunFrom(
     case CompiledLiteral::Kind::kNotExists: {
       bool witness = false;
       const size_t mark = frame->Mark();
+      // The subplan's rows refute, they don't justify: detach the
+      // provenance trail for the sub-enumeration.
+      std::vector<ProvPremise>* trail = trail_;
+      trail_ = nullptr;
       Enumerate(rule, lit.sub, CompiledScan::kNoOccurrence, frame,
                 [&witness](BindingFrame&) {
                   witness = true;
                   return false;  // first witness suffices
                 });
+      trail_ = trail;
       frame->UndoTo(mark);
       if (witness) return true;  // negation fails; siblings continue
       return RunFrom(rule, plan, idx + 1, delta_occurrence, frame,
@@ -254,15 +262,6 @@ bool PlanExecutor::BuildHead(const CompiledRule& rule,
   return true;
 }
 
-bool PlanExecutor::InsertHead(const CompiledRule& rule,
-                              const BindingFrame& frame) {
-  std::vector<Value> tuple;
-  if (!BuildHead(rule, frame, &tuple)) return false;
-  const auto res = catalog_->relation(rule.head_pred).Insert(TupleView(tuple));
-  if (res.inserted) ++stats_.inserts;
-  return res.inserted;
-}
-
 size_t PlanExecutor::ApplyRule(const CompiledRule& rule,
                                uint32_t delta_occurrence, size_t* attempted) {
   // Head tuples are buffered and inserted only after the enumeration
@@ -270,6 +269,8 @@ size_t PlanExecutor::ApplyRule(const CompiledRule& rule,
   // iterator on it (a rehash rewrites the chains), and recursive rules
   // scan their own head relation.
   std::vector<std::vector<Value>> pending;
+  // Per-pending-head premises, parallel to `pending` (provenance only).
+  std::vector<std::vector<ProvPremise>> pending_prov;
   BindingFrame frame(rule.num_slots);
   // Delta variants run their delta-first plan (the Δ atom leads).
   const std::vector<CompiledLiteral>& plan =
@@ -280,16 +281,24 @@ size_t PlanExecutor::ApplyRule(const CompiledRule& rule,
   Enumerate(rule, plan, delta_occurrence, &frame,
             [&](BindingFrame& f) {
               std::vector<Value> head;
-              if (BuildHead(rule, f, &head)) pending.push_back(std::move(head));
+              if (BuildHead(rule, f, &head)) {
+                pending.push_back(std::move(head));
+                if (trail_ != nullptr) pending_prov.push_back(*trail_);
+              }
               return true;
             });
   if (attempted != nullptr) *attempted = pending.size();
   size_t inserted = 0;
   Relation& head_rel = catalog_->relation(rule.head_pred);
-  for (const auto& tuple : pending) {
-    if (head_rel.Insert(TupleView(tuple)).inserted) {
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const auto res = head_rel.Insert(TupleView(pending[i]));
+    if (res.inserted) {
       ++inserted;
       ++stats_.inserts;
+      if (trail_ != nullptr) {
+        head_rel.Annotate(res.row, rule.rule_index, pending_prov[i].data(),
+                          pending_prov[i].size());
+      }
     }
   }
   return inserted;

@@ -79,6 +79,17 @@ class PlanExecutor {
     goal_stats_ = table;
   }
 
+  /// Provenance premise trail (not owned; null = provenance off). While
+  /// set, every positive top-level scan pushes its matched (pred, row)
+  /// before descending and pops it on the way back, so at each complete
+  /// solution the trail holds exactly one premise per positive goal, in
+  /// plan order. Negated scans and NotExists subplans contribute nothing
+  /// (the subplan enumeration runs with the trail detached).
+  void set_provenance_trail(std::vector<ProvPremise>* trail) {
+    trail_ = trail;
+  }
+  std::vector<ProvPremise>* provenance_trail() { return trail_; }
+
   /// The seminaive row window `scan` reads under `delta_occurrence`
   /// (exposed for partition planning).
   static std::pair<RowId, RowId> ScanWindow(const CompiledScan& scan,
@@ -99,10 +110,6 @@ class PlanExecutor {
   /// elimination (attempted - returned = dedup hits).
   size_t ApplyRule(const CompiledRule& rule, uint32_t delta_occurrence,
                    size_t* attempted = nullptr);
-
-  /// Builds and inserts the head tuple under `frame`. Returns true when
-  /// the tuple is new.
-  bool InsertHead(const CompiledRule& rule, const BindingFrame& frame);
 
   /// Builds the head tuple under `frame` into `out`. Returns false if a
   /// head term fails to evaluate (engine bug for compiled rules).
@@ -137,6 +144,7 @@ class PlanExecutor {
   const CancelToken* cancel_ = nullptr;
   uint32_t cancel_tick_ = 0;
   std::vector<std::vector<GoalStats>>* goal_stats_ = nullptr;
+  std::vector<ProvPremise>* trail_ = nullptr;
 };
 
 }  // namespace gdlog

@@ -37,6 +37,8 @@ const char* FlightEventKindName(FlightEventKind k) {
       return "oom";
     case FlightEventKind::kTermination:
       return "termination";
+    case FlightEventKind::kChoiceReject:
+      return "choice-reject";
   }
   return "unknown";
 }

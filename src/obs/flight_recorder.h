@@ -41,6 +41,7 @@ enum class FlightEventKind : uint8_t {
   kStageAdvance,     // a0 = rule index,   a1 = new stage counter
   kOom,              // bad_alloc reached the Run boundary
   kTermination,      // a0 = TerminationReason, a1 = status ok (0/1)
+  kChoiceReject,     // a0 = rule index,   a1 = live candidates left in Q
 };
 
 /// Stable lowercase name for dumps ("round-start", "guard-trip", ...).

@@ -16,6 +16,7 @@ PredicateId Catalog::Ensure(std::string_view name, uint32_t arity) {
   const auto id = static_cast<PredicateId>(relations_.size());
   relations_.push_back(std::make_unique<Relation>(std::string(name), arity));
   if (budget_ != nullptr) relations_.back()->set_memory_budget(budget_);
+  if (provenance_) relations_.back()->EnableProvenance();
   by_name_.emplace(key, id);
   return id;
 }
@@ -23,6 +24,11 @@ PredicateId Catalog::Ensure(std::string_view name, uint32_t arity) {
 void Catalog::set_memory_budget(MemoryBudget* budget) {
   budget_ = budget;
   for (auto& rel : relations_) rel->set_memory_budget(budget);
+}
+
+void Catalog::EnableProvenance() {
+  provenance_ = true;
+  for (auto& rel : relations_) rel->EnableProvenance();
 }
 
 PredicateId Catalog::Lookup(std::string_view name, uint32_t arity) const {

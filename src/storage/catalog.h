@@ -45,12 +45,18 @@ class Catalog {
   /// must outlive the catalog.
   void set_memory_budget(MemoryBudget* budget);
 
+  /// Turns on the provenance side-column on every relation, existing and
+  /// future (see Relation::EnableProvenance).
+  void EnableProvenance();
+  bool provenance_enabled() const { return provenance_; }
+
  private:
   static std::string Key(std::string_view name, uint32_t arity);
 
   std::unordered_map<std::string, PredicateId> by_name_;
   std::vector<std::unique_ptr<Relation>> relations_;
   MemoryBudget* budget_ = nullptr;
+  bool provenance_ = false;
 };
 
 }  // namespace gdlog

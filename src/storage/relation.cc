@@ -63,8 +63,53 @@ size_t Relation::ApproxBytes() const {
   size_t bytes = data_.capacity() * sizeof(Value) +
                  row_hashes_.capacity() * sizeof(uint64_t) +
                  set_buckets_.capacity() * sizeof(uint32_t);
+  if (prov_ != nullptr) {
+    bytes += prov_->rule.capacity() * sizeof(uint32_t) +
+             prov_->span_begin.capacity() * sizeof(uint32_t) +
+             prov_->span_len.capacity() * sizeof(uint32_t) +
+             prov_->pool.capacity() * sizeof(ProvPremise);
+  }
   for (const auto& idx : indices_) bytes += idx->ApproxBytes();
   return bytes;
+}
+
+void Relation::EnableProvenance() {
+  if (prov_ == nullptr) prov_ = std::make_unique<ProvColumn>();
+}
+
+void Relation::Annotate(RowId row, uint32_t rule_index,
+                        const ProvPremise* premises, size_t num_premises) {
+  if (prov_ == nullptr || row >= num_rows_) return;
+  if (prov_->rule.size() <= row) {
+    prov_->rule.resize(num_rows_, kUnknownRule);
+    prov_->span_begin.resize(num_rows_, 0);
+    prov_->span_len.resize(num_rows_, 0);
+  }
+  if (prov_->rule[row] != kUnknownRule) return;  // first derivation wins
+  prov_->rule[row] = rule_index;
+  prov_->span_begin[row] = static_cast<uint32_t>(prov_->pool.size());
+  prov_->span_len[row] = static_cast<uint32_t>(num_premises);
+  prov_->pool.insert(prov_->pool.end(), premises, premises + num_premises);
+  ++prov_->annotated;
+  RecountMemory();
+}
+
+Relation::ProvView Relation::ProvenanceOf(RowId row) const {
+  ProvView v;
+  if (prov_ == nullptr || row >= prov_->rule.size()) return v;
+  v.rule_index = prov_->rule[row];
+  if (v.rule_index == kUnknownRule) return v;
+  v.premises = prov_->pool.data() + prov_->span_begin[row];
+  v.num_premises = prov_->span_len[row];
+  return v;
+}
+
+size_t Relation::provenance_rows() const {
+  return prov_ == nullptr ? 0 : prov_->annotated;
+}
+
+size_t Relation::provenance_premises() const {
+  return prov_ == nullptr ? 0 : prov_->pool.size();
 }
 
 void Relation::RecountMemory() {

@@ -23,6 +23,14 @@
 
 namespace gdlog {
 
+/// One premise of a derivation: a row of some predicate. `pred` holds a
+/// PredicateId (declared in catalog.h; a plain uint32_t here keeps
+/// relation.h free of the catalog include).
+struct ProvPremise {
+  uint32_t pred = UINT32_MAX;
+  RowId row = kNoRow;
+};
+
 class Relation {
  public:
   Relation(std::string name, uint32_t arity);
@@ -73,6 +81,40 @@ class Relation {
   const Index& index(size_t i) const { return *indices_[i]; }
   size_t num_indices() const { return indices_.size(); }
 
+  // -- Provenance ----------------------------------------------------------
+  // Optional side-column recording, per row, the rule that first derived
+  // it and the premise rows it was derived from. Rows are annotated by
+  // the evaluator right after a winning Insert; dedup re-derivations
+  // never overwrite (first derivation wins, matching the evaluator's
+  // serial order). The column's bytes are part of ApproxBytes, so the
+  // MemoryBudget guardrail sees them automatically.
+
+  /// Rule-id sentinel for asserted (EDB) facts.
+  static constexpr uint32_t kEdbRule = UINT32_MAX;
+  /// Rule-id sentinel for rows inserted but never annotated.
+  static constexpr uint32_t kUnknownRule = UINT32_MAX - 1;
+
+  void EnableProvenance();
+  bool provenance_enabled() const { return prov_ != nullptr; }
+
+  /// Records the derivation of `row` (no-op when provenance is off or
+  /// the row is already annotated).
+  void Annotate(RowId row, uint32_t rule_index, const ProvPremise* premises,
+                size_t num_premises);
+
+  struct ProvView {
+    uint32_t rule_index = kUnknownRule;
+    const ProvPremise* premises = nullptr;
+    size_t num_premises = 0;
+  };
+  /// The stored derivation of `row`; rule_index is kUnknownRule when the
+  /// column is off or the row was never annotated.
+  ProvView ProvenanceOf(RowId row) const;
+
+  /// Rows annotated / premise references stored (0 when off).
+  size_t provenance_rows() const;
+  size_t provenance_premises() const;
+
   // -- Memory accounting ---------------------------------------------------
   /// Charges row storage, the dedup set, and indices to `budget` (which
   /// must outlive the relation); growth is re-counted on every insert.
@@ -100,6 +142,17 @@ class Relation {
 
   MemoryBudget* budget_ = nullptr;
   size_t charged_bytes_ = 0;
+
+  // Provenance side-column (see EnableProvenance): per-row deriving rule
+  // plus a span into a shared premise pool.
+  struct ProvColumn {
+    std::vector<uint32_t> rule;        // per row; kUnknownRule = not yet
+    std::vector<uint32_t> span_begin;  // per row, offset into pool
+    std::vector<uint32_t> span_len;    // per row
+    std::vector<ProvPremise> pool;
+    size_t annotated = 0;
+  };
+  std::unique_ptr<ProvColumn> prov_;
 
   std::vector<std::unique_ptr<Index>> indices_;
 };

@@ -1,13 +1,17 @@
 // Always-on observability must stay cheap: this test times one bench
 // kernel (the E7 choice-assignment workload) with default observability
 // (metrics + flight recorder on) against a fully-off build of the same
-// engine, and asserts the median overhead stays under 5%.
+// engine, and asserts the median overhead stays under 5%. A third arm
+// adds provenance + choice audit, which is opt-in and allowed its own
+// documented budget (60%, see docs/OBSERVABILITY.md) — it annotates
+// every insert and audits every gamma firing — while leaving the
+// provenance-off path at the always-on bound.
 //
-// Methodology: interleaved on/off repetitions (so clock drift and
-// thermal state hit both arms equally) with one warmup per arm, compared
-// by median — the statistic bench_compare.py enforces in CI. A small
-// absolute epsilon keeps the ratio meaningful if the machine is fast
-// enough to push medians toward the timer floor.
+// Methodology: interleaved repetitions across all arms (so clock drift
+// and thermal state hit the arms equally) with one warmup per arm,
+// compared by median — the statistic bench_compare.py enforces in CI. A
+// small absolute epsilon keeps the ratio meaningful if the machine is
+// fast enough to push medians toward the timer floor.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -24,13 +28,20 @@ constexpr uint32_t kStudents = 1200;
 constexpr int kEnrolmentsPer = 4;
 constexpr int kReps = 5;
 
+enum class Arm {
+  kObsOff,   // metrics + recorder disabled
+  kObsOn,    // default always-on observability, provenance off
+  kProvOn,   // observability + provenance + choice audit
+};
+
 /// Example 1 at scale: n students x n courses, bi-injective assignment.
-double RunKernelSeconds(bool obs_on) {
+double RunKernelSeconds(Arm arm) {
   EngineOptions opts;
-  if (!obs_on) {
+  if (arm == Arm::kObsOff) {
     opts.obs.metrics_enabled = false;
     opts.obs.recorder_enabled = false;
   }
+  if (arm == Arm::kProvOn) opts.provenance = true;
   Engine e(opts);
   EXPECT_TRUE(e.LoadProgram(R"(
     a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs).
@@ -60,21 +71,32 @@ double Median(std::vector<double> xs) {
 }
 
 TEST(ObsOverhead, AlwaysOnObservabilityStaysUnderFivePercent) {
-  // Warmup both arms (allocator, page cache, branch predictors).
-  (void)RunKernelSeconds(true);
-  (void)RunKernelSeconds(false);
-  std::vector<double> on, off;
+  // Warmup every arm (allocator, page cache, branch predictors).
+  (void)RunKernelSeconds(Arm::kObsOn);
+  (void)RunKernelSeconds(Arm::kObsOff);
+  (void)RunKernelSeconds(Arm::kProvOn);
+  std::vector<double> on, off, prov;
   for (int i = 0; i < kReps; ++i) {
-    on.push_back(RunKernelSeconds(true));
-    off.push_back(RunKernelSeconds(false));
+    on.push_back(RunKernelSeconds(Arm::kObsOn));
+    off.push_back(RunKernelSeconds(Arm::kObsOff));
+    prov.push_back(RunKernelSeconds(Arm::kProvOn));
   }
   const double median_on = Median(on);
   const double median_off = Median(off);
+  const double median_prov = Median(prov);
   // 5% relative plus a 3ms absolute epsilon: below the epsilon the
   // workload is inside scheduler noise and the ratio is meaningless.
+  // With provenance still off this bound must hold unchanged — the
+  // annotation path has to cost nothing when not asked for.
   EXPECT_LE(median_on, median_off * 1.05 + 0.003)
       << "obs-on median " << median_on * 1e3 << " ms vs obs-off median "
       << median_off * 1e3 << " ms";
+  // Provenance + choice audit are opt-in and pay for row annotation and
+  // the audit trail; docs/OBSERVABILITY.md promises at most 60% over the
+  // provenance-off engine on choice-heavy workloads.
+  EXPECT_LE(median_prov, median_on * 1.60 + 0.005)
+      << "provenance median " << median_prov * 1e3
+      << " ms vs obs-on median " << median_on * 1e3 << " ms";
 }
 
 }  // namespace

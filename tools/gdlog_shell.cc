@@ -12,6 +12,10 @@
 //   --rewrite            print the first-order rewriting (Sections 2-3)
 //   --verify             run the Gelfond-Lifschitz stable-model check
 //   --stats              print evaluation statistics (per-rule profiles)
+//   --provenance         record derivation provenance and the choice audit
+//   --why TARGET         print a proof tree (repeatable; implies --provenance)
+//   --why-dot TARGET     like --why, but Graphviz DOT output
+//   --choices            print the choice-audit trail (implies --provenance)
 //   --explain-analyze    per-goal planner estimates vs measured actuals
 //   --json-report        print the machine-readable run report JSON
 //   --metrics-out PATH   write metrics in Prometheus text format
@@ -34,9 +38,13 @@
 // evaluated; --query specs become the lint's query roots (enabling the
 // unreachable-rule check GD010).
 //
+// A --why/--why-dot TARGET is either a ground atom (`prm(0,1,0,4)`) or
+// `pred/arity` for the relation's most recently derived row.
+//
 // Interactive commands (see .help):
 //   .load PATH | .run | .query pred/arity | .lint | .stats | .json
 //   .explain | .blackbox | .metrics [PATH]
+//   .why [text|json|dot] TARGET | .choices | .provenance on|off
 //   .report | .rewrite | .verify | .trace on [PATH] | .trace off
 //   .seed N | .quit
 //
@@ -116,6 +124,8 @@ void Usage(const char* argv0) {
                "usage: %s PROGRAM.dl [--query pred/arity]... [--seed N] "
                "[--lint] [--lint-json] "
                "[--report] [--rewrite] [--verify] [--stats] "
+               "[--provenance] [--why TARGET]... [--why-dot TARGET]... "
+               "[--choices] "
                "[--explain-analyze] [--json-report] [--metrics-out PATH] "
                "[--trace PATH] [--no-merge] [--linear-least] "
                "[--threads N] [--no-planner] "
@@ -281,6 +291,10 @@ void PrintHelp() {
       ".lint             compile-time diagnostics for the loaded program\n"
       ".stats            per-phase and per-rule evaluation statistics\n"
       ".explain          planner estimates vs measured actuals per goal\n"
+      ".why [FMT] TARGET proof tree for a derived tuple (FMT: text|json|dot);\n"
+      "                  TARGET is an atom like p(1,2) or pred/arity\n"
+      ".choices          choice-audit trail: one line per gamma firing\n"
+      ".provenance on|off  record provenance + choice audit on the next .run\n"
       ".blackbox         dump the flight-recorder ring (recent events)\n"
       ".metrics [PATH]   Prometheus text metrics (to PATH or stdout)\n"
       ".json             machine-readable run report (RunReport JSON)\n"
@@ -404,6 +418,60 @@ int RunInteractive(gdlog::EngineOptions options) {
       } else {
         std::printf("error: %s\n", r.status().ToString().c_str());
       }
+    } else if (cmd == ".provenance") {
+      if (arg1 == "on") {
+        sh.options.provenance = true;
+        std::printf("provenance on (takes effect on the next .run)\n");
+      } else if (arg1 == "off") {
+        sh.options.provenance = false;
+        sh.options.eval.provenance = false;
+        std::printf("provenance off\n");
+      } else {
+        std::printf("usage: .provenance on | .provenance off\n");
+        continue;
+      }
+      if (!sh.program_text.empty()) sh.Reload();
+    } else if (cmd == ".why") {
+      if (!sh.engine) {
+        std::printf("error: no program loaded\n");
+        continue;
+      }
+      // Optional leading format token, then the target; tuple text may
+      // have been split on spaces, so glue the remaining tokens back.
+      std::string format = "text";
+      std::string target;
+      if (arg1 == "text" || arg1 == "json" || arg1 == "dot") {
+        format = arg1;
+        target = arg2;
+      } else {
+        target = arg1 + arg2;
+      }
+      std::string tok;
+      while (iss >> tok) target += tok;
+      if (target.empty()) {
+        std::printf("usage: .why [text|json|dot] pred(args) | pred/arity\n");
+        continue;
+      }
+      auto r = format == "json"  ? sh.engine->WhyJson(target)
+               : format == "dot" ? sh.engine->WhyDot(target)
+                                 : sh.engine->WhyText(target);
+      if (r.ok()) {
+        std::printf("%s", r->c_str());
+        if (!r->empty() && r->back() != '\n') std::printf("\n");
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+    } else if (cmd == ".choices") {
+      if (!sh.engine) {
+        std::printf("error: no program loaded\n");
+        continue;
+      }
+      auto r = sh.engine->ChoiceAuditText();
+      if (r.ok()) {
+        std::printf("%s", r->c_str());
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
     } else if (cmd == ".blackbox") {
       if (!sh.engine) {
         std::printf("error: no program loaded\n");
@@ -486,6 +554,8 @@ int main(int argc, char** argv) {
   bool report = false, rewrite = false, verify = false, stats = false;
   bool json_report = false, interactive = false;
   bool lint = false, lint_json = false, explain_analyze = false;
+  bool choices = false;
+  std::vector<std::string> why_targets, why_dot_targets;
   std::string metrics_out;
   gdlog::EngineOptions options;
 
@@ -516,6 +586,17 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--provenance") {
+      options.provenance = true;
+    } else if (arg == "--why" && i + 1 < argc) {
+      why_targets.push_back(argv[++i]);
+      options.provenance = true;
+    } else if (arg == "--why-dot" && i + 1 < argc) {
+      why_dot_targets.push_back(argv[++i]);
+      options.provenance = true;
+    } else if (arg == "--choices") {
+      choices = true;
+      options.provenance = true;
     } else if (arg == "--explain-analyze") {
       explain_analyze = true;
     } else if (arg == "--json-report") {
@@ -613,6 +694,36 @@ int main(int argc, char** argv) {
   }
 
   if (stats) PrintStats(engine);
+  for (const std::string& target : why_targets) {
+    auto r = engine.WhyText(target);
+    if (r.ok()) {
+      std::printf("%% why %s:\n%s", target.c_str(), r->c_str());
+    } else {
+      std::fprintf(stderr, "why error (%s): %s\n", target.c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  for (const std::string& target : why_dot_targets) {
+    auto r = engine.WhyDot(target);
+    if (r.ok()) {
+      std::printf("%s", r->c_str());
+    } else {
+      std::fprintf(stderr, "why error (%s): %s\n", target.c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (choices) {
+    auto r = engine.ChoiceAuditText();
+    if (r.ok()) {
+      std::printf("%% choice audit:\n%s", r->c_str());
+    } else {
+      std::fprintf(stderr, "choices error: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
   if (explain_analyze) {
     auto r = engine.ExplainAnalyzeText();
     if (r.ok()) {
