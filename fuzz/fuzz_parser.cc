@@ -1,9 +1,12 @@
-// libFuzzer harness for the lexer + parser front end.
+// libFuzzer harness for the lexer + parser front end and the static
+// analyses behind it.
 //
 // The contract under test: arbitrary bytes fed to ParseProgram either
 // produce a Program or a ParseError Status — never a crash, hang, or
 // sanitizer report. Programs that parse are additionally pushed through
-// stage analysis and lint, which must also fail only via Status /
+// stage analysis, lint, and the full abstract-interpretation pipeline
+// (type/interval/cardinality fixpoint, choice-determinism closure, JSON
+// and text renderers), which must also fail only via Status /
 // Diagnostic, and through an evaluation bounded hard enough that no
 // input can stall the fuzzer.
 //
@@ -15,8 +18,11 @@
 #include <cstdint>
 #include <string_view>
 
+#include "analysis/absint/absint.h"
 #include "analysis/lint.h"
 #include "api/engine.h"
+#include "obs/json.h"
+#include "parser/parser.h"
 #include "value/value.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
@@ -26,6 +32,20 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   {
     gdlog::ValueStore store;
     (void)gdlog::LintSource(&store, text, {});
+  }
+
+  // The abstract interpreter on anything that parses: the fixpoint,
+  // every diagnostic path, and both renderers must be total.
+  {
+    gdlog::ValueStore store;
+    auto parsed = gdlog::ParseProgram(&store, text);
+    if (parsed.ok()) {
+      const gdlog::absint::AnalysisResult r = gdlog::absint::Analyze(*parsed);
+      gdlog::JsonWriter w;
+      gdlog::absint::AnalysisToJson(r, &w);
+      (void)w.Take();
+      (void)gdlog::absint::SignaturesText(r);
+    }
   }
 
   // Then a bounded end-to-end run. The guardrails keep any accidentally

@@ -1,0 +1,209 @@
+#include "analysis/absint/lattice.h"
+
+#include <cstdio>
+#include <string>
+
+namespace gdlog {
+namespace absint {
+
+namespace {
+
+constexpr int64_t kNegInf = Interval::kNegInf;
+constexpr int64_t kPosInf = Interval::kPosInf;
+
+bool IsInf(int64_t v) { return v == kNegInf || v == kPosInf; }
+
+// Saturating bound arithmetic. `down` picks the rounding direction when
+// opposite infinities collide (lo math rounds down, hi math rounds up);
+// that case cannot arise from well-formed intervals but must not trap.
+int64_t SatAdd(int64_t a, int64_t b, bool down) {
+  if (IsInf(a) || IsInf(b)) {
+    const bool has_neg = a == kNegInf || b == kNegInf;
+    const bool has_pos = a == kPosInf || b == kPosInf;
+    if (has_neg && has_pos) return down ? kNegInf : kPosInf;
+    return has_neg ? kNegInf : kPosInf;
+  }
+  int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) return b > 0 ? kPosInf : kNegInf;
+  return r;
+}
+
+int64_t SatSub(int64_t a, int64_t b, bool down) {
+  if (IsInf(a) || IsInf(b)) {
+    const bool has_neg = a == kNegInf || b == kPosInf;
+    const bool has_pos = a == kPosInf || b == kNegInf;
+    if (has_neg && has_pos) return down ? kNegInf : kPosInf;
+    return has_neg ? kNegInf : kPosInf;
+  }
+  int64_t r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) return b < 0 ? kPosInf : kNegInf;
+  return r;
+}
+
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const bool neg = (a < 0) != (b < 0);
+  if (IsInf(a) || IsInf(b)) return neg ? kNegInf : kPosInf;
+  int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) return neg ? kNegInf : kPosInf;
+  return r;
+}
+
+// d != 0. Truncating like the runtime; infinities divide to infinity,
+// anything over an infinite divisor collapses to 0.
+int64_t SatDiv(int64_t a, int64_t d, bool down) {
+  if (IsInf(d)) return 0;
+  if (IsInf(a)) return ((a < 0) != (d < 0)) ? kNegInf : kPosInf;
+  if (a == INT64_MIN && d == -1) return kPosInf;
+  (void)down;
+  return a / d;
+}
+
+int64_t BoundMin(int64_t a, int64_t b) { return a < b ? a : b; }
+int64_t BoundMax(int64_t a, int64_t b) { return a > b ? a : b; }
+
+}  // namespace
+
+std::string TypeSetName(TypeSet t) {
+  if (t.empty()) return "bottom";
+  if (t.is_top()) return "any";
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += '|';
+    out += name;
+  };
+  if (t.has_int()) add("int");
+  if (t.Has(ValueKind::kSymbol)) add("symbol");
+  if (t.Has(ValueKind::kTerm)) add("term");
+  if (t.Has(ValueKind::kNil)) add("nil");
+  return out;
+}
+
+Interval IntervalAdd(Interval a, Interval b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  return Interval{SatAdd(a.lo, b.lo, true), SatAdd(a.hi, b.hi, false)};
+}
+
+Interval IntervalSub(Interval a, Interval b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  return Interval{SatSub(a.lo, b.hi, true), SatSub(a.hi, b.lo, false)};
+}
+
+Interval IntervalMul(Interval a, Interval b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  const int64_t c1 = SatMul(a.lo, b.lo);
+  const int64_t c2 = SatMul(a.lo, b.hi);
+  const int64_t c3 = SatMul(a.hi, b.lo);
+  const int64_t c4 = SatMul(a.hi, b.hi);
+  return Interval{BoundMin(BoundMin(c1, c2), BoundMin(c3, c4)),
+                  BoundMax(BoundMax(c1, c2), BoundMax(c3, c4))};
+}
+
+Interval IntervalDiv(Interval a, Interval b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  // The runtime rejects d == 0 as a failed match, so only the nonzero
+  // part of b produces values; a divisor interval that is exactly {0}
+  // can never evaluate.
+  if (b.lo == 0 && b.hi == 0) return Interval::Empty();
+  // Quotient magnitude is maximized at the divisor endpoints and at the
+  // +-1 divisors (when b spans them), so the corner set below is sound
+  // for truncating division.
+  int64_t divisors[4];
+  int n = 0;
+  if (b.lo != 0) divisors[n++] = b.lo;
+  if (b.hi != 0) divisors[n++] = b.hi;
+  if (b.Contains(1)) divisors[n++] = 1;
+  if (b.Contains(-1)) divisors[n++] = -1;
+  Interval r = Interval::Empty();
+  for (int i = 0; i < n; ++i) {
+    const int64_t d = divisors[i];
+    const int64_t q1 = SatDiv(a.lo, d, true);
+    const int64_t q2 = SatDiv(a.hi, d, false);
+    r = r.Join(Interval{BoundMin(q1, q2), BoundMax(q1, q2)});
+  }
+  return r;
+}
+
+Interval IntervalMod(Interval a, Interval b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  if (b.lo == 0 && b.hi == 0) return Interval::Empty();
+  // |a mod d| <= |d| - 1 and the result's sign follows the dividend
+  // (C++ truncating semantics, mirrored by the runtime).
+  int64_t mag = 0;
+  if (IsInf(b.lo) || IsInf(b.hi)) {
+    mag = kPosInf;
+  } else {
+    const int64_t alo = b.lo == INT64_MIN ? kPosInf : (b.lo < 0 ? -b.lo : b.lo);
+    const int64_t ahi = b.hi < 0 ? -b.hi : b.hi;
+    mag = BoundMax(alo, ahi);
+    if (mag > 0 && !IsInf(mag)) mag -= 1;
+  }
+  int64_t lo = 0;
+  int64_t hi = 0;
+  if (a.lo < 0) lo = BoundMax(a.lo, mag == kPosInf ? kNegInf : -mag);
+  if (a.hi > 0) hi = BoundMin(a.hi, mag);
+  return Interval{lo, hi};
+}
+
+Interval IntervalMin(Interval a, Interval b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  return Interval{BoundMin(a.lo, b.lo), BoundMin(a.hi, b.hi)};
+}
+
+Interval IntervalMax(Interval a, Interval b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  return Interval{BoundMax(a.lo, b.lo), BoundMax(a.hi, b.hi)};
+}
+
+namespace {
+std::string BoundName(int64_t v) {
+  if (v == kNegInf) return "-inf";
+  if (v == kPosInf) return "+inf";
+  return std::to_string(v);
+}
+}  // namespace
+
+std::string IntervalName(Interval iv) {
+  if (iv.empty()) return "empty";
+  return "[" + BoundName(iv.lo) + ", " + BoundName(iv.hi) + "]";
+}
+
+std::string AbstractValueName(const AbstractValue& v) {
+  if (v.types.empty()) return "bottom";
+  if (v.types.is_top() && v.iv.is_full()) return "any";
+  std::string out;
+  const auto add = [&out](const std::string& part) {
+    if (!out.empty()) out += '|';
+    out += part;
+  };
+  if (v.types.has_int()) {
+    add(v.iv.is_full() ? "int" : "int" + IntervalName(v.iv));
+  }
+  if (v.types.Has(ValueKind::kSymbol)) add("symbol");
+  if (v.types.Has(ValueKind::kTerm)) add("term");
+  if (v.types.Has(ValueKind::kNil)) add("nil");
+  return out;
+}
+
+uint64_t CardAdd(uint64_t a, uint64_t b) {
+  if (a == CardBound::kInf || b == CardBound::kInf) return CardBound::kInf;
+  const uint64_t r = a + b;
+  if (r < a) return CardBound::kInf;
+  return r;
+}
+
+uint64_t CardMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == CardBound::kInf || b == CardBound::kInf) return CardBound::kInf;
+  if (a > CardBound::kInf / b) return CardBound::kInf;
+  return a * b;
+}
+
+std::string CardBoundName(CardBound c) {
+  const std::string hi =
+      c.hi == CardBound::kInf ? "inf" : std::to_string(c.hi);
+  return "[" + std::to_string(c.lo) + ", " + hi + "]";
+}
+
+}  // namespace absint
+}  // namespace gdlog

@@ -1,0 +1,230 @@
+// Abstract domains for the fixpoint analyzer (absint.h).
+//
+// Three small lattices shared by every analysis:
+//
+//   * TypeSet       — which Value kinds a column/variable may hold, as a
+//                     4-bit set over {int, symbol, term, nil}. Empty set
+//                     is bottom (no value possible), the full set is top.
+//   * Interval      — the int64 range a value takes *when it is an int*.
+//                     INT64_MIN / INT64_MAX act as -inf / +inf sentinels,
+//                     so saturating arithmetic keeps them absorbing.
+//   * CardBound     — [lo, hi] bounds on a relation's row count, with
+//                     UINT64_MAX as the +inf sentinel.
+//
+// AbstractValue couples a TypeSet with an Interval: the interval is
+// meaningful only while the int bit is set, and Meet drops the int bit
+// when the interval intersection comes up empty (the value can still be
+// a symbol/term/nil, just never an int).
+//
+// All operations are total and allocation-free; soundness arguments live
+// with the transfer functions in absint.cc and docs/DIAGNOSTICS.md.
+#ifndef GDLOG_ANALYSIS_ABSINT_LATTICE_H_
+#define GDLOG_ANALYSIS_ABSINT_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "value/value.h"
+
+namespace gdlog {
+namespace absint {
+
+// ---------------------------------------------------------------------------
+// TypeSet
+// ---------------------------------------------------------------------------
+
+struct TypeSet {
+  // Bit layout mirrors ValueKind: 1 << static_cast<int>(kind).
+  static constexpr uint8_t kIntBit = 1u << 0;
+  static constexpr uint8_t kSymbolBit = 1u << 1;
+  static constexpr uint8_t kTermBit = 1u << 2;
+  static constexpr uint8_t kNilBit = 1u << 3;
+  static constexpr uint8_t kAllBits = 0xF;
+
+  uint8_t bits = 0;
+
+  static TypeSet Bottom() { return TypeSet{0}; }
+  static TypeSet Top() { return TypeSet{kAllBits}; }
+  static TypeSet Only(ValueKind k) {
+    return TypeSet{static_cast<uint8_t>(1u << static_cast<int>(k))};
+  }
+  static TypeSet Int() { return TypeSet{kIntBit}; }
+
+  bool empty() const { return bits == 0; }
+  bool is_top() const { return bits == kAllBits; }
+  bool Has(ValueKind k) const {
+    return (bits & (1u << static_cast<int>(k))) != 0;
+  }
+  bool has_int() const { return (bits & kIntBit) != 0; }
+
+  TypeSet Union(TypeSet o) const {
+    return TypeSet{static_cast<uint8_t>(bits | o.bits)};
+  }
+  TypeSet Intersect(TypeSet o) const {
+    return TypeSet{static_cast<uint8_t>(bits & o.bits)};
+  }
+  bool operator==(const TypeSet&) const = default;
+};
+
+/// "bottom", "any", or a "|"-joined kind list, e.g. "int|symbol".
+std::string TypeSetName(TypeSet t);
+
+// ---------------------------------------------------------------------------
+// Interval
+// ---------------------------------------------------------------------------
+
+struct Interval {
+  static constexpr int64_t kNegInf = INT64_MIN;
+  static constexpr int64_t kPosInf = INT64_MAX;
+
+  int64_t lo = kPosInf;  // empty by default (lo > hi)
+  int64_t hi = kNegInf;
+
+  static Interval Empty() { return Interval{}; }
+  static Interval Full() { return Interval{kNegInf, kPosInf}; }
+  static Interval Point(int64_t v) { return Interval{v, v}; }
+  static Interval Range(int64_t lo, int64_t hi) { return Interval{lo, hi}; }
+  /// The engine's inline-int payload range [Value::kMinInt, Value::kMaxInt];
+  /// runtime arithmetic that lands outside it is a failed match.
+  static Interval ValueRange() {
+    return Interval{Value::kMinInt, Value::kMaxInt};
+  }
+
+  bool empty() const { return lo > hi; }
+  bool is_full() const { return lo == kNegInf && hi == kPosInf; }
+  bool Contains(int64_t v) const { return !empty() && lo <= v && v <= hi; }
+
+  Interval Meet(Interval o) const {
+    Interval r{lo > o.lo ? lo : o.lo, hi < o.hi ? hi : o.hi};
+    if (r.empty()) return Empty();
+    return r;
+  }
+  /// Convex hull; the empty interval is the identity.
+  Interval Join(Interval o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return Interval{lo < o.lo ? lo : o.lo, hi > o.hi ? hi : o.hi};
+  }
+  /// Classic interval widening: any bound that moved jumps to infinity.
+  Interval Widen(Interval next) const {
+    if (empty()) return next;
+    if (next.empty()) return *this;
+    return Interval{next.lo < lo ? kNegInf : lo, next.hi > hi ? kPosInf : hi};
+  }
+  bool operator==(const Interval&) const = default;
+};
+
+/// Sound over-approximations of the runtime EvalArith semantics
+/// (rule_compiler.cc) *before* the [kMinInt, kMaxInt] range check: callers
+/// meet the result with Interval::ValueRange() and treat an empty meet as
+/// a guaranteed overflow. Saturating: the infinity sentinels absorb.
+Interval IntervalAdd(Interval a, Interval b);
+Interval IntervalSub(Interval a, Interval b);
+Interval IntervalMul(Interval a, Interval b);
+Interval IntervalDiv(Interval a, Interval b);  // truncating; /0 excluded
+Interval IntervalMod(Interval a, Interval b);  // sign follows the dividend
+Interval IntervalMin(Interval a, Interval b);
+Interval IntervalMax(Interval a, Interval b);
+
+/// "[lo, hi]" with "-inf"/"+inf" for the sentinels; "empty" when empty.
+std::string IntervalName(Interval iv);
+
+// ---------------------------------------------------------------------------
+// AbstractValue
+// ---------------------------------------------------------------------------
+
+struct AbstractValue {
+  TypeSet types;
+  // Meaningful only while types.has_int(); kept Full() otherwise so
+  // joins/meets need no special cases.
+  Interval iv = Interval::Full();
+
+  static AbstractValue Bottom() {
+    return AbstractValue{TypeSet::Bottom(), Interval::Full()};
+  }
+  static AbstractValue Top() {
+    return AbstractValue{TypeSet::Top(), Interval::Full()};
+  }
+  static AbstractValue OfInt(int64_t v) {
+    return AbstractValue{TypeSet::Int(), Interval::Point(v)};
+  }
+  static AbstractValue IntRange(Interval iv) {
+    if (iv.empty()) return Bottom();
+    return AbstractValue{TypeSet::Int(), iv};
+  }
+  static AbstractValue OfKind(ValueKind k) {
+    AbstractValue v{TypeSet::Only(k), Interval::Full()};
+    return v;
+  }
+
+  bool empty() const { return types.empty(); }
+
+  /// Greatest lower bound. When the interval intersection is empty the
+  /// value can no longer be an int, but other kind bits survive.
+  AbstractValue Meet(const AbstractValue& o) const {
+    AbstractValue r;
+    r.types = types.Intersect(o.types);
+    r.iv = iv.Meet(o.iv);
+    if (r.iv.empty()) {
+      r.types.bits &= static_cast<uint8_t>(~TypeSet::kIntBit);
+      r.iv = Interval::Full();
+    }
+    if (!r.types.has_int()) r.iv = Interval::Full();
+    return r;
+  }
+  /// Least upper bound (types union, interval hull).
+  AbstractValue Join(const AbstractValue& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    AbstractValue r;
+    r.types = types.Union(o.types);
+    if (types.has_int() && o.types.has_int()) {
+      r.iv = iv.Join(o.iv);
+    } else if (types.has_int()) {
+      r.iv = iv;
+    } else if (o.types.has_int()) {
+      r.iv = o.iv;
+    }
+    return r;
+  }
+  AbstractValue Widen(const AbstractValue& next) const {
+    AbstractValue r = next;
+    if (types.has_int() && next.types.has_int()) r.iv = iv.Widen(next.iv);
+    return r;
+  }
+  bool operator==(const AbstractValue&) const = default;
+};
+
+/// "int[0, 7]", "int|symbol", "any", "bottom", ...
+std::string AbstractValueName(const AbstractValue& v);
+
+// ---------------------------------------------------------------------------
+// CardBound
+// ---------------------------------------------------------------------------
+
+struct CardBound {
+  static constexpr uint64_t kInf = UINT64_MAX;
+
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  static CardBound Exact(uint64_t n) { return CardBound{n, n}; }
+  static CardBound AtMost(uint64_t n) { return CardBound{0, n}; }
+  static CardBound Unbounded() { return CardBound{0, kInf}; }
+
+  bool hi_finite() const { return hi != kInf; }
+  bool Contains(uint64_t n) const { return lo <= n && n <= hi; }
+  bool operator==(const CardBound&) const = default;
+};
+
+/// Saturating helpers for rule upper bounds: infinity absorbs.
+uint64_t CardAdd(uint64_t a, uint64_t b);
+uint64_t CardMul(uint64_t a, uint64_t b);
+
+/// "[lo, hi]" with "inf" for the unbounded sentinel.
+std::string CardBoundName(CardBound c);
+
+}  // namespace absint
+}  // namespace gdlog
+
+#endif  // GDLOG_ANALYSIS_ABSINT_LATTICE_H_

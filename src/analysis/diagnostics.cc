@@ -51,6 +51,10 @@ constexpr CodeEntry kCodeTable[] = {
      "rule cannot contribute to any query root"},
     {diag::kRelaxedStratification, DiagSeverity::kNote,
      "clique accepted under relaxed flat-rule stratification only"},
+    {diag::kProvablyEmpty, DiagSeverity::kWarning,
+     "rule body (or whole predicate) is provably unsatisfiable"},
+    {diag::kGuaranteedOverflow, DiagSeverity::kWarning,
+     "arithmetic site can never produce an in-range value"},
     {diag::kParseError, DiagSeverity::kError, "syntax error"},
     {diag::kMultipleNext, DiagSeverity::kError,
      "rule has more than one next goal"},
@@ -88,6 +92,14 @@ constexpr CodeEntry kCodeTable[] = {
      "run stopped: allocation failure caught at the Run boundary"},
     {diag::kInjectedFault, DiagSeverity::kError,
      "run stopped: deterministic fault injected at a probe point"},
+    {diag::kTypeConflict, DiagSeverity::kError,
+     "variable has provably disjoint types at two uses"},
+    {diag::kNonIntArithmetic, DiagSeverity::kError,
+     "arithmetic operand can never be an int"},
+    {diag::kDeadChoice, DiagSeverity::kWarning,
+     "choice witness set is provably a singleton"},
+    {diag::kChoiceNeverRejects, DiagSeverity::kNote,
+     "choice rule admissibility reduces to the FD memo"},
 };
 
 const CodeEntry* FindCode(std::string_view code) {
@@ -194,10 +206,9 @@ std::string RenderDiagnostics(const std::vector<Diagnostic>& diags,
   return out;
 }
 
-void DiagnosticsToJson(const std::vector<Diagnostic>& diags,
-                       std::string_view program_name, JsonWriter* w) {
+void DiagnosticsJsonContents(const std::vector<Diagnostic>& diags,
+                             std::string_view program_name, JsonWriter* w) {
   const DiagCounts c = CountDiagnostics(diags);
-  w->BeginObject();
   w->Key("program").String(program_name);
   w->Key("summary").BeginObject();
   w->Key("errors").UInt(c.errors);
@@ -224,6 +235,12 @@ void DiagnosticsToJson(const std::vector<Diagnostic>& diags,
     w->EndObject();
   }
   w->EndArray();
+}
+
+void DiagnosticsToJson(const std::vector<Diagnostic>& diags,
+                       std::string_view program_name, JsonWriter* w) {
+  w->BeginObject();
+  DiagnosticsJsonContents(diags, program_name, w);
   w->EndObject();
 }
 

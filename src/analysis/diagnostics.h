@@ -46,6 +46,8 @@ inline constexpr std::string_view kUnboundExtremaCost = "GD008";
 inline constexpr std::string_view kNotStageStratified = "GD009";
 inline constexpr std::string_view kUnreachableRule = "GD010";
 inline constexpr std::string_view kRelaxedStratification = "GD011";
+inline constexpr std::string_view kProvablyEmpty = "GD012";
+inline constexpr std::string_view kGuaranteedOverflow = "GD013";
 // -- Parse / structural failures (parser, rewriter, stage analysis) -------
 inline constexpr std::string_view kParseError = "GD100";
 inline constexpr std::string_view kMultipleNext = "GD101";
@@ -67,6 +69,11 @@ inline constexpr std::string_view kMemoryLimit = "GD204";
 inline constexpr std::string_view kRunCancelled = "GD205";
 inline constexpr std::string_view kOutOfMemory = "GD206";
 inline constexpr std::string_view kInjectedFault = "GD207";
+// -- Static analysis findings (analysis/absint) ----------------------------
+inline constexpr std::string_view kTypeConflict = "GD300";
+inline constexpr std::string_view kNonIntArithmetic = "GD301";
+inline constexpr std::string_view kDeadChoice = "GD310";
+inline constexpr std::string_view kChoiceNeverRejects = "GD311";
 }  // namespace diag
 
 /// Default severity of a code ("GDnnn"); kError for unknown codes.
@@ -124,6 +131,13 @@ void DiagnosticsToJson(const std::vector<Diagnostic>& diags,
                        std::string_view program_name, JsonWriter* w);
 std::string DiagnosticsJson(const std::vector<Diagnostic>& diags,
                             std::string_view program_name);
+
+/// Writes the same "program"/"summary"/"diagnostics" keys into an object
+/// the caller has already opened — lets callers append sibling sections
+/// (the shell's --lint-json adds "analysis") without changing the
+/// DiagnosticsToJson schema.
+void DiagnosticsJsonContents(const std::vector<Diagnostic>& diags,
+                             std::string_view program_name, JsonWriter* w);
 
 }  // namespace gdlog
 

@@ -307,11 +307,36 @@ Status Engine::RunInner() {
     return InjectedFault(FaultInjector::kCompile);
   }
 
+  // Abstract interpretation over the expanded program with the full EDB
+  // visible: signatures and bounds for the run report / .types, and row
+  // priors for the planner below.
+  if (options_.static_analysis) {
+    const uint64_t absint_t0 = WallNowNs();
+    {
+      TraceSpan span(tracer_.get(), "absint", "engine");
+      absint_ = std::make_unique<absint::AnalysisResult>(ComputeAbsint());
+    }
+    phase_times_.absint_ns += WallNowNs() - absint_t0;
+  }
+
   const uint64_t compile_t0 = WallNowNs();
   // Cost-based join planning: estimates come from the EDB as loaded
   // above, so the chosen goal orders are a pure function of the program
   // plus its input — identical across thread counts and reruns.
   JoinPlanner planner(catalog_.get());
+  // Seed cardinality priors for IDB relations that are still empty at
+  // plan time: the analyzer's upper bound replaces the neutral default.
+  // Priors derive from the program plus the loaded EDB only, so plans
+  // stay deterministic across thread counts and reruns.
+  if (absint_ && options_.eval.use_join_planner &&
+      options_.eval.use_cardinality_priors) {
+    for (const absint::PredicateSignature& sig : absint_->signatures) {
+      if (!sig.populated || sig.edb_seeded || !sig.card.hi_finite()) continue;
+      const PredicateId id = catalog_->Ensure(sig.name, sig.arity);
+      if (!catalog_->relation(id).empty()) continue;
+      planner.SetPrior(id, sig.card.hi);
+    }
+  }
   CompileProgramOptions copts;
   if (options_.eval.use_join_planner) copts.planner = &planner;
   auto compiled = [&] {
@@ -407,6 +432,8 @@ Result<std::string> Engine::RunReport() const {
   w.Key("use_priority_queue").Bool(options_.eval.use_priority_queue);
   w.Key("use_seminaive").Bool(options_.eval.use_seminaive);
   w.Key("use_join_planner").Bool(options_.eval.use_join_planner);
+  w.Key("use_cardinality_priors").Bool(options_.eval.use_cardinality_priors);
+  w.Key("static_analysis").Bool(options_.static_analysis);
   w.Key("threads").UInt(options_.eval.threads);
   w.Key("provenance").Bool(options_.eval.provenance);
   w.Key("obs_enabled").Bool(options_.obs.enabled);
@@ -449,6 +476,7 @@ Result<std::string> Engine::RunReport() const {
   w.Key("phases").BeginObject();
   w.Key("parse_ms").Double(NsToMs(phase_times_.parse_ns));
   w.Key("analyze_ms").Double(NsToMs(phase_times_.analyze_ns));
+  w.Key("absint_ms").Double(NsToMs(phase_times_.absint_ns));
   w.Key("compile_ms").Double(NsToMs(phase_times_.compile_ns));
   w.Key("eval_ms").Double(NsToMs(phase_times_.eval_ns));
   w.Key("saturate_ms").Double(NsToMs(s.saturate_ns));
@@ -613,10 +641,18 @@ Result<std::string> Engine::RunReport() const {
 
   // Lint summary, same code scheme as the standalone diagnostics JSON
   // (--lint-json), so report consumers see compile-time findings too.
+  // Includes the abstract interpreter's findings when it ran.
   {
     LintOptions lopts;
     lopts.stage = options_.stage;
-    const LintResult lint = LintProgram(*program_, lopts);
+    LintResult lint = LintProgram(*program_, lopts);
+    if (absint_) {
+      lint.diagnostics.insert(lint.diagnostics.end(),
+                              absint_->diagnostics.begin(),
+                              absint_->diagnostics.end());
+      SortDiagnostics(&lint.diagnostics);
+      lint.counts = CountDiagnostics(lint.diagnostics);
+    }
     w.Key("diagnostics").BeginObject();
     w.Key("errors").UInt(lint.counts.errors);
     w.Key("warnings").UInt(lint.counts.warnings);
@@ -625,6 +661,15 @@ Result<std::string> Engine::RunReport() const {
     for (const Diagnostic& d : lint.diagnostics) w.String(d.code);
     w.EndArray();
     w.EndObject();
+  }
+
+  // Static-analysis result: inferred signatures, intervals, and
+  // cardinality bounds (null when static_analysis is off).
+  w.Key("analysis");
+  if (absint_) {
+    absint::AnalysisToJson(*absint_, &w);
+  } else {
+    w.Null();
   }
 
   w.Key("metrics");
@@ -690,6 +735,31 @@ Result<std::string> Engine::ExplainAnalyzeText() const {
         }
       }
       out += '\n';
+    }
+  }
+  // Analysis-vs-actual cardinality gap: the abstract interpreter's row
+  // bounds for derived (IDB) predicates against the relation sizes the
+  // run actually produced. "within" marks bounds the run respected.
+  if (absint_) {
+    bool header = false;
+    for (const absint::PredicateSignature& sig : absint_->signatures) {
+      if (!sig.populated || sig.edb_seeded) continue;
+      const Relation* rel = Find(sig.name, sig.arity);
+      const uint64_t actual = rel ? rel->size() : 0;
+      if (!header) {
+        out += "% analysis cardinality bounds vs actual rows (IDB)\n";
+        header = true;
+      }
+      std::string bound = "[" + std::to_string(sig.card.lo) + ", " +
+                          (sig.card.hi_finite() ? std::to_string(sig.card.hi)
+                                                : std::string("inf")) +
+                          "]";
+      std::snprintf(line, sizeof(line),
+                    "%%   %-24s bound=%-18s actual=%llu %s\n",
+                    sig.DisplayName().c_str(), bound.c_str(),
+                    static_cast<unsigned long long>(actual),
+                    sig.card.Contains(actual) ? "within" : "OUTSIDE");
+      out += line;
     }
   }
   return out;
@@ -787,7 +857,42 @@ Result<LintResult> Engine::Lint(const LintOptions& options) const {
   // Default the stage options to the engine's, so Lint agrees with what
   // LoadProgram accepted.
   opts.stage = options_.stage;
-  return LintProgram(*program_, opts);
+  LintResult result = LintProgram(*program_, opts);
+  // Merge in the abstract interpreter's findings (types, intervals,
+  // emptiness, choice determinism), keeping the combined list sorted the
+  // same way the structural lints are.
+  if (options_.static_analysis) {
+    const absint::AnalysisResult* ai = absint_.get();
+    absint::AnalysisResult local;
+    if (ai == nullptr) {
+      local = ComputeAbsint();
+      ai = &local;
+    }
+    result.diagnostics.insert(result.diagnostics.end(),
+                              ai->diagnostics.begin(), ai->diagnostics.end());
+    SortDiagnostics(&result.diagnostics);
+    result.counts = CountDiagnostics(result.diagnostics);
+  }
+  return result;
+}
+
+absint::AnalysisResult Engine::ComputeAbsint() const {
+  absint::AnalysisOptions aopts;
+  aopts.catalog = catalog_.get();
+  if (analysis_) {
+    return absint::AnalyzeProgram(*program_, analysis_->expanded, aopts);
+  }
+  return absint::Analyze(*program_, aopts);
+}
+
+Result<std::string> Engine::TypeSignaturesText() const {
+  if (!program_) return Status::InvalidArgument("no program loaded");
+  if (!options_.static_analysis) {
+    return Status::InvalidArgument(
+        "static analysis disabled: set EngineOptions::static_analysis");
+  }
+  if (absint_) return absint::SignaturesText(*absint_);
+  return absint::SignaturesText(ComputeAbsint());
 }
 
 Result<StableCheckResult> Engine::VerifyStableModel() const {

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/absint/absint.h"
 #include "analysis/lint.h"
 #include "analysis/stage.h"
 #include "ast/ast.h"
@@ -55,6 +56,15 @@ struct EngineOptions {
   /// falls back to the GDLOG_FAULTS environment variable; a malformed
   /// spec fails LoadProgram/Run with InvalidArgument.
   std::string faults;
+  /// Abstract interpretation (analysis/absint): per-predicate type
+  /// signatures, value intervals, and cardinality bounds, computed over
+  /// the expanded program before compilation. Feeds the GD3xx / GD012 /
+  /// GD013 diagnostics in Lint() and the run report, the `.types` shell
+  /// command, and — together with eval.use_cardinality_priors — the
+  /// join planner's row priors for still-empty IDB relations. The
+  /// analysis is deterministic and runs in well under the compile
+  /// budget; turn it off only to measure its cost.
+  bool static_analysis = true;
   /// Derivation provenance & choice audit: annotate every row with its
   /// deriving rule and premise rows (queryable via Engine::Why) and
   /// record one audit entry per choice firing (Engine::ChoiceAudit).
@@ -70,6 +80,7 @@ struct EngineOptions {
 struct EnginePhaseTimes {
   uint64_t parse_ns = 0;
   uint64_t analyze_ns = 0;
+  uint64_t absint_ns = 0;
   uint64_t compile_ns = 0;
   uint64_t eval_ns = 0;
 };
@@ -209,6 +220,15 @@ class Engine {
   /// records. Requires a loaded program.
   Result<LintResult> Lint(const LintOptions& options = {}) const;
 
+  /// The abstract-interpretation result from the last Run; nullptr
+  /// before Run or when EngineOptions::static_analysis is off.
+  const absint::AnalysisResult* absint() const { return absint_.get(); }
+
+  /// Inferred predicate signatures, one per line (shell `.types`).
+  /// Reuses the Run-time analysis when available, otherwise analyzes the
+  /// loaded program against the current EDB on demand.
+  Result<std::string> TypeSignaturesText() const;
+
   /// Verifies the computed result is a stable model (Theorem 1). Call
   /// after Run; intended for tests at small scale.
   Result<StableCheckResult> VerifyStableModel() const;
@@ -252,6 +272,9 @@ class Engine {
                            uint32_t max_depth) const;
   /// Rendered program rules indexed by rule index (facts stay empty).
   std::vector<std::string> RuleTexts() const;
+  /// Runs the abstract interpreter on the loaded program against the
+  /// current catalog contents.
+  absint::AnalysisResult ComputeAbsint() const;
 
   EngineOptions options_;
   // Guardrails. Declared before the stores: members destroy in reverse
@@ -267,6 +290,7 @@ class Engine {
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<Program> program_;
   std::unique_ptr<StageAnalysis> analysis_;
+  std::unique_ptr<absint::AnalysisResult> absint_;
   std::unique_ptr<FixpointDriver> driver_;
   // Observability. The tracer exists only when options_.obs.enabled; the
   // registry and flight recorder are always-on by default (gated by

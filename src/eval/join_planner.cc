@@ -44,6 +44,20 @@ double JoinPlanner::ScanRows(const RelationEstimate& est,
   return std::max(1.0, rows);
 }
 
+void JoinPlanner::SetPrior(PredicateId pred, uint64_t row_bound) {
+  const Relation& rel = catalog_->relation(pred);
+  if (!rel.empty()) return;  // exact stats beat the analysis bound
+  if (cache_.find(pred) != cache_.end()) return;
+  RelationEstimate est;
+  est.rows = std::max(1.0, static_cast<double>(row_bound));
+  // No column-level information in the bound: assume sqrt(rows) distinct
+  // values per column, the same shape ScanRelation falls back to for
+  // over-large relations.
+  est.distinct.assign(rel.arity(), std::max(1.0, std::sqrt(est.rows)));
+  est.from_prior = true;
+  cache_.emplace(pred, std::move(est));
+}
+
 const RelationEstimate& JoinPlanner::Estimate(PredicateId pred) {
   auto it = cache_.find(pred);
   if (it == cache_.end()) {

@@ -33,6 +33,7 @@ struct RelationEstimate {
   double rows = 0;
   std::vector<double> distinct;  // per column, each >= 1
   bool from_data = false;        // computed from actual rows (vs default)
+  bool from_prior = false;       // seeded from a static-analysis bound
 };
 
 /// One planner pick, recorded per rule for the run report.
@@ -55,6 +56,15 @@ class JoinPlanner {
 
   /// Statistics for `pred`, computed on first use and cached.
   const RelationEstimate& Estimate(PredicateId pred);
+
+  /// Seeds the estimate cache for `pred` with a static-analysis row
+  /// bound, replacing the neutral default an empty (IDB) relation would
+  /// otherwise get. Non-empty relations keep their exact scanned stats:
+  /// the prior is ignored for them. Priors are a pure function of the
+  /// program and the loaded EDB, so planning stays deterministic (and
+  /// identical across thread counts). Call before the first Estimate()
+  /// for the predicate.
+  void SetPrior(PredicateId pred, uint64_t row_bound);
 
   /// Estimated matching rows for a scan of `pred` with `bound_cols`
   /// bound to values.

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <string>
 
+#include "analysis/absint/absint.h"
 #include "analysis/dep_graph.h"
 #include "analysis/diagnostics.h"
 #include "analysis/rewriter.h"
@@ -299,6 +300,92 @@ TEST(Lint, GD011NotFiredForStrictStageCliques) {
     p(a, 1).
   )");
   EXPECT_FALSE(HasCode(r, diag::kRelaxedStratification));
+}
+
+// -- GD012 / GD013: abstract-interpretation lints ---------------------------
+// These come from the abstract interpreter (analysis/absint), which
+// Engine::Lint merges with the structural lints above; the helper runs
+// it directly on the parsed program.
+
+LintResult AbsintLint(const char* text) {
+  ValueStore store;
+  auto parsed = ParseProgram(&store, text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const absint::AnalysisResult ar = absint::Analyze(*parsed);
+  LintResult r;
+  r.diagnostics = ar.diagnostics;
+  r.counts = CountDiagnostics(r.diagnostics);
+  return r;
+}
+
+TEST(Lint, GD012ProvablyEmptyRuleAndPredicate) {
+  const LintResult r = AbsintLint(R"(
+    a(1). a(2).
+    dead(X) <- a(X), X > 5.
+  )");
+  const Diagnostic& d = FindCode(r, diag::kProvablyEmpty);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  // Both the rule-level finding (with a location) and the whole-predicate
+  // summary fire.
+  int count = 0;
+  bool rule_level = false, pred_level = false;
+  for (const Diagnostic& it : r.diagnostics) {
+    if (it.code != diag::kProvablyEmpty) continue;
+    ++count;
+    if (it.rule_index >= 0) rule_level = true;
+    if (it.rule_index < 0) pred_level = true;
+    EXPECT_EQ(it.predicate, "dead/1");
+  }
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(rule_level);
+  EXPECT_TRUE(pred_level);
+}
+
+TEST(Lint, GD012NotFiredForSatisfiableComparison) {
+  const LintResult r = AbsintLint(R"(
+    a(1). a(2).
+    live(X) <- a(X), X > 1.
+  )");
+  EXPECT_FALSE(HasCode(r, diag::kProvablyEmpty));
+}
+
+TEST(Lint, GD012NotFiredForUnseededEdbPredicate) {
+  // r/1 has no facts in the program text, but facts may arrive via
+  // Engine::AddFact before Run — the analyzer must treat it as
+  // unanalyzable, not provably empty, and not cascade into out/1.
+  const LintResult r = AbsintLint(R"(
+    out(X) <- r(X), X > 5.
+  )");
+  EXPECT_FALSE(HasCode(r, diag::kProvablyEmpty));
+}
+
+TEST(Lint, GD013GuaranteedOverflow) {
+  const LintResult r = AbsintLint(R"(
+    big(1152921504606846975).
+    boom(Y) <- big(X), Y = X + 1.
+  )");
+  const Diagnostic& d = FindCode(r, diag::kGuaranteedOverflow);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_EQ(d.predicate, "boom/1");
+  EXPECT_TRUE(d.loc.valid());
+}
+
+TEST(Lint, GD013NotFiredForInRangeArithmetic) {
+  const LintResult r = AbsintLint(R"(
+    big(1152921504606846975).
+    ok(Y) <- big(X), Y = X - 1.
+  )");
+  EXPECT_FALSE(HasCode(r, diag::kGuaranteedOverflow));
+}
+
+TEST(Lint, GD013NotFiredWhenOnlySomeEvaluationsOverflow) {
+  // X + X overflows for the largest row but not the smallest: the site
+  // is not *guaranteed* to fail, so the warning must stay quiet.
+  const LintResult r = AbsintLint(R"(
+    n(1). n(1152921504606846975).
+    d(Y) <- n(X), Y = X + X.
+  )");
+  EXPECT_FALSE(HasCode(r, diag::kGuaranteedOverflow));
 }
 
 // -- GD100: parse errors ----------------------------------------------------

@@ -262,5 +262,101 @@ TEST_P(SeedSweep, RandomStratifiedParallelWithoutPlanner) {
       << p.text;
 }
 
+// -- Abstract-interpretation soundness --------------------------------------
+// The analyzer's verdicts are claims about *every* run; here they face
+// actual runs over random inputs.
+
+TEST_P(SeedSweep, RandomStratifiedAnalysisIsSound) {
+  const RandomProgram p = MakeRandomStratifiedProgram(GetParam() * 577 + 5);
+  Engine e;
+  ASSERT_TRUE(e.LoadProgram(p.text).ok());
+  for (const auto& row : p.e1) {
+    ASSERT_TRUE(
+        e.AddFact("e1", {Value::Int(row[0]), Value::Int(row[1])}).ok());
+  }
+  for (const auto& row : p.e2) {
+    ASSERT_TRUE(
+        e.AddFact("e2", {Value::Int(row[0]), Value::Int(row[1])}).ok());
+  }
+  ASSERT_TRUE(e.Run().ok()) << p.text;
+  const absint::AnalysisResult* r = e.absint();
+  ASSERT_NE(r, nullptr);
+  // This family is type-clean by construction: error-class analysis
+  // findings (GD300/GD301) would be false positives.
+  for (const Diagnostic& d : r->diagnostics) {
+    EXPECT_NE(d.severity, DiagSeverity::kError)
+        << d.code << ": " << d.message << "\n" << p.text;
+  }
+  // Soundness: every stored row lies within the inferred signature, and
+  // actual relation sizes respect the cardinality bounds.
+  for (const absint::PredicateSignature& sig : r->signatures) {
+    const Relation* rel = e.Find(sig.name, sig.arity);
+    if (rel == nullptr) continue;
+    if (!sig.populated) {
+      EXPECT_EQ(rel->size(), 0u) << sig.DisplayName() << "\n" << p.text;
+      continue;
+    }
+    EXPECT_TRUE(sig.card.Contains(rel->size()))
+        << sig.DisplayName() << " rows=" << rel->size() << "\n" << p.text;
+    for (RowId row = 0; row < rel->size(); ++row) {
+      const TupleView t = rel->Row(row);
+      for (uint32_t c = 0; c < sig.arity; ++c) {
+        ASSERT_TRUE(sig.args[c].types.Has(t[c].kind()))
+            << sig.DisplayName() << " col " << c << "\n" << p.text;
+        if (t[c].is_int()) {
+          ASSERT_TRUE(sig.args[c].iv.Contains(t[c].AsInt()))
+              << sig.DisplayName() << " col " << c << " = " << t[c].AsInt()
+              << "\n" << p.text;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SeedSweep, GuaranteedOverflowIsFlaggedAndDerivesNothing) {
+  // Random near-limit EDB plus a shift that provably overflows: GD013
+  // must fire, and the run must agree by deriving zero rows.
+  Rng rng(GetParam() * 263 + 17);
+  const int64_t base = Value::kMaxInt - rng.NextInt(0, 50);
+  const int64_t shift = rng.NextInt(51, 500);
+  Engine e;
+  const std::string text =
+      "boom(Y) <- m(X), Y = X + " + std::to_string(shift) + ".\n";
+  ASSERT_TRUE(e.LoadProgram(text).ok());
+  ASSERT_TRUE(e.AddFact("m", {Value::Int(base)}).ok());
+  auto lint = e.Lint();
+  ASSERT_TRUE(lint.ok());
+  EXPECT_TRUE(std::any_of(
+      lint->diagnostics.begin(), lint->diagnostics.end(),
+      [](const Diagnostic& d) { return d.code == diag::kGuaranteedOverflow; }))
+      << text;
+  ASSERT_TRUE(e.Run().ok());
+  EXPECT_TRUE(e.Query("boom", 1).empty()) << text;
+}
+
+TEST_P(SeedSweep, NearOverflowStaysQuietAndDerives) {
+  // The same shape with an in-range shift: no GD013, and the derived
+  // value lands inside the inferred interval.
+  Rng rng(GetParam() * 709 + 29);
+  const int64_t base = Value::kMaxInt - rng.NextInt(100, 1000);
+  const int64_t shift = rng.NextInt(0, 100);
+  Engine e;
+  const std::string text =
+      "ok(Y) <- m(X), Y = X + " + std::to_string(shift) + ".\n";
+  ASSERT_TRUE(e.LoadProgram(text).ok());
+  ASSERT_TRUE(e.AddFact("m", {Value::Int(base)}).ok());
+  auto lint = e.Lint();
+  ASSERT_TRUE(lint.ok());
+  EXPECT_FALSE(std::any_of(
+      lint->diagnostics.begin(), lint->diagnostics.end(),
+      [](const Diagnostic& d) { return d.code == diag::kGuaranteedOverflow; }))
+      << text;
+  ASSERT_TRUE(e.Run().ok());
+  ASSERT_EQ(e.Query("ok", 1).size(), 1u);
+  const absint::PredicateSignature* sig = e.absint()->Find("ok", 1);
+  ASSERT_NE(sig, nullptr);
+  EXPECT_TRUE(sig->args[0].iv.Contains(base + shift)) << text;
+}
+
 }  // namespace
 }  // namespace gdlog

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Golden static-analysis outputs.
+#
+# Runs `gdlog_shell --lint-json` over every shipped program and every
+# lint fixture and diffs the output against the checked-in goldens in
+# tests/goldens/. The JSON is deterministic by construction (integer-only
+# analysis rendering, no timestamps or build identity), so any drift is a
+# real behavior change — either a regression or an intentional analyzer
+# improvement that must be re-blessed with --update.
+#
+#   tools/check_goldens.sh BUILD_DIR            check; exit 1 on drift
+#   tools/check_goldens.sh BUILD_DIR --update   refresh the goldens
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:?usage: check_goldens.sh BUILD_DIR [--update]}
+MODE=${2:-check}
+SHELL_BIN="$BUILD_DIR/tools/gdlog_shell"
+
+if [ ! -x "$SHELL_BIN" ]; then
+  echo "error: $SHELL_BIN not built" >&2
+  exit 2
+fi
+
+mkdir -p tests/goldens
+fail=0
+for f in programs/*.dl tests/fixtures/*.dl; do
+  name=$(basename "$f" .dl)
+  golden="tests/goldens/$name.json"
+  # --lint-json exits 1 when the program has error-severity diagnostics;
+  # that is part of what the golden captures, not a script failure.
+  out=$("$SHELL_BIN" "$f" --lint-json 2>/dev/null) || true
+  if [ "$MODE" = "--update" ]; then
+    printf '%s\n' "$out" > "$golden"
+    echo "updated $golden"
+  elif [ ! -f "$golden" ]; then
+    echo "MISSING GOLDEN: $golden (run tools/check_goldens.sh $BUILD_DIR --update)"
+    fail=1
+  elif ! printf '%s\n' "$out" | diff -u "$golden" -; then
+    echo "GOLDEN DRIFT: $f vs $golden"
+    fail=1
+  fi
+done
+exit $fail

@@ -24,6 +24,8 @@
 //   --linear-least       naive linear-scan retrieval instead of the heap
 //   --threads N          parallel evaluation workers (0 = hardware, 1 = serial)
 //   --no-planner         parser-order joins (cost-based planner ablation)
+//   --no-absint          skip abstract interpretation (types/intervals/bounds)
+//   --no-priors          planner ignores analysis row bounds (ablation)
 //   --deadline-ms N      stop the run after N wall-clock milliseconds
 //   --max-tuples N       stop after N derived tuples
 //   --max-stages N       stop after N next-rule stage advances
@@ -36,13 +38,16 @@
 //
 // With --lint/--lint-json the program is parsed and analyzed but never
 // evaluated; --query specs become the lint's query roots (enabling the
-// unreachable-rule check GD010).
+// unreachable-rule check GD010). Diagnostics include the abstract
+// interpreter's findings (GD012/GD013/GD3xx), and the JSON output
+// carries the inferred signatures under an "analysis" key (null with
+// --no-absint, absent when the program fails to load).
 //
 // A --why/--why-dot TARGET is either a ground atom (`prm(0,1,0,4)`) or
 // `pred/arity` for the relation's most recently derived row.
 //
 // Interactive commands (see .help):
-//   .load PATH | .run | .query pred/arity | .lint | .stats | .json
+//   .load PATH | .run | .query pred/arity | .lint | .types | .stats | .json
 //   .explain | .blackbox | .metrics [PATH]
 //   .why [text|json|dot] TARGET | .choices | .provenance on|off
 //   .report | .rewrite | .verify | .trace on [PATH] | .trace off
@@ -66,8 +71,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint/absint.h"
+#include "analysis/diagnostics.h"
 #include "analysis/lint.h"
 #include "api/engine.h"
+#include "obs/json.h"
 #include "storage/tuple.h"
 
 namespace {
@@ -128,7 +136,7 @@ void Usage(const char* argv0) {
                "[--choices] "
                "[--explain-analyze] [--json-report] [--metrics-out PATH] "
                "[--trace PATH] [--no-merge] [--linear-least] "
-               "[--threads N] [--no-planner] "
+               "[--threads N] [--no-planner] [--no-absint] [--no-priors] "
                "[--deadline-ms N] [--max-tuples N] [--max-stages N] "
                "[--max-memory-mb N] [--faults SPEC]\n"
                "       %s --interactive [options]\n",
@@ -187,9 +195,10 @@ void PrintStats(const gdlog::Engine& engine) {
   }
   const gdlog::EnginePhaseTimes& ph = engine.phase_times();
   std::printf(
-      "%% phases (ms): parse %.3f  analyze %.3f  compile %.3f  eval %.3f\n",
-      ph.parse_ns / 1e6, ph.analyze_ns / 1e6, ph.compile_ns / 1e6,
-      ph.eval_ns / 1e6);
+      "%% phases (ms): parse %.3f  analyze %.3f  absint %.3f  compile %.3f  "
+      "eval %.3f\n",
+      ph.parse_ns / 1e6, ph.analyze_ns / 1e6, ph.absint_ns / 1e6,
+      ph.compile_ns / 1e6, ph.eval_ns / 1e6);
   if (s->saturate_ns > 0 || s->gamma_ns > 0) {
     std::printf("%%   eval split: saturate %.3f ms, gamma %.3f ms\n",
                 s->saturate_ns / 1e6, s->gamma_ns / 1e6);
@@ -238,25 +247,57 @@ void PrintStats(const gdlog::Engine& engine) {
 }
 
 /// Lints `text` without evaluating it; returns 0 when error-free.
-/// `queries` (pred/arity specs) become the lint's query roots.
+/// `queries` (pred/arity specs) become the lint's query roots. When the
+/// program loads, diagnostics include the abstract interpreter's
+/// findings and the JSON output carries the inferred signatures under
+/// "analysis"; a program that fails to load falls back to the
+/// structural linter alone (which reports the load failure too).
 int RunLint(const std::string& name, const std::string& text,
             const std::vector<Query>& queries,
             const gdlog::EngineOptions& options, bool json) {
   gdlog::LintOptions lopts;
-  lopts.stage = options.stage;
   for (const Query& q : queries) {
     lopts.roots.push_back({q.pred, q.arity});
   }
-  gdlog::ValueStore store;
-  const gdlog::LintResult result = gdlog::LintSource(&store, text, lopts);
-  if (json) {
-    std::printf("%s\n",
-                gdlog::DiagnosticsJson(result.diagnostics, name).c_str());
-  } else {
-    std::printf("%s", gdlog::RenderDiagnostics(result.diagnostics, name)
-                          .c_str());
+  gdlog::Engine engine(options);
+  if (!engine.LoadProgram(text).ok()) {
+    lopts.stage = options.stage;
+    gdlog::ValueStore store;
+    const gdlog::LintResult result = gdlog::LintSource(&store, text, lopts);
+    if (json) {
+      std::printf("%s\n",
+                  gdlog::DiagnosticsJson(result.diagnostics, name).c_str());
+    } else {
+      std::printf("%s", gdlog::RenderDiagnostics(result.diagnostics, name)
+                            .c_str());
+    }
+    return result.clean() ? 0 : 1;
   }
-  return result.clean() ? 0 : 1;
+  auto lr = engine.Lint(lopts);
+  if (!lr.ok()) {
+    std::fprintf(stderr, "lint error: %s\n", lr.status().ToString().c_str());
+    return 1;
+  }
+  if (json) {
+    gdlog::JsonWriter w;
+    w.BeginObject();
+    gdlog::DiagnosticsJsonContents(lr->diagnostics, name, &w);
+    w.Key("analysis");
+    if (options.static_analysis) {
+      gdlog::absint::AnalysisOptions aopts;
+      const gdlog::absint::AnalysisResult ar = gdlog::absint::AnalyzeProgram(
+          *engine.program(), engine.analysis()->expanded, aopts);
+      gdlog::absint::AnalysisToJson(ar, &w);
+    } else {
+      w.Null();
+    }
+    w.EndObject();
+    std::printf("%s\n", w.Take().c_str());
+  } else {
+    std::printf("%s",
+                gdlog::RenderDiagnostics(lr->diagnostics, name).c_str());
+  }
+  return lr->clean() ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -289,6 +330,8 @@ void PrintHelp() {
       ".run              evaluate to the choice fixpoint\n"
       ".query pred/arity print one relation\n"
       ".lint             compile-time diagnostics for the loaded program\n"
+      ".types            inferred predicate signatures (types, intervals,\n"
+      "                  cardinality bounds) from the abstract interpreter\n"
       ".stats            per-phase and per-rule evaluation statistics\n"
       ".explain          planner estimates vs measured actuals per goal\n"
       ".why [FMT] TARGET proof tree for a derived tuple (FMT: text|json|dot);\n"
@@ -401,6 +444,17 @@ int RunInteractive(gdlog::EngineOptions options) {
       }
       RunLint(sh.program_path, sh.program_text, {}, sh.options,
               /*json=*/arg1 == "json");
+    } else if (cmd == ".types") {
+      if (!sh.engine) {
+        std::printf("error: no program loaded (.load PATH first)\n");
+        continue;
+      }
+      auto r = sh.engine->TypeSignaturesText();
+      if (r.ok()) {
+        std::printf("%s", r->c_str());
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
     } else if (cmd == ".stats") {
       if (sh.engine) {
         PrintStats(*sh.engine);
@@ -614,6 +668,10 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--no-planner") {
       options.eval.use_join_planner = false;
+    } else if (arg == "--no-absint") {
+      options.static_analysis = false;
+    } else if (arg == "--no-priors") {
+      options.eval.use_cardinality_priors = false;
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       options.limits.deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--max-tuples" && i + 1 < argc) {
