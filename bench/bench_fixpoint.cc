@@ -8,6 +8,11 @@
 // which must be small constants.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
 #include "api/engine.h"
 #include "bench_util.h"
 #include "common/logging.h"
@@ -108,6 +113,53 @@ void PrintSeminaiveAblation() {
   table.Print();
 }
 
+/// Chain TC with the EDB routed through a durable store (WAL + fsync
+/// policy). The durable run pays one WAL append per edge; the fixpoint
+/// itself is identical, so the delta against the in-memory run is the
+/// durability overhead.
+double RunChainTcDurable(uint32_t n, const char* fsync) {
+  const std::string dir = std::filesystem::temp_directory_path() /
+                          ("gdlog_bench_wal_" + std::to_string(::getpid()));
+  const double secs = bench::MeasureSeconds([&] {
+    std::filesystem::remove_all(dir);  // each rep starts a fresh database
+    EngineOptions opts;
+    opts.durability.dir = dir;
+    opts.durability.fsync = fsync;
+    Engine e(opts);
+    GDLOG_CHECK(e.LoadProgram(R"(
+      tc(X, Y) <- edge(X, Y).
+      tc(X, Z) <- tc(X, Y), edge(Y, Z).
+    )").ok());
+    for (uint32_t i = 0; i + 1 < n; ++i) {
+      GDLOG_CHECK(e.AddFact("edge", {Value::Int(i), Value::Int(i + 1)}).ok());
+    }
+    GDLOG_CHECK(e.Run().ok());
+    GDLOG_CHECK_EQ(e.Query("tc", 2).size(), size_t{n} * (n - 1) / 2);
+  }, /*reps=*/2);
+  std::filesystem::remove_all(dir);
+  return secs;
+}
+
+/// E15: WAL-append overhead (docs/DURABILITY.md) — the same chain TC
+/// with the EDB in memory, behind a batch-fsync WAL, and behind an
+/// fsync-per-append WAL. The batch column is what a durable engine pays
+/// by default; it must stay within noise of the in-memory run since the
+/// n WAL appends are dwarfed by the O(n^2) derivation.
+void PrintDurabilityOverhead() {
+  bench::ExperimentTable table(
+      "E15: WAL-append overhead — chain TC in memory vs durable EDB "
+      "(fsync=batch / fsync=always)",
+      "n", {"mem_ms", "wal_batch_ms", "wal_always_ms",
+            "wal_batch_over_mem"});
+  for (uint32_t n : {250u, 500u, 1000u}) {
+    const double mem = RunChainTc(n);
+    const double batch = RunChainTcDurable(n, "batch");
+    const double always = RunChainTcDurable(n, "always");
+    table.AddRow(n, {mem * 1e3, batch * 1e3, always * 1e3, batch / mem});
+  }
+  table.Print();
+}
+
 /// Chain TC under an explicit thread count; the result-set check pins
 /// the parallel path to the exact serial model.
 double RunChainTcThreaded(uint32_t n, uint32_t threads) {
@@ -191,6 +243,7 @@ int main(int argc, char** argv) {
   gdlog::PrintExperimentTable();
   gdlog::PrintSeminaiveAblation();
   gdlog::PrintParallelScaling();
+  gdlog::PrintDurabilityOverhead();
   if (gdlog::bench::JsonReportEnabled()) gdlog::RecordInstrumentedRun();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

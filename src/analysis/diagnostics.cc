@@ -92,6 +92,12 @@ constexpr CodeEntry kCodeTable[] = {
      "run stopped: allocation failure caught at the Run boundary"},
     {diag::kInjectedFault, DiagSeverity::kError,
      "run stopped: deterministic fault injected at a probe point"},
+    {diag::kWalError, DiagSeverity::kError,
+     "durability: WAL or checkpoint I/O failed (path and offset in message)"},
+    {diag::kWalCorrupt, DiagSeverity::kError,
+     "durability: WAL unreadable beyond a torn tail (bad header or replay)"},
+    {diag::kSnapshotCorrupt, DiagSeverity::kError,
+     "durability: snapshot or manifest failed its checksum"},
     {diag::kTypeConflict, DiagSeverity::kError,
      "variable has provably disjoint types at two uses"},
     {diag::kNonIntArithmetic, DiagSeverity::kError,

@@ -69,6 +69,10 @@ inline constexpr std::string_view kMemoryLimit = "GD204";
 inline constexpr std::string_view kRunCancelled = "GD205";
 inline constexpr std::string_view kOutOfMemory = "GD206";
 inline constexpr std::string_view kInjectedFault = "GD207";
+// -- Durability failures (storage/durable) ----------------------------------
+inline constexpr std::string_view kWalError = "GD210";
+inline constexpr std::string_view kWalCorrupt = "GD211";
+inline constexpr std::string_view kSnapshotCorrupt = "GD212";
 // -- Static analysis findings (analysis/absint) ----------------------------
 inline constexpr std::string_view kTypeConflict = "GD300";
 inline constexpr std::string_view kNonIntArithmetic = "GD301";

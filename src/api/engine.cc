@@ -26,6 +26,18 @@ uint64_t WallNowNs() {
 
 double NsToMs(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
 
+// Numeric "GDnnn" code of a status for flight-recorder payloads (0 when
+// the status carries no code).
+int64_t DiagCodeNumber(const Status& st) {
+  const std::string code = DiagCodeOfStatus(st);
+  int64_t n = 0;
+  for (size_t i = 2; i < code.size(); ++i) {
+    if (code[i] < '0' || code[i] > '9') return 0;
+    n = n * 10 + (code[i] - '0');
+  }
+  return n;
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions options)
@@ -89,6 +101,9 @@ Engine::Engine(EngineOptions options)
                                   {"sanitizer", bi.sanitizer}})
         ->Set(1);
   }
+  // Durability last: recovery interns values and charges the budget, so
+  // every guardrail and observability hook must already be in place.
+  OpenDurability();
 }
 
 Engine::~Engine() = default;
@@ -109,8 +124,85 @@ Status OomStatus() {
 
 }  // namespace
 
+void Engine::OpenDurability() {
+  if (options_.durability.dir.empty()) return;
+  auto policy = ParseFsyncPolicy(options_.durability.fsync);
+  if (!policy.ok()) {
+    durability_status_ = policy.status();
+    return;
+  }
+  durable_ = std::make_unique<DurableStore>();
+  DurableStore::Options dopts;
+  dopts.dir = options_.durability.dir;
+  dopts.fsync = *policy;
+  dopts.wal_batch_bytes = options_.durability.wal_batch_bytes;
+  dopts.checkpoint_every = options_.durability.checkpoint_every;
+  dopts.injector = injector_.get();
+  dopts.budget = &budget_;
+  const Status st = durable_->Open(dopts, store_.get());
+  if (!st.ok()) {
+    durability_status_ = st;
+    if (recorder_) {
+      recorder_->Record(FlightEventKind::kDurabilityError,
+                        DiagCodeNumber(st));
+    }
+    durable_.reset();
+    return;
+  }
+  // Replay the recovered EDB into the catalog so the engine starts with
+  // exactly the facts that were durable at the last crash/close.
+  try {
+    for (const DurableStore::EdbRelation& r : durable_->relations()) {
+      const PredicateId id = catalog_->Ensure(r.name, r.arity);
+      Relation& rel = catalog_->relation(id);
+      for (size_t row = 0; row < r.num_rows; ++row) {
+        const TupleView tuple(r.rows.data() + row * r.arity, r.arity);
+        const auto res = rel.Insert(tuple);
+        if (res.inserted && rel.provenance_enabled()) {
+          rel.Annotate(res.row, Relation::kEdbRule, nullptr, 0);
+        }
+      }
+    }
+  } catch (const std::bad_alloc&) {
+    durability_status_ = OomStatus();
+    return;
+  }
+  const DurableStore::RecoveryInfo& rec = durable_->recovery();
+  if (recorder_ && rec.opened_existing) {
+    recorder_->Record(FlightEventKind::kRecovery,
+                      static_cast<int64_t>(rec.wal_records_replayed),
+                      static_cast<int64_t>(rec.wal_dropped_bytes));
+  }
+  PublishDurabilityMetrics();
+}
+
+void Engine::PublishDurabilityMetrics() {
+  if (metrics_ == nullptr || durable_ == nullptr) return;
+  const DurableStore::Stats s = durable_->stats();
+  const DurableStore::RecoveryInfo& rec = durable_->recovery();
+  metrics_->GetGauge("wal.appends")->Set(static_cast<int64_t>(s.wal_appends));
+  metrics_->GetGauge("wal.fsyncs")->Set(static_cast<int64_t>(s.wal_fsyncs));
+  metrics_->GetGauge("wal.bytes_appended")
+      ->Set(static_cast<int64_t>(s.wal_bytes_appended));
+  metrics_->GetGauge("wal.size_bytes")
+      ->Set(static_cast<int64_t>(s.wal_size_bytes));
+  metrics_->GetGauge("wal.seq")
+      ->Set(static_cast<int64_t>(durable_->wal_seq()));
+  metrics_->GetGauge("checkpoint.count")
+      ->Set(static_cast<int64_t>(s.checkpoints));
+  metrics_->GetGauge("checkpoint.last_bytes")
+      ->Set(static_cast<int64_t>(s.checkpoint_bytes));
+  metrics_->GetGauge("checkpoint.snapshot_seq")
+      ->Set(static_cast<int64_t>(durable_->snapshot_seq()));
+  metrics_->GetGauge("recovery.wal_records_replayed")
+      ->Set(static_cast<int64_t>(rec.wal_records_replayed));
+  metrics_->GetGauge("recovery.wal_dropped_bytes")
+      ->Set(static_cast<int64_t>(rec.wal_dropped_bytes));
+}
+
 Status Engine::LoadProgram(std::string_view text) {
   GDLOG_RETURN_IF_ERROR(faults_status_);
+  GDLOG_RETURN_IF_ERROR(durability_status_);
   if (injector_ && injector_->Hit(FaultInjector::kParse)) {
     if (recorder_) recorder_->Record(FlightEventKind::kFaultInjected, 0);
     return InjectedFault(FaultInjector::kParse);
@@ -134,6 +226,7 @@ Status Engine::LoadProgram(std::string_view text) {
 
 Status Engine::LoadProgramAst(Program program) {
   GDLOG_RETURN_IF_ERROR(faults_status_);
+  GDLOG_RETURN_IF_ERROR(durability_status_);
   if (program_) {
     return Status::InvalidArgument("a program is already loaded");
   }
@@ -169,18 +262,104 @@ Status Engine::LoadProgramAst(Program program) {
 
 Status Engine::AddFact(std::string_view predicate, std::vector<Value> args) {
   if (ran_) return Status::InvalidArgument("cannot add facts after Run");
+  GDLOG_RETURN_IF_ERROR(durability_status_);
   try {
-    const PredicateId id =
-        catalog_->Ensure(predicate, static_cast<uint32_t>(args.size()));
+    const auto arity = static_cast<uint32_t>(args.size());
+    const PredicateId id = catalog_->Ensure(predicate, arity);
     Relation& rel = catalog_->relation(id);
+    if (durable_) {
+      // Dedup before logging so the WAL never carries duplicate adds
+      // (which keeps retract-by-first-match exact on replay). In-memory
+      // engines skip the extra probe — Insert dedups on its own.
+      if (rel.Contains(TupleView(args))) return Status::OK();
+      // Write-ahead: the fact must be logged before it becomes visible.
+      // On failure nothing is applied — at worst the log carries a torn
+      // tail the next recovery drops.
+      Status st = durable_->LogCreateRelation(predicate, arity);
+      if (st.ok()) st = durable_->LogAddFact(predicate, arity, TupleView(args));
+      if (!st.ok()) {
+        if (recorder_) {
+          recorder_->Record(FlightEventKind::kDurabilityError,
+                            DiagCodeNumber(st));
+        }
+        return st;
+      }
+    }
     const auto res = rel.Insert(TupleView(args));
     if (res.inserted && rel.provenance_enabled()) {
       rel.Annotate(res.row, Relation::kEdbRule, nullptr, 0);
     }
+    if (durable_) PublishDurabilityMetrics();
     return Status::OK();
   } catch (const std::bad_alloc&) {
     return OomStatus();
   }
+}
+
+Status Engine::RetractFact(std::string_view predicate,
+                           std::vector<Value> args) {
+  if (ran_) return Status::InvalidArgument("cannot retract facts after Run");
+  GDLOG_RETURN_IF_ERROR(durability_status_);
+  const auto arity = static_cast<uint32_t>(args.size());
+  const PredicateId id = catalog_->Lookup(predicate, arity);
+  if (id == kNoPredicate || !catalog_->relation(id).Contains(TupleView(args))) {
+    return Status::NotFound(
+        "fact not present: " + std::string(predicate) +
+        TupleToString(*store_, TupleView(args)));
+  }
+  if (durable_) {
+    const Status st = durable_->LogRetract(predicate, arity, TupleView(args));
+    if (!st.ok()) {
+      if (recorder_) {
+        recorder_->Record(FlightEventKind::kDurabilityError,
+                          DiagCodeNumber(st));
+      }
+      return st;
+    }
+  }
+  catalog_->relation(id).Retract(TupleView(args));
+  if (durable_) PublishDurabilityMetrics();
+  return Status::OK();
+}
+
+Status Engine::Checkpoint() {
+  GDLOG_RETURN_IF_ERROR(durability_status_);
+  if (!durable_) {
+    return Status::InvalidArgument(
+        "durability disabled: set EngineOptions::durability.dir");
+  }
+  const uint64_t retired_wal_bytes = durable_->stats().wal_size_bytes;
+  const Status st = durable_->Checkpoint();
+  if (recorder_) {
+    if (st.ok()) {
+      recorder_->Record(FlightEventKind::kCheckpoint,
+                        static_cast<int64_t>(durable_->snapshot_seq()),
+                        static_cast<int64_t>(
+                            durable_->stats().checkpoint_bytes));
+      recorder_->Record(FlightEventKind::kWalRotate,
+                        static_cast<int64_t>(durable_->wal_seq()),
+                        static_cast<int64_t>(retired_wal_bytes));
+    } else {
+      recorder_->Record(FlightEventKind::kDurabilityError,
+                        DiagCodeNumber(st));
+    }
+  }
+  PublishDurabilityMetrics();
+  return st;
+}
+
+Status Engine::SyncDurability() {
+  GDLOG_RETURN_IF_ERROR(durability_status_);
+  if (!durable_) {
+    return Status::InvalidArgument(
+        "durability disabled: set EngineOptions::durability.dir");
+  }
+  const Status st = durable_->Sync();
+  if (!st.ok() && recorder_) {
+    recorder_->Record(FlightEventKind::kDurabilityError, DiagCodeNumber(st));
+  }
+  PublishDurabilityMetrics();
+  return st;
 }
 
 namespace {
@@ -206,10 +385,61 @@ Result<Value> GroundValue(const TermNode& t, ValueStore* store) {
 
 }  // namespace
 
+Status Engine::LoadProgramDurable(std::string_view text) {
+  GDLOG_RETURN_IF_ERROR(faults_status_);
+  GDLOG_RETURN_IF_ERROR(durability_status_);
+  try {
+    const uint64_t t0 = WallNowNs();
+    auto parsed = [&] {
+      TraceSpan span(tracer_.get(), "parse", "engine");
+      return ParseProgram(store_.get(), text);
+    }();
+    phase_times_.parse_ns += WallNowNs() - t0;
+    GDLOG_RETURN_IF_ERROR(parsed.status());
+    // Split inline facts from rules: rules load as the program, facts
+    // go through AddFact so the WAL sees them (in program order, which
+    // recovery then reproduces exactly).
+    Program rules;
+    std::vector<Rule> facts;
+    for (Rule& r : parsed->rules) {
+      if (r.is_fact()) {
+        facts.push_back(std::move(r));
+      } else {
+        rules.rules.push_back(std::move(r));
+      }
+    }
+    GDLOG_RETURN_IF_ERROR(LoadProgramAst(std::move(rules)));
+    for (const Rule& f : facts) {
+      std::vector<Value> tuple;
+      tuple.reserve(f.head.args.size());
+      for (const TermNode& t : f.head.args) {
+        GDLOG_ASSIGN_OR_RETURN(Value v, GroundValue(t, store_.get()));
+        tuple.push_back(v);
+      }
+      GDLOG_RETURN_IF_ERROR(AddFact(f.head.predicate, std::move(tuple)));
+    }
+    return Status::OK();
+  } catch (const std::bad_alloc&) {
+    return OomStatus();
+  }
+}
+
 Status Engine::Run() {
   if (!program_) return Status::InvalidArgument("no program loaded");
   if (ran_) return Status::InvalidArgument("engine already ran");
   GDLOG_RETURN_IF_ERROR(faults_status_);
+  GDLOG_RETURN_IF_ERROR(durability_status_);
+  // EDB edits are done; make them durable before deriving from them.
+  if (durable_) {
+    const Status sync_st = durable_->Sync();
+    if (!sync_st.ok()) {
+      if (recorder_) {
+        recorder_->Record(FlightEventKind::kDurabilityError,
+                          DiagCodeNumber(sync_st));
+      }
+      return sync_st;
+    }
+  }
 
   guard_ = std::make_unique<RunGuard>(options_.limits, &cancel_, &budget_,
                                       injector_.get());
@@ -248,6 +478,7 @@ Status Engine::Run() {
     metrics_->GetGauge("memory.tracked_peak_bytes")
         ->Set(static_cast<int64_t>(outcome_.peak_memory_bytes));
   }
+  PublishDurabilityMetrics();
   if (recorder_) {
     recorder_->Record(FlightEventKind::kTermination,
                       static_cast<int64_t>(outcome_.reason),
@@ -660,6 +891,40 @@ Result<std::string> Engine::RunReport() const {
     w.Key("codes").BeginArray();
     for (const Diagnostic& d : lint.diagnostics) w.String(d.code);
     w.EndArray();
+    w.EndObject();
+  }
+
+  // Durability: WAL/checkpoint activity and what recovery found on open
+  // (null for a purely in-memory engine).
+  w.Key("durability");
+  if (durable_ == nullptr) {
+    w.Null();
+  } else {
+    const DurableStore::Stats ds = durable_->stats();
+    const DurableStore::RecoveryInfo& rec = durable_->recovery();
+    w.BeginObject();
+    w.Key("dir").String(durable_->dir());
+    w.Key("fsync").String(std::string(FsyncPolicyName(
+        durable_->fsync_policy())));
+    w.Key("wal_seq").UInt(durable_->wal_seq());
+    w.Key("snapshot_seq").UInt(durable_->snapshot_seq());
+    w.Key("wal_appends").UInt(ds.wal_appends);
+    w.Key("wal_fsyncs").UInt(ds.wal_fsyncs);
+    w.Key("wal_bytes_appended").UInt(ds.wal_bytes_appended);
+    w.Key("wal_size_bytes").UInt(ds.wal_size_bytes);
+    w.Key("checkpoints").UInt(ds.checkpoints);
+    w.Key("checkpoint_bytes").UInt(ds.checkpoint_bytes);
+    w.Key("edb_relations").UInt(ds.edb_relations);
+    w.Key("edb_facts").UInt(ds.edb_facts);
+    w.Key("recovery").BeginObject();
+    w.Key("opened_existing").Bool(rec.opened_existing);
+    w.Key("snapshot_relations").UInt(rec.snapshot_relations);
+    w.Key("snapshot_facts").UInt(rec.snapshot_facts);
+    w.Key("wal_records_replayed").UInt(rec.wal_records_replayed);
+    w.Key("wal_valid_bytes").UInt(rec.wal_valid_bytes);
+    w.Key("wal_dropped_bytes").UInt(rec.wal_dropped_bytes);
+    w.Key("wal_tail_dropped").Bool(rec.wal_tail_dropped);
+    w.EndObject();
     w.EndObject();
   }
 

@@ -36,9 +36,27 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/catalog.h"
+#include "storage/durable/durable_store.h"
 #include "value/value.h"
 
 namespace gdlog {
+
+/// Durability configuration (see docs/DURABILITY.md). An empty `dir`
+/// means a purely in-memory engine — the default, and zero overhead.
+struct DurabilityOptions {
+  /// Database directory for the WAL / snapshots / MANIFEST. Opened (and
+  /// recovered) during Engine construction; open or recovery failures
+  /// are latched and surfaced by LoadProgram/AddFact/Run, mirroring the
+  /// faults-spec handling.
+  std::string dir;
+  /// WAL fsync policy: "always", "batch" (default), or "off".
+  std::string fsync = "batch";
+  /// Bytes appended between fsyncs under the "batch" policy.
+  uint64_t wal_batch_bytes = 1 << 20;
+  /// Checkpoint automatically after this many logged mutations
+  /// (0 = only explicit Engine::Checkpoint calls).
+  uint64_t checkpoint_every = 0;
+};
 
 struct EngineOptions {
   EvalOptions eval;
@@ -65,6 +83,10 @@ struct EngineOptions {
   /// analysis is deterministic and runs in well under the compile
   /// budget; turn it off only to measure its cost.
   bool static_analysis = true;
+  /// Durable relation store: WAL + checkpoints + crash recovery for the
+  /// EDB (asserted facts). The fixpoint is re-derived on reopen, not
+  /// persisted. Off (in-memory) when durability.dir is empty.
+  DurabilityOptions durability;
   /// Derivation provenance & choice audit: annotate every row with its
   /// deriving rule and premise rows (queryable via Engine::Why) and
   /// record one audit entry per choice firing (Engine::ChoiceAudit).
@@ -119,9 +141,35 @@ class Engine {
   Status LoadProgram(std::string_view text);
   /// Same, from an already-built AST.
   Status LoadProgramAst(Program program);
+  /// Like LoadProgram, but routes the program's inline facts through
+  /// AddFact so that with durability on they are WAL-logged like any
+  /// other EDB edit (plain LoadProgram treats inline facts as part of
+  /// the program text, invisible to the durable store). Equivalent to
+  /// LoadProgram when durability is off, except that the facts no
+  /// longer appear in program()->rules.
+  Status LoadProgramDurable(std::string_view text);
 
-  /// Adds an EDB tuple before Run.
+  /// Adds an EDB tuple before Run. With durability on, the fact is
+  /// WAL-logged before it is applied (write-ahead); a logging failure
+  /// leaves the in-memory state unchanged.
   Status AddFact(std::string_view predicate, std::vector<Value> args);
+
+  /// Removes an asserted EDB tuple before Run (NotFound when absent).
+  /// WAL-logged like AddFact when durability is on.
+  Status RetractFact(std::string_view predicate, std::vector<Value> args);
+
+  /// Durable-store control (InvalidArgument when durability is off).
+  /// Checkpoint writes a snapshot of the EDB, rotates the WAL, and swaps
+  /// the manifest atomically; SyncDurability flushes pending WAL appends.
+  Status Checkpoint();
+  Status SyncDurability();
+  /// The durable store, or nullptr when durability is off.
+  const DurableStore* durable() const { return durable_.get(); }
+  /// The latched durability open/recovery failure (OK when durability
+  /// is off or the store opened cleanly). Every mutating entry point
+  /// returns this status, but callers that construct an engine just to
+  /// open a database (e.g. the shell's .open) can inspect it directly.
+  const Status& durability_status() const { return durability_status_; }
 
   /// Evaluates the program to its (choice) fixpoint, or to the first
   /// guard stop (EngineOptions::limits / RequestCancel). Single-shot.
@@ -270,6 +318,11 @@ class Engine {
   /// Guard + proof-tree construction shared by the Why* renderers.
   Result<ProofNode> WhyRow(PredicateId pred, RowId row,
                            uint32_t max_depth) const;
+  /// Opens the durable store and replays the recovered EDB into the
+  /// catalog (constructor helper; failures latch durability_status_).
+  void OpenDurability();
+  /// Mirrors the durable store's counters into the metrics gauges.
+  void PublishDurabilityMetrics();
   /// Rendered program rules indexed by rule index (facts stay empty).
   std::vector<std::string> RuleTexts() const;
   /// Runs the abstract interpreter on the loaded program against the
@@ -288,6 +341,11 @@ class Engine {
   RunOutcome outcome_;
   std::unique_ptr<ValueStore> store_;
   std::unique_ptr<Catalog> catalog_;
+  // Durable store (null when durability.dir is empty). Declared after
+  // store_/catalog_: recovery interns values and its charge must release
+  // into budget_ before the stores go.
+  std::unique_ptr<DurableStore> durable_;
+  Status durability_status_;  // latched open/recovery failure
   std::unique_ptr<Program> program_;
   std::unique_ptr<StageAnalysis> analysis_;
   std::unique_ptr<absint::AnalysisResult> absint_;

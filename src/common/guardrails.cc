@@ -73,8 +73,9 @@ void MemoryBudget::Update(size_t* charged, size_t now_bytes) {
 
 const std::vector<std::string_view>& FaultInjector::ProbeCatalog() {
   static const std::vector<std::string_view> kCatalog = {
-      kParse, kAnalyze, kCompile, kEvalSaturate,
-      kEvalGamma, kAlloc, kDeadline};
+      kParse,     kAnalyze,  kCompile,   kEvalSaturate,
+      kEvalGamma, kAlloc,    kDeadline,  kWalAppend,
+      kWalFsync,  kCheckpointWrite,      kRecoveryReplay};
   return kCatalog;
 }
 

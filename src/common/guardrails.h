@@ -129,6 +129,12 @@ class FaultInjector {
   static constexpr std::string_view kEvalGamma = "eval.gamma";
   static constexpr std::string_view kAlloc = "alloc";
   static constexpr std::string_view kDeadline = "deadline";
+  // Durability probes (docs/DURABILITY.md). wal.append leaves a genuinely
+  // torn record on disk; the others fail the surrounding operation.
+  static constexpr std::string_view kWalAppend = "wal.append";
+  static constexpr std::string_view kWalFsync = "wal.fsync";
+  static constexpr std::string_view kCheckpointWrite = "checkpoint.write";
+  static constexpr std::string_view kRecoveryReplay = "recovery.replay";
 
   /// Every recognized probe name, for sweep tests and docs.
   static const std::vector<std::string_view>& ProbeCatalog();

@@ -39,6 +39,14 @@ const char* FlightEventKindName(FlightEventKind k) {
       return "termination";
     case FlightEventKind::kChoiceReject:
       return "choice-reject";
+    case FlightEventKind::kRecovery:
+      return "recovery";
+    case FlightEventKind::kCheckpoint:
+      return "checkpoint";
+    case FlightEventKind::kWalRotate:
+      return "wal-rotate";
+    case FlightEventKind::kDurabilityError:
+      return "durability-error";
   }
   return "unknown";
 }

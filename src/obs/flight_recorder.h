@@ -42,6 +42,10 @@ enum class FlightEventKind : uint8_t {
   kOom,              // bad_alloc reached the Run boundary
   kTermination,      // a0 = TerminationReason, a1 = status ok (0/1)
   kChoiceReject,     // a0 = rule index,   a1 = live candidates left in Q
+  kRecovery,         // a0 = WAL records replayed, a1 = torn bytes dropped
+  kCheckpoint,       // a0 = snapshot seq, a1 = snapshot bytes
+  kWalRotate,        // a0 = new WAL seq,  a1 = old WAL bytes retired
+  kDurabilityError,  // a0 = GD code (210/211/212), a1 = 0
 };
 
 /// Stable lowercase name for dumps ("round-start", "guard-trip", ...).

@@ -1,0 +1,176 @@
+// DurableStore: the crash-safe home of the EDB.
+//
+// Durability covers the extensional database — relation creations and
+// asserted facts (AddFact / Retract). The fixpoint is NOT persisted: on
+// reopen the engine replays the recovered EDB and re-derives it, which
+// the engine's deterministic evaluation makes bit-identical to the
+// uninterrupted run (the chaos test in tests/durability_test.cc holds it
+// to that).
+//
+// On-disk layout of a database directory:
+//
+//   MANIFEST            "GDMANIFEST1 snapshot=<S> wal=<W> crc=<hex>\n"
+//   snapshot-<S>.gds    full EDB image: "GDSNAP1\n" u64 S, body, u32 crc
+//   wal-<W>.log         mutations since snapshot S (see wal.h)
+//
+// The manifest names exactly one (snapshot, wal) pair and is replaced
+// atomically (write MANIFEST.tmp, fsync, rename, fsync dir), so a crash
+// at any instant leaves either the old pair or the new pair in force —
+// never a mix. Checkpoint() writes snapshot S+1 from the in-memory
+// mirror, starts wal W+1, swaps the manifest, then deletes the old pair;
+// stale files from a crash between swap and delete are swept on Open.
+//
+// Recovery (redo-only): read the manifest, load the snapshot it names,
+// replay the WAL tail stopping at the first torn record, truncate the
+// tail, and reopen the WAL for appending. Every mutation is logged
+// before it is applied (write-ahead), so a crash loses at most the
+// mutation whose append never completed.
+//
+// The store keeps an in-memory mirror of the EDB so checkpoints are
+// exact regardless of what derived facts the engine's catalog has
+// accumulated. Mirror rows and checkpoint I/O buffers are charged to the
+// MemoryBudget.
+#ifndef GDLOG_STORAGE_DURABLE_DURABLE_STORE_H_
+#define GDLOG_STORAGE_DURABLE_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/durable/wal.h"
+#include "storage/tuple.h"
+#include "value/value.h"
+
+namespace gdlog {
+
+class FaultInjector;
+class MemoryBudget;
+
+class DurableStore {
+ public:
+  struct Options {
+    std::string dir;  // database directory (created if absent)
+    FsyncPolicy fsync = FsyncPolicy::kBatch;
+    uint64_t wal_batch_bytes = 1 << 20;   // sync cadence under kBatch
+    uint64_t checkpoint_every = 0;        // auto-checkpoint after N appends
+                                          // (0 = only explicit Checkpoint())
+    FaultInjector* injector = nullptr;    // durability probes (may be null)
+    MemoryBudget* budget = nullptr;       // mirror + buffer charges
+  };
+
+  /// One recovered EDB relation; `rows` is a flat Value array of
+  /// `num_rows` x `arity` in original insertion order.
+  struct EdbRelation {
+    std::string name;
+    uint32_t arity = 0;
+    std::vector<Value> rows;
+    size_t num_rows = 0;
+  };
+
+  /// What Open() found on disk, for the RunReport and recovery tests.
+  struct RecoveryInfo {
+    bool opened_existing = false;  // a manifest was present
+    uint64_t snapshot_seq = 0;     // 0 = no snapshot yet
+    uint64_t wal_seq = 0;
+    uint64_t snapshot_relations = 0;
+    uint64_t snapshot_facts = 0;
+    uint64_t wal_records_replayed = 0;
+    uint64_t wal_valid_bytes = 0;    // recovered-up-to offset in the WAL
+    uint64_t wal_dropped_bytes = 0;  // torn tail discarded
+    bool wal_tail_dropped = false;
+  };
+
+  /// Counters for metrics / the RunReport durability section.
+  struct Stats {
+    uint64_t wal_appends = 0;
+    uint64_t wal_fsyncs = 0;
+    uint64_t wal_bytes_appended = 0;
+    uint64_t wal_size_bytes = 0;
+    uint64_t checkpoints = 0;
+    uint64_t checkpoint_bytes = 0;  // last snapshot image size
+    uint64_t edb_relations = 0;
+    uint64_t edb_facts = 0;
+  };
+
+  DurableStore() = default;
+  ~DurableStore();
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Creates/opens the database directory, recovers any on-disk state
+  /// into the mirror (interning values into `store`, which must outlive
+  /// this object), truncates a torn WAL tail, and opens the WAL for
+  /// appending. Fails with [GD211]/[GD212] on real corruption (a torn
+  /// tail is not corruption) and [GD210] on I/O errors.
+  Status Open(const Options& options, ValueStore* store);
+
+  bool open() const { return open_; }
+  const std::string& dir() const { return options_.dir; }
+  FsyncPolicy fsync_policy() const { return options_.fsync; }
+
+  // -- Write-ahead mutations ----------------------------------------------
+  // Each logs first, then applies to the mirror. All return [GD210] on
+  // append failure, leaving the mirror unchanged (the failed record is
+  // at worst a torn tail for the next recovery to drop).
+
+  Status LogCreateRelation(std::string_view name, uint32_t arity);
+  Status LogAddFact(std::string_view name, uint32_t arity, TupleView tuple);
+  Status LogRetract(std::string_view name, uint32_t arity, TupleView tuple);
+
+  /// Forces outstanding WAL appends to disk (policy permitting).
+  Status Sync();
+
+  /// Writes a snapshot of the mirror, rotates to a fresh WAL, and swaps
+  /// the manifest atomically. On failure the previous (snapshot, wal)
+  /// pair remains in force.
+  Status Checkpoint();
+
+  /// Sync and close the WAL. Open() may be called again afterwards.
+  Status Close();
+
+  // -- Recovered state ------------------------------------------------------
+  const RecoveryInfo& recovery() const { return recovery_; }
+  /// The EDB mirror, in creation order (replay these into the catalog).
+  const std::vector<EdbRelation>& relations() const { return relations_; }
+  Stats stats() const;
+  uint64_t wal_seq() const { return wal_seq_; }
+  uint64_t snapshot_seq() const { return snapshot_seq_; }
+
+ private:
+  EdbRelation* FindRelation(std::string_view name, uint32_t arity);
+  EdbRelation& EnsureRelation(std::string_view name, uint32_t arity);
+  void ApplyRecord(const WalRecord& rec);
+  Status ChargeBudget(size_t extra_buffer_bytes);
+  size_t MirrorBytes() const;
+  Status WriteManifest(uint64_t snapshot_seq, uint64_t wal_seq);
+  Status LoadSnapshot(const std::string& path, uint64_t expected_seq);
+  std::string WalPath(uint64_t seq) const;
+  std::string SnapshotPath(uint64_t seq) const;
+  void SweepStaleFiles();
+  Status MaybeAutoCheckpoint();
+
+  Options options_;
+  ValueStore* store_ = nullptr;
+  bool open_ = false;
+
+  std::vector<EdbRelation> relations_;
+  size_t total_facts_ = 0;
+
+  WalWriter wal_;
+  uint64_t wal_seq_ = 0;
+  uint64_t snapshot_seq_ = 0;
+  uint64_t appends_since_checkpoint_ = 0;
+
+  RecoveryInfo recovery_;
+  uint64_t checkpoints_ = 0;
+  uint64_t last_checkpoint_bytes_ = 0;
+
+  size_t charged_ = 0;  // MemoryBudget bookkeeping
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_STORAGE_DURABLE_DURABLE_STORE_H_

@@ -1,0 +1,221 @@
+#include "storage/durable/io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+
+namespace gdlog {
+
+namespace {
+
+Status ErrnoStatus(std::string_view op, const std::string& path, int err,
+                   uint64_t offset = UINT64_MAX) {
+  std::string msg = "[GD210] ";
+  msg += op;
+  msg += " failed for '";
+  msg += path;
+  msg += "'";
+  if (offset != UINT64_MAX) {
+    msg += " at offset " + std::to_string(offset);
+  }
+  msg += ": ";
+  msg += strerror(err);
+  msg += " (errno " + std::to_string(err) + ")";
+  return Status::RuntimeError(std::move(msg));
+}
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  const auto& table = Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+FileHandle::~FileHandle() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+FileHandle::FileHandle(FileHandle&& o) noexcept
+    : fd_(o.fd_), path_(std::move(o.path_)) {
+  o.fd_ = -1;
+}
+
+FileHandle& FileHandle::operator=(FileHandle&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = o.fd_;
+    path_ = std::move(o.path_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Status FileHandle::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0 && errno != EINTR) {
+    return ErrnoStatus("close", path_, errno);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<FileHandle> OpenWithFlags(const std::string& path, int flags,
+                                 std::string_view op) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return ErrnoStatus(op, path, errno);
+  return FileHandle(fd, path);
+}
+
+}  // namespace
+
+Result<FileHandle> OpenAppend(const std::string& path, uint64_t* size) {
+  GDLOG_ASSIGN_OR_RETURN(
+      FileHandle f,
+      OpenWithFlags(path, O_WRONLY | O_CREAT | O_APPEND, "open(append)"));
+  struct stat st;
+  if (::fstat(f.fd(), &st) != 0) {
+    return ErrnoStatus("fstat", path, errno);
+  }
+  if (size != nullptr) *size = static_cast<uint64_t>(st.st_size);
+  return f;
+}
+
+Result<FileHandle> OpenRead(const std::string& path) {
+  return OpenWithFlags(path, O_RDONLY, "open(read)");
+}
+
+Result<FileHandle> OpenTrunc(const std::string& path) {
+  return OpenWithFlags(path, O_WRONLY | O_CREAT | O_TRUNC, "open(trunc)");
+}
+
+Status WriteFully(const FileHandle& f, const void* data, size_t len,
+                  uint64_t offset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(f.fd(), p + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", f.path(), errno, offset + done);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> ReadAt(const FileHandle& f, void* data, size_t len,
+                      uint64_t offset) {
+  auto* p = static_cast<unsigned char*>(data);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(f.fd(), p + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("read", f.path(), errno, offset + done);
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<size_t>(n);
+  }
+  return done;
+}
+
+Status Fsync(const FileHandle& f) {
+  int rc;
+  do {
+    rc = ::fsync(f.fd());
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("fsync", f.path(), errno);
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir) {
+  GDLOG_ASSIGN_OR_RETURN(FileHandle d,
+                         OpenWithFlags(dir, O_RDONLY, "open(dir)"));
+  GDLOG_RETURN_IF_ERROR(Fsync(d));
+  return d.Close();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  int rc;
+  do {
+    rc = ::rename(from.c_str(), to.c_str());
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("rename", from + " -> " + to, errno);
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink", path, errno);
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const FileHandle& f, uint64_t size) {
+  int rc;
+  do {
+    rc = ::ftruncate(f.fd(), static_cast<off_t>(size));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("ftruncate", f.path(), errno, size);
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir", dir, errno);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path, uint64_t* size) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return false;
+  if (size != nullptr) *size = static_cast<uint64_t>(st.st_size);
+  return true;
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  GDLOG_ASSIGN_OR_RETURN(FileHandle f, OpenRead(path));
+  uint64_t size = 0;
+  struct stat st;
+  if (::fstat(f.fd(), &st) == 0) size = static_cast<uint64_t>(st.st_size);
+  out->resize(size);
+  GDLOG_ASSIGN_OR_RETURN(size_t n, ReadAt(f, out->data(), size, 0));
+  out->resize(n);
+  return f.Close();
+}
+
+}  // namespace gdlog

@@ -1,0 +1,98 @@
+// POSIX file primitives for the durability layer: every call retries
+// EINTR, converts errno failures into Status carrying the failing path
+// (and, for positional I/O, the offset), and never throws.
+//
+// The durability code builds its crash-consistency story out of exactly
+// four idioms, all provided here:
+//
+//   - append + fsync            (WAL records)
+//   - write temp + fsync + rename + fsync(dir)   (snapshot / MANIFEST)
+//   - read fully, tolerate short reads at EOF    (recovery)
+//   - CRC32 over every persisted payload         (torn-write detection)
+//
+// Failures come back as Status with the [GD210] WAL-error code attached
+// by the callers that know which artifact was being touched.
+#ifndef GDLOG_STORAGE_DURABLE_IO_H_
+#define GDLOG_STORAGE_DURABLE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gdlog {
+
+/// CRC-32 (ISO-HDLC polynomial 0xEDB88320, the zlib/PNG variant) over a
+/// byte span, optionally continuing a running checksum: pass the previous
+/// return value as `seed` to checksum data arriving in pieces.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// A file descriptor with RAII close (close errors on the destructor
+/// path are swallowed; call Close() to observe them).
+class FileHandle {
+ public:
+  FileHandle() = default;
+  FileHandle(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~FileHandle();
+
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+  FileHandle(FileHandle&& o) noexcept;
+  FileHandle& operator=(FileHandle&& o) noexcept;
+
+  bool open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+
+  /// close(2) with EINTR handling; the handle is empty afterwards either
+  /// way (retrying close after EINTR is unsafe on Linux).
+  Status Close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// open(2) for appending, creating the file if needed. Returns the size
+/// the file had on open through `size` (append offset bookkeeping).
+Result<FileHandle> OpenAppend(const std::string& path, uint64_t* size);
+/// open(2) read-only.
+Result<FileHandle> OpenRead(const std::string& path);
+/// open(2) write-only, O_CREAT | O_TRUNC (temp artifacts to be renamed).
+Result<FileHandle> OpenTrunc(const std::string& path);
+
+/// write(2) until done, retrying EINTR and short writes. `offset` is
+/// only used for the error message.
+Status WriteFully(const FileHandle& f, const void* data, size_t len,
+                  uint64_t offset);
+
+/// pread(2) until `len` bytes or EOF, retrying EINTR. Returns the byte
+/// count actually read (short at EOF is not an error).
+Result<size_t> ReadAt(const FileHandle& f, void* data, size_t len,
+                      uint64_t offset);
+
+/// fsync(2) with EINTR retry.
+Status Fsync(const FileHandle& f);
+/// Opens `dir`, fsyncs it, closes it — makes a rename or create in that
+/// directory durable.
+Status FsyncDir(const std::string& dir);
+
+/// rename(2), EINTR-retried.
+Status RenameFile(const std::string& from, const std::string& to);
+/// unlink(2); a missing file is not an error.
+Status RemoveFile(const std::string& path);
+/// ftruncate(2), EINTR-retried.
+Status TruncateFile(const FileHandle& f, uint64_t size);
+/// mkdir(2); an existing directory is not an error.
+Status EnsureDir(const std::string& dir);
+/// stat(2)-based existence + size probe; false when absent.
+bool FileExists(const std::string& path, uint64_t* size = nullptr);
+/// Reads a whole (small) file into `out`.
+Status ReadWholeFile(const std::string& path, std::string* out);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_STORAGE_DURABLE_IO_H_

@@ -1,0 +1,164 @@
+// Write-ahead log of catalog mutations, append-only and CRC-checked.
+//
+// File layout (`wal-<seq>.log`):
+//
+//   header   "GDWAL1\n\0"  u64 wal_seq
+//   record*  u32 crc32(type+payload)  u32 len(type+payload)  u8 type  payload
+//
+// All integers are little-endian fixed width. Three record types:
+//
+//   kAddFact / kRetract   u32 name_len, name, u32 arity, arity x Value
+//   kCreateRelation       u32 name_len, name, u32 arity
+//
+// Values serialize self-contained (symbols by name, terms recursively),
+// so a WAL replays into any fresh ValueStore. Recovery reads records
+// until the first torn/truncated/checksum-failing one and treats that
+// point as end-of-log (redo-only, ARIES-style): a crash mid-append can
+// only lose the record being written, never corrupt earlier ones. The
+// writer truncates the recovered log back to its valid prefix before
+// appending again.
+//
+// Fsync policy: `always` syncs after every append; `batch` syncs once
+// per `batch_bytes` appended (and on checkpoint/close); `off` leaves
+// flushing to the OS. FaultInjector probes `wal.append` (torn write:
+// only a prefix of the record reaches the file) and `wal.fsync`
+// (injected sync failure) exercise both failure paths deterministically.
+#ifndef GDLOG_STORAGE_DURABLE_WAL_H_
+#define GDLOG_STORAGE_DURABLE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/durable/io.h"
+#include "storage/tuple.h"
+#include "value/value.h"
+
+namespace gdlog {
+
+class FaultInjector;
+
+enum class FsyncPolicy : uint8_t { kAlways = 0, kBatch = 1, kOff = 2 };
+
+/// "always" / "batch" / "off".
+std::string_view FsyncPolicyName(FsyncPolicy p);
+/// Parses a policy name; InvalidArgument on anything else.
+Result<FsyncPolicy> ParseFsyncPolicy(std::string_view name);
+
+enum class WalRecordType : uint8_t {
+  kAddFact = 1,
+  kRetract = 2,
+  kCreateRelation = 3,
+};
+
+/// One decoded WAL record. `tuple` is empty for kCreateRelation.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kAddFact;
+  std::string name;
+  uint32_t arity = 0;
+  std::vector<Value> tuple;
+};
+
+// -- Byte codec shared by the WAL and the snapshot writer -------------------
+
+void AppendU32(std::string* buf, uint32_t v);
+void AppendU64(std::string* buf, uint64_t v);
+void AppendBytes(std::string* buf, std::string_view s);
+/// Serializes one value: u8 tag, then int payload / symbol name /
+/// functor + args recursively.
+void AppendValue(std::string* buf, const ValueStore& store, Value v);
+
+/// Cursor over an in-memory byte span; every Read* fails with
+/// RuntimeError("[GD211] ...") instead of reading past the end.
+struct ByteReader {
+  const char* data = nullptr;
+  size_t size = 0;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= size; }
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadBytes(size_t n, std::string_view* s);
+  Status ReadValue(ValueStore* store, Value* v);
+};
+
+// -- Writer ------------------------------------------------------------------
+
+class WalWriter {
+ public:
+  struct Options {
+    FsyncPolicy fsync = FsyncPolicy::kBatch;
+    uint64_t batch_bytes = 1 << 20;  // sync cadence under kBatch
+    FaultInjector* injector = nullptr;
+  };
+
+  WalWriter() = default;
+
+  /// Opens `path` for appending. When the file is empty a fresh header
+  /// with `wal_seq` is written; otherwise the caller has already
+  /// recovered the file and passes the valid prefix length through
+  /// `valid_size` — anything after it (a torn tail) is truncated away.
+  Status Open(const std::string& path, uint64_t wal_seq, uint64_t valid_size);
+
+  /// Appends one record (write-ahead: call before mutating the store).
+  /// Under FsyncPolicy::kAlways the record is also synced. The
+  /// `wal.append` probe turns this into a torn write: a prefix of the
+  /// record reaches the file and the append fails with [GD210].
+  Status Append(const ValueStore& store, WalRecordType type,
+                std::string_view name, uint32_t arity, TupleView tuple);
+
+  /// Syncs outstanding appends (no-op under kOff or when clean).
+  Status Sync();
+
+  /// Sync (policy permitting) and close the file.
+  Status Close();
+
+  bool open() const { return file_.open(); }
+  uint64_t size_bytes() const { return size_; }
+  uint64_t appends() const { return appends_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+  void set_options(const Options& o) { options_ = o; }
+
+ private:
+  Options options_;
+  FileHandle file_;
+  uint64_t size_ = 0;            // valid bytes in the file
+  uint64_t unsynced_bytes_ = 0;  // appended since the last fsync
+  uint64_t appends_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t bytes_appended_ = 0;
+};
+
+// -- Reader ------------------------------------------------------------------
+
+/// Result of scanning one WAL file: the decoded records of the valid
+/// prefix, where that prefix ends, and whether a torn/corrupt tail was
+/// dropped (with how many bytes).
+struct WalScan {
+  std::vector<WalRecord> records;
+  uint64_t valid_size = 0;     // byte offset recovery may append from
+  uint64_t dropped_bytes = 0;  // bytes after the first bad record
+  bool tail_dropped = false;
+};
+
+/// Reads `path`, verifies the header carries `expected_seq`, and decodes
+/// records until EOF or the first invalid one (short header/record or
+/// CRC mismatch — both are treated as the end of the log, per the
+/// redo-only recovery contract). A missing file yields an empty scan
+/// with valid_size 0. Hard failures (unreadable file, wrong magic or
+/// sequence number) return [GD211].
+Result<WalScan> ReadWal(const std::string& path, uint64_t expected_seq,
+                        ValueStore* store);
+
+/// The WAL header size (magic + sequence number), exposed for tests
+/// that truncate files at precise byte boundaries.
+inline constexpr uint64_t kWalHeaderSize = 16;
+inline constexpr std::string_view kWalMagic = "GDWAL1\n";  // + NUL = 8 bytes
+
+}  // namespace gdlog
+
+#endif  // GDLOG_STORAGE_DURABLE_WAL_H_

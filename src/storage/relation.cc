@@ -54,6 +54,28 @@ Relation::InsertResult Relation::Insert(TupleView tuple) {
   return {row, true};
 }
 
+bool Relation::Retract(TupleView tuple) {
+  GDLOG_CHECK(indices_.empty() && delta_end_ == 0)
+      << "Retract is only valid before evaluation";
+  const RowId row = Find(tuple);
+  if (row == kNoRow) return false;
+  // Shift-erase keeps the remaining rows in insertion order; the dedup
+  // set is rebuilt because every row id after `row` changes.
+  data_.erase(data_.begin() + static_cast<size_t>(row) * arity_,
+              data_.begin() + (static_cast<size_t>(row) + 1) * arity_);
+  row_hashes_.erase(row_hashes_.begin() + row);
+  --num_rows_;
+  if (prov_ != nullptr && row < prov_->rule.size()) {
+    if (prov_->rule[row] != kUnknownRule) --prov_->annotated;
+    prov_->rule.erase(prov_->rule.begin() + row);
+    prov_->span_begin.erase(prov_->span_begin.begin() + row);
+    prov_->span_len.erase(prov_->span_len.begin() + row);
+  }
+  RehashSet(set_buckets_.size());
+  RecountMemory();
+  return true;
+}
+
 void Relation::set_memory_budget(MemoryBudget* budget) {
   budget_ = budget;
   RecountMemory();

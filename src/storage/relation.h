@@ -49,6 +49,13 @@ class Relation {
   };
   InsertResult Insert(TupleView tuple);
 
+  /// Removes a tuple, preserving the insertion order of the others.
+  /// Only valid before evaluation starts (no indices built, watermarks
+  /// still at zero) — Retract exists for EDB edits between loads, not
+  /// for the fixpoint, which is append-only. Returns whether the tuple
+  /// was present.
+  bool Retract(TupleView tuple);
+
   /// True iff the tuple is present.
   bool Contains(TupleView tuple) const;
   /// Row id of the tuple, or kNoRow.

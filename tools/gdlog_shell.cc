@@ -31,6 +31,11 @@
 //   --max-stages N       stop after N next-rule stage advances
 //   --max-memory-mb N    stop when tracked memory exceeds N MiB
 //   --faults SPEC        deterministic fault injection (probe[@N],...)
+//   --db-dir PATH        durable database directory (WAL + checkpoints);
+//                        inline facts are WAL-logged, recovered EDB facts
+//                        from a previous run are replayed on open
+//   --fsync POLICY       WAL fsync policy: always | batch | off
+//   --checkpoint-every N snapshot automatically every N logged mutations
 //
 // A run stopped by a limit (or by SIGINT) is a *bounded stop*: the shell
 // prints the termination reason plus whatever partial results were asked
@@ -51,7 +56,7 @@
 //   .explain | .blackbox | .metrics [PATH]
 //   .why [text|json|dot] TARGET | .choices | .provenance on|off
 //   .report | .rewrite | .verify | .trace on [PATH] | .trace off
-//   .seed N | .quit
+//   .open DIR [POLICY] | .save | .seed N | .quit
 //
 // Example:
 //   $ gdlog_shell prim.dl --query prm/4 --verify --trace prim_trace.json
@@ -138,7 +143,9 @@ void Usage(const char* argv0) {
                "[--trace PATH] [--no-merge] [--linear-least] "
                "[--threads N] [--no-planner] [--no-absint] [--no-priors] "
                "[--deadline-ms N] [--max-tuples N] [--max-stages N] "
-               "[--max-memory-mb N] [--faults SPEC]\n"
+               "[--max-memory-mb N] [--faults SPEC] "
+               "[--db-dir PATH] [--fsync always|batch|off] "
+               "[--checkpoint-every N]\n"
                "       %s --interactive [options]\n",
                argv0, argv0);
 }
@@ -306,6 +313,9 @@ int RunLint(const std::string& name, const std::string& text,
 
 /// REPL state. Engines are single-shot, so `.run` after a completed run
 /// (and every option change) rebuilds the engine from the saved text.
+/// With a durable database attached (.open / --db-dir) an engine can
+/// exist with no program loaded at all: it holds the recovered EDB,
+/// queryable via .query, awaiting a .load.
 struct Shell {
   gdlog::EngineOptions options;
   std::string program_path;
@@ -314,7 +324,18 @@ struct Shell {
 
   bool Reload() {
     engine = std::make_unique<gdlog::Engine>(options);
-    const gdlog::Status st = engine->LoadProgram(program_text);
+    if (!engine->durability_status().ok()) {
+      std::printf("error: %s\n",
+                  engine->durability_status().ToString().c_str());
+      engine.reset();
+      return false;
+    }
+    if (program_text.empty()) return true;  // recovered EDB only
+    // A durable engine loads inline facts through AddFact so they
+    // traverse the WAL (see Engine::LoadProgramDurable).
+    const gdlog::Status st = options.durability.dir.empty()
+                                 ? engine->LoadProgram(program_text)
+                                 : engine->LoadProgramDurable(program_text);
     if (!st.ok()) {
       std::printf("error: %s\n", st.ToString().c_str());
       engine.reset();
@@ -346,6 +367,9 @@ void PrintHelp() {
       ".verify           Gelfond-Lifschitz stable-model check\n"
       ".trace on [PATH]  record a timeline; write Chrome trace on .run\n"
       ".trace off        disable tracing\n"
+      ".open DIR [POLICY] attach a durable database (WAL + checkpoints);\n"
+      "                  recovers any existing state; POLICY: always|batch|off\n"
+      ".save             checkpoint the durable database (snapshot + WAL rotate)\n"
       ".seed N           choice tie-break seed\n"
       ".help             this text\n"
       ".quit             exit\n");
@@ -386,6 +410,50 @@ int RunInteractive(gdlog::EngineOptions options) {
       sh.program_path = arg1;
       sh.program_text = text.str();
       if (sh.Reload()) std::printf("loaded %s\n", arg1.c_str());
+    } else if (cmd == ".open") {
+      if (arg1.empty()) {
+        std::printf("usage: .open DIR [always|batch|off]\n");
+        continue;
+      }
+      sh.options.durability.dir = arg1;
+      if (!arg2.empty()) sh.options.durability.fsync = arg2;
+      if (!sh.Reload()) {
+        sh.options.durability.dir.clear();
+        continue;
+      }
+      const gdlog::DurableStore::RecoveryInfo& rec =
+          sh.engine->durable()->recovery();
+      if (rec.opened_existing) {
+        std::printf("opened %s: snapshot seq %llu (%llu facts), %llu WAL "
+                    "record(s) replayed%s\n",
+                    arg1.c_str(),
+                    static_cast<unsigned long long>(rec.snapshot_seq),
+                    static_cast<unsigned long long>(rec.snapshot_facts),
+                    static_cast<unsigned long long>(rec.wal_records_replayed),
+                    rec.wal_tail_dropped ? " (torn tail dropped)" : "");
+      } else {
+        const std::string_view pol =
+            gdlog::FsyncPolicyName(sh.engine->durable()->fsync_policy());
+        std::printf("created %s (fsync=%.*s)\n", arg1.c_str(),
+                    static_cast<int>(pol.size()), pol.data());
+      }
+    } else if (cmd == ".save") {
+      if (!sh.engine || sh.engine->durable() == nullptr) {
+        std::printf("error: no durable database (.open DIR first)\n");
+        continue;
+      }
+      const gdlog::Status st = sh.engine->Checkpoint();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      const gdlog::DurableStore& d = *sh.engine->durable();
+      std::printf("checkpoint: snapshot seq %llu, %llu facts, %llu bytes, "
+                  "WAL rotated to seq %llu\n",
+                  static_cast<unsigned long long>(d.snapshot_seq()),
+                  static_cast<unsigned long long>(d.stats().edb_facts),
+                  static_cast<unsigned long long>(d.stats().checkpoint_bytes),
+                  static_cast<unsigned long long>(d.wal_seq()));
     } else if (cmd == ".trace") {
       if (arg1 == "on") {
         sh.options.obs.enabled = true;
@@ -683,6 +751,13 @@ int main(int argc, char** argv) {
           std::strtoull(argv[++i], nullptr, 10) * 1024 * 1024;
     } else if (arg == "--faults" && i + 1 < argc) {
       options.faults = argv[++i];
+    } else if (arg == "--db-dir" && i + 1 < argc) {
+      options.durability.dir = argv[++i];
+    } else if (arg == "--fsync" && i + 1 < argc) {
+      options.durability.fsync = argv[++i];
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      options.durability.checkpoint_every =
+          std::strtoull(argv[++i], nullptr, 10);
     } else if (arg[0] == '-') {
       Usage(argv[0]);
       return 2;
@@ -707,10 +782,25 @@ int main(int argc, char** argv) {
   if (lint) return RunLint(path, text.str(), queries, options, lint_json);
 
   gdlog::Engine engine(options);
-  gdlog::Status st = engine.LoadProgram(text.str());
+  // With a durable database the inline facts must traverse the WAL, so
+  // they are loaded via AddFact rather than as program text.
+  gdlog::Status st = options.durability.dir.empty()
+                         ? engine.LoadProgram(text.str())
+                         : engine.LoadProgramDurable(text.str());
   if (!st.ok()) {
     std::fprintf(stderr, "%s: %s\n", path, st.ToString().c_str());
     return 1;
+  }
+  if (engine.durable() != nullptr && engine.durable()->recovery().opened_existing) {
+    const gdlog::DurableStore::RecoveryInfo& rec = engine.durable()->recovery();
+    std::fprintf(stderr,
+                 "%% recovered %s: snapshot seq %llu (%llu facts), %llu WAL "
+                 "record(s) replayed%s\n",
+                 options.durability.dir.c_str(),
+                 static_cast<unsigned long long>(rec.snapshot_seq),
+                 static_cast<unsigned long long>(rec.snapshot_facts),
+                 static_cast<unsigned long long>(rec.wal_records_replayed),
+                 rec.wal_tail_dropped ? " (torn tail dropped)" : "");
   }
   if (report) {
     auto r = engine.AnalysisReport();
