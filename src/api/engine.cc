@@ -190,6 +190,8 @@ void Engine::PublishDurabilityMetrics() {
       ->Set(static_cast<int64_t>(durable_->wal_seq()));
   metrics_->GetGauge("checkpoint.count")
       ->Set(static_cast<int64_t>(s.checkpoints));
+  metrics_->GetGauge("checkpoint.failures")
+      ->Set(static_cast<int64_t>(s.checkpoint_failures));
   metrics_->GetGauge("checkpoint.last_bytes")
       ->Set(static_cast<int64_t>(s.checkpoint_bytes));
   metrics_->GetGauge("checkpoint.snapshot_seq")
@@ -260,6 +262,14 @@ Status Engine::LoadProgramAst(Program program) {
   return Status::OK();
 }
 
+void Engine::RecordDeferredDurabilityError() {
+  if (durable_ == nullptr) return;
+  const Status st = durable_->TakeDeferredError();
+  if (!st.ok() && recorder_) {
+    recorder_->Record(FlightEventKind::kDurabilityError, DiagCodeNumber(st));
+  }
+}
+
 Status Engine::AddFact(std::string_view predicate, std::vector<Value> args) {
   if (ran_) return Status::InvalidArgument("cannot add facts after Run");
   GDLOG_RETURN_IF_ERROR(durability_status_);
@@ -272,24 +282,47 @@ Status Engine::AddFact(std::string_view predicate, std::vector<Value> args) {
       // (which keeps retract-by-first-match exact on replay). In-memory
       // engines skip the extra probe — Insert dedups on its own.
       if (rel.Contains(TupleView(args))) return Status::OK();
-      // Write-ahead: the fact must be logged before it becomes visible.
-      // On failure nothing is applied — at worst the log carries a torn
-      // tail the next recovery drops.
-      Status st = durable_->LogCreateRelation(predicate, arity);
-      if (st.ok()) st = durable_->LogAddFact(predicate, arity, TupleView(args));
-      if (!st.ok()) {
-        if (recorder_) {
-          recorder_->Record(FlightEventKind::kDurabilityError,
-                            DiagCodeNumber(st));
+      try {
+        // Write-ahead: the fact must be logged before it becomes
+        // visible. On append failure nothing is applied — at worst the
+        // log carries a torn tail the next recovery drops. Failures
+        // after the append (budget, auto-checkpoint) do not fail the
+        // add: the fact is already durable, and failing here would make
+        // the caller retry past the dedup probe and log it twice.
+        Status st = durable_->LogCreateRelation(predicate, arity);
+        if (st.ok()) {
+          st = durable_->LogAddFact(predicate, arity, TupleView(args));
         }
-        return st;
+        RecordDeferredDurabilityError();
+        if (!st.ok()) {
+          if (recorder_) {
+            recorder_->Record(FlightEventKind::kDurabilityError,
+                              DiagCodeNumber(st));
+          }
+          return st;
+        }
+        const auto res = rel.Insert(TupleView(args));
+        if (res.inserted && rel.provenance_enabled()) {
+          rel.Annotate(res.row, Relation::kEdbRule, nullptr, 0);
+        }
+      } catch (const std::bad_alloc&) {
+        // Between the WAL append and the relation insert there is no
+        // safe failure point: the fact may be durable yet absent from
+        // the session, and a retried add would pass the dedup probe and
+        // duplicate it in the log. Latch durability instead.
+        durability_status_ = Status::RuntimeError(
+            "[GD210] durable store '" + durable_->dir() +
+            "' out of sync with the session after an allocation failure; "
+            "reopen to recover");
+        return OomStatus();
       }
+      PublishDurabilityMetrics();
+      return Status::OK();
     }
     const auto res = rel.Insert(TupleView(args));
     if (res.inserted && rel.provenance_enabled()) {
       rel.Annotate(res.row, Relation::kEdbRule, nullptr, 0);
     }
-    if (durable_) PublishDurabilityMetrics();
     return Status::OK();
   } catch (const std::bad_alloc&) {
     return OomStatus();
@@ -300,26 +333,34 @@ Status Engine::RetractFact(std::string_view predicate,
                            std::vector<Value> args) {
   if (ran_) return Status::InvalidArgument("cannot retract facts after Run");
   GDLOG_RETURN_IF_ERROR(durability_status_);
-  const auto arity = static_cast<uint32_t>(args.size());
-  const PredicateId id = catalog_->Lookup(predicate, arity);
-  if (id == kNoPredicate || !catalog_->relation(id).Contains(TupleView(args))) {
-    return Status::NotFound(
-        "fact not present: " + std::string(predicate) +
-        TupleToString(*store_, TupleView(args)));
-  }
-  if (durable_) {
-    const Status st = durable_->LogRetract(predicate, arity, TupleView(args));
-    if (!st.ok()) {
-      if (recorder_) {
-        recorder_->Record(FlightEventKind::kDurabilityError,
-                          DiagCodeNumber(st));
-      }
-      return st;
+  try {
+    const auto arity = static_cast<uint32_t>(args.size());
+    const PredicateId id = catalog_->Lookup(predicate, arity);
+    if (id == kNoPredicate ||
+        !catalog_->relation(id).Contains(TupleView(args))) {
+      return Status::NotFound(
+          "fact not present: " + std::string(predicate) +
+          TupleToString(*store_, TupleView(args)));
     }
+    if (durable_) {
+      const Status st = durable_->LogRetract(predicate, arity, TupleView(args));
+      RecordDeferredDurabilityError();
+      if (!st.ok()) {
+        if (recorder_) {
+          recorder_->Record(FlightEventKind::kDurabilityError,
+                            DiagCodeNumber(st));
+        }
+        return st;
+      }
+    }
+    // A bad_alloc past this point is retry-safe, unlike AddFact's: a
+    // second retract of the same tuple replays as a no-op.
+    catalog_->relation(id).Retract(TupleView(args));
+    if (durable_) PublishDurabilityMetrics();
+    return Status::OK();
+  } catch (const std::bad_alloc&) {
+    return OomStatus();
   }
-  catalog_->relation(id).Retract(TupleView(args));
-  if (durable_) PublishDurabilityMetrics();
-  return Status::OK();
 }
 
 Status Engine::Checkpoint() {
@@ -914,6 +955,7 @@ Result<std::string> Engine::RunReport() const {
     w.Key("wal_size_bytes").UInt(ds.wal_size_bytes);
     w.Key("checkpoints").UInt(ds.checkpoints);
     w.Key("checkpoint_bytes").UInt(ds.checkpoint_bytes);
+    w.Key("checkpoint_failures").UInt(ds.checkpoint_failures);
     w.Key("edb_relations").UInt(ds.edb_relations);
     w.Key("edb_facts").UInt(ds.edb_facts);
     w.Key("recovery").BeginObject();

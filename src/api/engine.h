@@ -323,6 +323,10 @@ class Engine {
   void OpenDurability();
   /// Mirrors the durable store's counters into the metrics gauges.
   void PublishDurabilityMetrics();
+  /// Flight-records any post-append durability failure the store
+  /// deferred (budget charge, auto-checkpoint) without failing the
+  /// mutation it rode on.
+  void RecordDeferredDurabilityError();
   /// Rendered program rules indexed by rule index (facts stay empty).
   std::vector<std::string> RuleTexts() const;
   /// Runs the abstract interpreter on the loaded program against the

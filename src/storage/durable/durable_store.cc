@@ -130,9 +130,42 @@ Status DurableStore::ChargeBudget(size_t extra_buffer_bytes) {
   return Status::OK();
 }
 
+void DurableStore::Latch(const Status& why) {
+  if (!failed_.ok()) return;
+  failed_ = Status::RuntimeError(
+      "[GD210] durable store '" + options_.dir +
+      "' closed to mutations after an unrecoverable failure (reopen to "
+      "recover): " + why.message());
+}
+
+Status DurableStore::TakeDeferredError() {
+  Status st = std::move(deferred_);
+  deferred_ = Status::OK();
+  return st;
+}
+
+void DurableStore::FinishMutation() {
+  ++appends_since_checkpoint_;
+  // The record is durable from here on; nothing below may fail the
+  // mutation (the caller would retry it and duplicate the add in the
+  // log). A budget failure leaves the accounting out of step with the
+  // mirror, so it latches; a safe checkpoint failure just retries on
+  // the next cadence hit (fatal ones latch inside Checkpoint()).
+  if (Status st = ChargeBudget(0); !st.ok()) {
+    Latch(st);
+    if (deferred_.ok()) deferred_ = std::move(st);
+    return;
+  }
+  if (Status st = MaybeAutoCheckpoint(); !st.ok()) {
+    ++checkpoint_failures_;
+    if (deferred_.ok()) deferred_ = std::move(st);
+  }
+}
+
 // -- Manifest -----------------------------------------------------------------
 
-Status DurableStore::WriteManifest(uint64_t snapshot_seq, uint64_t wal_seq) {
+Status DurableStore::WriteManifest(uint64_t snapshot_seq, uint64_t wal_seq,
+                                   bool* renamed) {
   std::string body(kManifestMagic);
   body += " snapshot=" + std::to_string(snapshot_seq);
   body += " wal=" + std::to_string(wal_seq);
@@ -146,6 +179,7 @@ Status DurableStore::WriteManifest(uint64_t snapshot_seq, uint64_t wal_seq) {
   GDLOG_RETURN_IF_ERROR(Fsync(f));
   GDLOG_RETURN_IF_ERROR(f.Close());
   GDLOG_RETURN_IF_ERROR(RenameFile(tmp, final_path));
+  if (renamed != nullptr) *renamed = true;
   return FsyncDir(options_.dir);
 }
 
@@ -277,6 +311,9 @@ Status DurableStore::Open(const Options& options, ValueStore* store) {
   relations_.clear();
   total_facts_ = 0;
   recovery_ = RecoveryInfo{};
+  failed_ = Status::OK();
+  deferred_ = Status::OK();
+  checkpoint_failures_ = 0;
 
   GDLOG_RETURN_IF_ERROR(EnsureDir(options_.dir));
 
@@ -356,32 +393,33 @@ void DurableStore::SweepStaleFiles() {
 
 Status DurableStore::LogCreateRelation(std::string_view name, uint32_t arity) {
   if (!open_) return Status::Internal("DurableStore not open");
+  GDLOG_RETURN_IF_ERROR(failed_);
   if (FindRelation(name, arity) != nullptr) return Status::OK();
   GDLOG_RETURN_IF_ERROR(wal_.Append(*store_, WalRecordType::kCreateRelation,
                                     name, arity, TupleView()));
   EnsureRelation(name, arity);
-  ++appends_since_checkpoint_;
-  GDLOG_RETURN_IF_ERROR(ChargeBudget(0));
-  return MaybeAutoCheckpoint();
+  FinishMutation();
+  return Status::OK();
 }
 
 Status DurableStore::LogAddFact(std::string_view name, uint32_t arity,
                                 TupleView tuple) {
   if (!open_) return Status::Internal("DurableStore not open");
+  GDLOG_RETURN_IF_ERROR(failed_);
   GDLOG_RETURN_IF_ERROR(
       wal_.Append(*store_, WalRecordType::kAddFact, name, arity, tuple));
   EdbRelation& r = EnsureRelation(name, arity);
   r.rows.insert(r.rows.end(), tuple.begin(), tuple.end());
   ++r.num_rows;
   ++total_facts_;
-  ++appends_since_checkpoint_;
-  GDLOG_RETURN_IF_ERROR(ChargeBudget(0));
-  return MaybeAutoCheckpoint();
+  FinishMutation();
+  return Status::OK();
 }
 
 Status DurableStore::LogRetract(std::string_view name, uint32_t arity,
                                 TupleView tuple) {
   if (!open_) return Status::Internal("DurableStore not open");
+  GDLOG_RETURN_IF_ERROR(failed_);
   GDLOG_RETURN_IF_ERROR(
       wal_.Append(*store_, WalRecordType::kRetract, name, arity, tuple));
   WalRecord rec;
@@ -390,13 +428,13 @@ Status DurableStore::LogRetract(std::string_view name, uint32_t arity,
   rec.arity = arity;
   rec.tuple.assign(tuple.begin(), tuple.end());
   ApplyRecord(rec);
-  ++appends_since_checkpoint_;
-  GDLOG_RETURN_IF_ERROR(ChargeBudget(0));
-  return MaybeAutoCheckpoint();
+  FinishMutation();
+  return Status::OK();
 }
 
 Status DurableStore::Sync() {
   if (!open_) return Status::OK();
+  GDLOG_RETURN_IF_ERROR(failed_);
   return wal_.Sync();
 }
 
@@ -412,6 +450,7 @@ Status DurableStore::MaybeAutoCheckpoint() {
 
 Status DurableStore::Checkpoint() {
   if (!open_) return Status::Internal("DurableStore not open");
+  GDLOG_RETURN_IF_ERROR(failed_);
 
   const uint64_t new_snapshot = snapshot_seq_ + 1;
   const uint64_t new_wal = wal_seq_ + 1;
@@ -433,6 +472,7 @@ Status DurableStore::Checkpoint() {
                           image.size() - kSnapMagic.size()));
   GDLOG_RETURN_IF_ERROR(ChargeBudget(image.size()));
 
+  bool manifest_renamed = false;
   Status st = [&]() -> Status {
     if (options_.injector != nullptr &&
         options_.injector->Hit(FaultInjector::kCheckpointWrite)) {
@@ -462,26 +502,35 @@ Status DurableStore::Checkpoint() {
     GDLOG_RETURN_IF_ERROR(FsyncDir(options_.dir));
 
     // 4. The swap: after this rename the new pair is in force.
-    GDLOG_RETURN_IF_ERROR(WriteManifest(new_snapshot, new_wal));
+    GDLOG_RETURN_IF_ERROR(
+        WriteManifest(new_snapshot, new_wal, &manifest_renamed));
 
-    // 5. Retire the old pair (stale files would be swept on reopen
-    //    anyway, so failures here don't matter).
+    // 5. Commit the in-memory view before any retire I/O, and treat the
+    //    old pair as best-effort cleanup: the old WAL is superseded, so
+    //    even its close/sync failing is moot, and stale files from a
+    //    failed delete are swept on reopen.
     const std::string old_wal = WalPath(wal_seq_);
     const std::string old_snap =
         snapshot_seq_ != 0 ? SnapshotPath(snapshot_seq_) : std::string();
-    GDLOG_RETURN_IF_ERROR(wal_.Close());
+    (void)wal_.Close();
     wal_ = std::move(next);
-    (void)RemoveFile(old_wal);
-    if (!old_snap.empty()) (void)RemoveFile(old_snap);
-
     snapshot_seq_ = new_snapshot;
     wal_seq_ = new_wal;
     appends_since_checkpoint_ = 0;
     ++checkpoints_;
     last_checkpoint_bytes_ = image.size();
+    (void)RemoveFile(old_wal);
+    if (!old_snap.empty()) (void)RemoveFile(old_snap);
     return Status::OK();
   }();
 
+  if (!st.ok() && manifest_renamed) {
+    // The on-disk MANIFEST already names the new (empty) WAL while this
+    // process would keep appending to the retired one — those appends
+    // would be acknowledged and then vanish on reopen. Nothing after
+    // the rename can be trusted, so refuse all further mutations.
+    Latch(st);
+  }
   GDLOG_RETURN_IF_ERROR(ChargeBudget(0));  // release the image buffer charge
   return st;
 }
@@ -504,6 +553,7 @@ DurableStore::Stats DurableStore::stats() const {
   s.wal_size_bytes = wal_.size_bytes();
   s.checkpoints = checkpoints_;
   s.checkpoint_bytes = last_checkpoint_bytes_;
+  s.checkpoint_failures = checkpoint_failures_;
   s.edb_relations = relations_.size();
   s.edb_facts = total_facts_;
   return s;

@@ -90,6 +90,7 @@ class DurableStore {
     uint64_t wal_size_bytes = 0;
     uint64_t checkpoints = 0;
     uint64_t checkpoint_bytes = 0;  // last snapshot image size
+    uint64_t checkpoint_failures = 0;  // auto-checkpoints that failed
     uint64_t edb_relations = 0;
     uint64_t edb_facts = 0;
   };
@@ -115,17 +116,35 @@ class DurableStore {
   // Each logs first, then applies to the mirror. All return [GD210] on
   // append failure, leaving the mirror unchanged (the failed record is
   // at worst a torn tail for the next recovery to drop).
+  //
+  // Once the append has succeeded the mutation is durable and these
+  // report success: a later bookkeeping failure (budget charge, an
+  // auto-checkpoint) must not make the caller retry — the retry would
+  // pass its dedup probe and log the fact a second time, breaking the
+  // no-duplicate-adds invariant retract-by-first-match replay relies on.
+  // Such failures are kept for TakeDeferredError() instead, and when the
+  // store can no longer be trusted (budget failure mid-apply, a
+  // checkpoint that died after the manifest swap) it latches: every
+  // further mutation fails with the latched status until reopened.
 
   Status LogCreateRelation(std::string_view name, uint32_t arity);
   Status LogAddFact(std::string_view name, uint32_t arity, TupleView tuple);
   Status LogRetract(std::string_view name, uint32_t arity, TupleView tuple);
 
+  /// Returns and clears the first post-append bookkeeping failure since
+  /// the last call (OK when none). Callers poll it after a successful
+  /// mutation to report the problem without un-acknowledging the write.
+  Status TakeDeferredError();
+
   /// Forces outstanding WAL appends to disk (policy permitting).
   Status Sync();
 
   /// Writes a snapshot of the mirror, rotates to a fresh WAL, and swaps
-  /// the manifest atomically. On failure the previous (snapshot, wal)
-  /// pair remains in force.
+  /// the manifest atomically. On failure before the manifest rename the
+  /// previous (snapshot, wal) pair remains in force and appends continue
+  /// safely; a failure after the rename means the on-disk manifest may
+  /// already name the new pair, so the store latches — appending to the
+  /// retired WAL would lose those records on reopen.
   Status Checkpoint();
 
   /// Sync and close the WAL. Open() may be called again afterwards.
@@ -145,7 +164,18 @@ class DurableStore {
   void ApplyRecord(const WalRecord& rec);
   Status ChargeBudget(size_t extra_buffer_bytes);
   size_t MirrorBytes() const;
-  Status WriteManifest(uint64_t snapshot_seq, uint64_t wal_seq);
+  /// Refuses every further mutation with a [GD210] wrapping `why`.
+  void Latch(const Status& why);
+  /// Post-append bookkeeping after a successful WAL append: budget
+  /// true-up (latching on failure) and the auto-checkpoint cadence
+  /// (counting failures). Never fails the surrounding mutation; errors
+  /// go to the deferred slot.
+  void FinishMutation();
+  /// `renamed`, when non-null, is set once MANIFEST has been renamed
+  /// into place — the point after which a failure can no longer be
+  /// retried safely.
+  Status WriteManifest(uint64_t snapshot_seq, uint64_t wal_seq,
+                       bool* renamed = nullptr);
   Status LoadSnapshot(const std::string& path, uint64_t expected_seq);
   std::string WalPath(uint64_t seq) const;
   std::string SnapshotPath(uint64_t seq) const;
@@ -155,6 +185,8 @@ class DurableStore {
   Options options_;
   ValueStore* store_ = nullptr;
   bool open_ = false;
+  Status failed_;    // latched: mutations refused until reopen
+  Status deferred_;  // first unreported post-append failure
 
   std::vector<EdbRelation> relations_;
   size_t total_facts_ = 0;
@@ -166,6 +198,7 @@ class DurableStore {
 
   RecoveryInfo recovery_;
   uint64_t checkpoints_ = 0;
+  uint64_t checkpoint_failures_ = 0;
   uint64_t last_checkpoint_bytes_ = 0;
 
   size_t charged_ = 0;  // MemoryBudget bookkeeping

@@ -116,7 +116,11 @@ Status ByteReader::ReadBytes(size_t n, std::string_view* s) {
   return Status::OK();
 }
 
-Status ByteReader::ReadValue(ValueStore* store, Value* v) {
+Status ByteReader::ReadValue(ValueStore* store, Value* v, int depth) {
+  if (depth > kMaxValueNesting) {
+    return CorruptStatus("term nesting exceeds " +
+                         std::to_string(kMaxValueNesting) + " levels");
+  }
   if (AtEnd()) return CorruptStatus("truncated value tag");
   const uint8_t tag = static_cast<unsigned char>(data[pos++]);
   switch (tag) {
@@ -152,7 +156,7 @@ Status ByteReader::ReadValue(ValueStore* store, Value* v) {
       }
       std::vector<Value> args(argc);
       for (uint32_t i = 0; i < argc; ++i) {
-        GDLOG_RETURN_IF_ERROR(ReadValue(store, &args[i]));
+        GDLOG_RETURN_IF_ERROR(ReadValue(store, &args[i], depth + 1));
       }
       *v = store->MakeTerm(functor_copy, args);
       return Status::OK();
@@ -219,6 +223,7 @@ std::string EncodeHeader(uint64_t wal_seq) {
 
 Status WalWriter::Open(const std::string& path, uint64_t wal_seq,
                        uint64_t valid_size) {
+  failed_ = Status::OK();
   uint64_t on_disk = 0;
   GDLOG_ASSIGN_OR_RETURN(file_, OpenAppend(path, &on_disk));
   if (on_disk < kWalHeaderSize || valid_size < kWalHeaderSize) {
@@ -249,6 +254,7 @@ Status WalWriter::Append(const ValueStore& store, WalRecordType type,
   if (!file_.open()) {
     return Status::RuntimeError("[GD210] WAL append on closed log");
   }
+  GDLOG_RETURN_IF_ERROR(failed_);
   const std::string body = EncodeBody(store, type, name, arity, tuple);
   std::string rec;
   rec.reserve(8 + body.size());
@@ -261,15 +267,38 @@ Status WalWriter::Append(const ValueStore& store, WalRecordType type,
     // Simulate a torn write: a prefix of the record reaches the file,
     // then the append fails. size_ is NOT advanced, so recovery (and a
     // reopened writer) treats the prefix as garbage past the valid end.
+    // The torn bytes sit at the physical EOF, where O_APPEND would put
+    // the next record AFTER them and recovery — which stops at the
+    // first bad checksum — would then drop every later (acknowledged,
+    // even fsync'd) append. A crashed process cannot keep appending;
+    // neither do we: the writer latches until reopened.
     const size_t torn = rec.size() / 2;
     (void)WriteFully(file_, rec.data(), torn, size_);
+    failed_ = Status::RuntimeError(
+        "[GD210] WAL '" + file_.path() + "' closed to appends: torn write at "
+        "offset " + std::to_string(size_) + "; reopen to recover");
     return Status::RuntimeError(
         "[GD210] injected WAL append fault for '" + file_.path() +
         "' at offset " + std::to_string(size_) + " (torn write of " +
         std::to_string(torn) + "/" + std::to_string(rec.size()) + " bytes)");
   }
 
-  GDLOG_RETURN_IF_ERROR(WriteFully(file_, rec.data(), rec.size(), size_));
+  const Status write = WriteFully(file_, rec.data(), rec.size(), size_);
+  if (!write.ok()) {
+    // A real partial write (ENOSPC, I/O error) leaves garbage at the
+    // physical EOF. Restore EOF == size_ so later appends land where
+    // recovery will look for them; if even that fails, latch the writer
+    // so no append can ever follow the garbage.
+    const Status trunc = TruncateFile(file_, size_);
+    if (!trunc.ok()) {
+      failed_ = Status::RuntimeError(
+          "[GD210] WAL '" + file_.path() + "' closed to appends: failed "
+          "append left untruncatable bytes at offset " +
+          std::to_string(size_) + " (" + trunc.message() +
+          "); reopen to recover");
+    }
+    return write;
+  }
   size_ += rec.size();
   unsynced_bytes_ += rec.size();
   ++appends_;

@@ -81,8 +81,15 @@ struct ByteReader {
   Status ReadU32(uint32_t* v);
   Status ReadU64(uint64_t* v);
   Status ReadBytes(size_t n, std::string_view* s);
-  Status ReadValue(ValueStore* store, Value* v);
+  /// `depth` is the current term-nesting level; decoding refuses values
+  /// nested deeper than kMaxValueNesting so a crafted (CRC-valid) record
+  /// reports corruption instead of overflowing the stack.
+  Status ReadValue(ValueStore* store, Value* v, int depth = 0);
 };
+
+/// Deepest term nesting the codec will decode. Far above anything the
+/// engine asserts as an EDB fact, far below stack-overflow territory.
+inline constexpr int kMaxValueNesting = 256;
 
 // -- Writer ------------------------------------------------------------------
 
@@ -106,6 +113,11 @@ class WalWriter {
   /// Under FsyncPolicy::kAlways the record is also synced. The
   /// `wal.append` probe turns this into a torn write: a prefix of the
   /// record reaches the file and the append fails with [GD210].
+  ///
+  /// A failed append never lets a later one land after garbage: a real
+  /// partial write is truncated back to the valid size, and when that is
+  /// impossible (or the failure was a simulated crash) the writer
+  /// latches — every further Append fails with [GD210] until Open().
   Status Append(const ValueStore& store, WalRecordType type,
                 std::string_view name, uint32_t arity, TupleView tuple);
 
@@ -126,6 +138,7 @@ class WalWriter {
  private:
   Options options_;
   FileHandle file_;
+  Status failed_;                // latched after an unrecoverable append
   uint64_t size_ = 0;            // valid bytes in the file
   uint64_t unsynced_bytes_ = 0;  // appended since the last fsync
   uint64_t appends_ = 0;

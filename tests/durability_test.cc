@@ -227,6 +227,71 @@ TEST(Wal, TruncationAtEveryByteBoundaryOfFinalRecord) {
   RemoveTree(dir);
 }
 
+// A CRC-valid record can still carry absurd term nesting; the decoder
+// must report [GD211] at its depth limit instead of recursing one stack
+// frame per level until overflow.
+TEST(Wal, DeeplyNestedTermIsCorruptionNotACrash) {
+  std::string bytes;
+  const int depth = kMaxValueNesting + 8;
+  for (int i = 0; i < depth; ++i) {
+    bytes.push_back(2);          // kTagTerm
+    AppendBytes(&bytes, "f");    // functor
+    AppendU32(&bytes, 1);        // one argument
+  }
+  bytes.push_back(3);            // innermost kTagNil
+  ValueStore store;
+  ByteReader r{bytes.data(), bytes.size(), 0};
+  Value v;
+  const Status st = r.ReadValue(&store, &v);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(DiagCodeOfStatus(st), diag::kWalCorrupt);
+  EXPECT_NE(st.message().find("nesting"), std::string::npos);
+}
+
+// After a failed append leaves torn bytes at the physical EOF, the
+// writer must refuse further appends: O_APPEND would land the next
+// (acknowledged!) record after the garbage, and recovery — which stops
+// at the first bad checksum — would silently drop it.
+TEST(Wal, AppendAfterTornWriteIsRefused) {
+  const std::string dir = TempDbDir("wal-latch");
+  ASSERT_TRUE(EnsureDir(dir).ok());
+  const std::string path = dir + "/wal-1.log";
+
+  auto injector = FaultInjector::Parse("wal.append@2");
+  ASSERT_TRUE(injector.ok());
+  ValueStore store;
+  std::vector<Value> t1 = {Value::Int(1)};
+  std::vector<Value> t2 = {Value::Int(2)};
+  WalWriter w;
+  w.set_options({FsyncPolicy::kAlways, 1 << 20, &*injector});
+  ASSERT_TRUE(w.Open(path, 1, 0).ok());
+  ASSERT_TRUE(w.Append(store, WalRecordType::kAddFact, "p", 1,
+                       TupleView(t1)).ok());
+  const uint64_t valid = w.size_bytes();
+  ASSERT_FALSE(w.Append(store, WalRecordType::kAddFact, "p", 1,
+                        TupleView(t2)).ok());
+  EXPECT_GT(FileSize(path), valid);  // the torn prefix really is on disk
+  const Status refused =
+      w.Append(store, WalRecordType::kAddFact, "p", 1, TupleView(t2));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(DiagCodeOfStatus(refused), diag::kWalError);
+  ASSERT_TRUE(w.Close().ok());
+
+  // Reopening recovers exactly the acknowledged record and appends
+  // cleanly from there.
+  ValueStore replay;
+  auto scan = ReadWal(path, 1, &replay);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->tail_dropped);
+  ASSERT_EQ(scan->records.size(), 1u);
+  WalWriter again;
+  ASSERT_TRUE(again.Open(path, 1, scan->valid_size).ok());
+  ASSERT_TRUE(again.Append(store, WalRecordType::kAddFact, "p", 1,
+                           TupleView(t2)).ok());
+  ASSERT_TRUE(again.Close().ok());
+  RemoveTree(dir);
+}
+
 // ---------------------------------------------------------------------------
 // DurableStore: open, checkpoint, reopen
 // ---------------------------------------------------------------------------
@@ -450,6 +515,47 @@ TEST(DurableStore, AutoCheckpointFiresOnCadence) {
   RemoveTree(dir);
 }
 
+// A failed auto-checkpoint must not fail the mutation that triggered it:
+// the append is already durable, and a caller that retried it would pass
+// its dedup probe and log the fact a second time. The failure is counted,
+// deferred, and the checkpoint retries on the next cadence hit.
+TEST(DurableStore, FailedAutoCheckpointDoesNotFailTheMutation) {
+  const std::string dir = TempDbDir("store-autofail");
+  ValueStore vs;
+  auto injector = FaultInjector::Parse("checkpoint.write");
+  ASSERT_TRUE(injector.ok());
+  DurableStore::Options o = StoreOptions(dir, &*injector);
+  o.checkpoint_every = 2;
+  {
+    DurableStore s;
+    ASSERT_TRUE(s.Open(o, &vs).ok());
+    std::vector<Value> t = {Value::Int(1), Value::Int(2)};
+    ASSERT_TRUE(s.LogCreateRelation("edge", 2).ok());
+    // 2nd append: the auto-checkpoint fires and fails, but the add is
+    // durable — the mutation reports success.
+    ASSERT_TRUE(s.LogAddFact("edge", 2, TupleView(t)).ok());
+    EXPECT_EQ(s.stats().checkpoint_failures, 1u);
+    EXPECT_EQ(s.snapshot_seq(), 0u);  // old pair still in force
+    const Status deferred = s.TakeDeferredError();
+    EXPECT_FALSE(deferred.ok());
+    EXPECT_EQ(DiagCodeOfStatus(deferred), diag::kWalError);
+    EXPECT_TRUE(s.TakeDeferredError().ok());  // take clears
+    // 3rd append: the cadence is still due, the probe is spent, and the
+    // checkpoint retry succeeds.
+    std::vector<Value> t2 = {Value::Int(2), Value::Int(3)};
+    ASSERT_TRUE(s.LogAddFact("edge", 2, TupleView(t2)).ok());
+    EXPECT_EQ(s.snapshot_seq(), 1u);
+    ASSERT_TRUE(s.Close().ok());
+  }
+  // Nothing was double-logged: reopen sees exactly the two facts.
+  DurableStore s;
+  ASSERT_TRUE(s.Open(StoreOptions(dir), &vs).ok());
+  ASSERT_EQ(s.relations().size(), 1u);
+  EXPECT_EQ(s.relations()[0].num_rows, 2u);
+  ASSERT_TRUE(s.Close().ok());
+  RemoveTree(dir);
+}
+
 // ---------------------------------------------------------------------------
 // Engine integration
 // ---------------------------------------------------------------------------
@@ -619,6 +725,31 @@ TEST(DurabilityFaults, TornAppendFailsWithGd210AndRecovers) {
   EXPECT_TRUE(e.durable()->recovery().wal_tail_dropped);
   EXPECT_EQ(e.Query("p", 1).size(), 0u);
   ASSERT_TRUE(e.AddFact("p", {Value::Int(1)}).ok());
+  EXPECT_EQ(e.Query("p", 1).size(), 1u);
+  RemoveTree(dir);
+}
+
+// Acknowledged appends must never land after the garbage a torn write
+// left at the physical EOF — recovery would stop at the garbage and
+// silently drop them. The engine therefore refuses appends after a torn
+// write until the database is reopened.
+TEST(DurabilityFaults, TornAppendRefusesLaterAppendsUntilReopen) {
+  const std::string dir = TempDbDir("fault-append-latch");
+  {
+    Engine e{Durable(dir, "wal.append@2")};
+    ASSERT_TRUE(e.durability_status().ok());
+    ASSERT_FALSE(e.AddFact("p", {Value::Int(1)}).ok());
+    const Status st = e.AddFact("p", {Value::Int(2)});
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(DiagCodeOfStatus(st), diag::kWalError);
+    EXPECT_EQ(e.Query("p", 1).size(), 0u);
+  }
+  Engine e{Durable(dir)};
+  ASSERT_TRUE(e.durability_status().ok())
+      << e.durability_status().ToString();
+  EXPECT_TRUE(e.durable()->recovery().wal_tail_dropped);
+  EXPECT_EQ(e.Query("p", 1).size(), 0u);  // nothing acknowledged was lost
+  ASSERT_TRUE(e.AddFact("p", {Value::Int(2)}).ok());
   EXPECT_EQ(e.Query("p", 1).size(), 1u);
   RemoveTree(dir);
 }
