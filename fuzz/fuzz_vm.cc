@@ -1,0 +1,118 @@
+// libFuzzer harness for the bytecode VM, with the interpreter as the
+// differential oracle.
+//
+// The contract under test: for any input that parses and loads, running
+// the program under EvalBackend::kInterp and EvalBackend::kVm with
+// identical guardrails must terminate for the same reason, return the
+// same status, and leave a bit-identical model (same tuples in the same
+// insertion order — the contract docs/VM.md states). Any divergence
+// aborts the process so libFuzzer keeps the input as a crash.
+//
+// Limits keep runaway programs bounded. The tuple/stage/iteration caps
+// are deterministic and part of the parity contract; the wall-clock
+// deadline and memory budget exist only as a hang/OOM backstop and are
+// NOT reproducible run-to-run, so an input that trips one of them on
+// either side is skipped rather than compared.
+//
+// Build:  cmake -B build -DCMAKE_CXX_COMPILER=clang++ -DGDLOG_FUZZ=ON \
+//               -DGDLOG_SANITIZE=ON && cmake --build build
+// Run:    build/fuzz/fuzz_vm fuzz/corpus
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/engine.h"
+#include "eval/fixpoint.h"
+
+namespace {
+
+struct RunResult {
+  bool loaded = false;
+  gdlog::TerminationReason reason = gdlog::TerminationReason::kCompleted;
+  std::string status;
+  std::vector<std::string> model;
+};
+
+RunResult RunOnce(std::string_view text, gdlog::EvalBackend backend) {
+  gdlog::EngineOptions options;
+  options.eval.backend = backend;
+  // Deterministic caps — identical trip points are part of the parity
+  // contract under test.
+  options.limits.max_tuples = 2000;
+  options.limits.max_stages = 64;
+  options.limits.max_iterations = 64;
+  // Nondeterministic backstops — trips are skipped, not compared.
+  options.limits.deadline_ms = 100;
+  options.limits.max_memory_bytes = 64ull << 20;
+
+  RunResult r;
+  gdlog::Engine engine(options);
+  if (!engine.LoadProgram(text).ok()) return r;
+  r.loaded = true;
+  r.status = engine.Run().ToString();
+  r.reason = engine.outcome().reason;
+  for (const auto& ref : engine.program()->AllPredicates()) {
+    for (const auto& tuple : engine.Query(ref.name, ref.arity)) {
+      std::string line = ref.name;
+      for (const gdlog::Value& v : tuple) {
+        line += ' ';
+        line += engine.store().ToString(v);
+      }
+      r.model.push_back(std::move(line));
+    }
+  }
+  return r;
+}
+
+bool Nondeterministic(gdlog::TerminationReason r) {
+  switch (r) {
+    case gdlog::TerminationReason::kDeadline:
+    case gdlog::TerminationReason::kMemoryLimit:
+    case gdlog::TerminationReason::kCancelled:
+    case gdlog::TerminationReason::kOom:
+    case gdlog::TerminationReason::kFault:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  const RunResult interp = RunOnce(text, gdlog::EvalBackend::kInterp);
+  if (!interp.loaded) return 0;
+  const RunResult vm = RunOnce(text, gdlog::EvalBackend::kVm);
+
+  if (Nondeterministic(interp.reason) || Nondeterministic(vm.reason)) {
+    return 0;
+  }
+  if (interp.reason != vm.reason || interp.status != vm.status ||
+      interp.model != vm.model) {
+    std::fprintf(stderr,
+                 "backend divergence\n  interp: reason=%d status=%s rows=%zu\n"
+                 "  vm:     reason=%d status=%s rows=%zu\n",
+                 static_cast<int>(interp.reason), interp.status.c_str(),
+                 interp.model.size(), static_cast<int>(vm.reason),
+                 vm.status.c_str(), vm.model.size());
+    const size_t n =
+        interp.model.size() < vm.model.size() ? interp.model.size()
+                                              : vm.model.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (interp.model[i] != vm.model[i]) {
+        std::fprintf(stderr, "  first diff at row %zu:\n    interp: %s\n"
+                             "    vm:     %s\n",
+                     i, interp.model[i].c_str(), vm.model[i].c_str());
+        break;
+      }
+    }
+    std::abort();
+  }
+  return 0;
+}

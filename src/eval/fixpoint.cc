@@ -8,6 +8,8 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "eval/ir/ir.h"
+#include "eval/vm/vm.h"
 
 namespace gdlog {
 
@@ -118,6 +120,25 @@ FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
           [wait](uint64_t ns) { wait->Record(ns); });
     }
   }
+  if (options_.backend == EvalBackend::kVm) {
+    // Lower once, after rules_ reached its final address (the IR and
+    // the compiled program alias its plans), and charge the program to
+    // the run's memory budget like any other evaluation structure.
+    vm_ir_ = std::make_unique<ir::ProgramIR>(
+        ir::LowerProgram(rules_, *catalog_));
+    vm_code_ = std::make_unique<vm::ProgramCode>(
+        vm::Compile(*vm_ir_, *catalog_));
+    exec_.set_vm_program(vm_code_.get());
+    if (guard_ != nullptr && guard_->budget() != nullptr) {
+      guard_->budget()->Update(&vm_charged_, vm_code_->MemoryBytes());
+    }
+  }
+}
+
+FixpointDriver::~FixpointDriver() = default;
+
+const ir::LoweringReport* FixpointDriver::vm_coverage() const {
+  return vm_ir_ == nullptr ? nullptr : &vm_ir_->report;
 }
 
 const std::vector<CompiledLiteral>& FixpointDriver::PlanOf(
@@ -490,6 +511,7 @@ void FixpointDriver::RunWorkerTask(WorkerTask* task, const App& app) {
   const CompiledRule& rule = *app.rule;
   if (obs_enabled_) task->t0_ns = ObsNowNs();
   PlanExecutor exec(catalog_, store_);
+  if (vm_code_ != nullptr) exec.set_vm_program(vm_code_.get());
   if (guard_ != nullptr) exec.set_cancel_token(guard_->cancel());
   if (task->ranged) {
     exec.set_scan_range(&(*task->plan)[0].scan, task->begin, task->end);
@@ -960,7 +982,7 @@ size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
   const CompiledRule& rule = *g->rule;
   BindingFrame frame;
   uint64_t pops = 0;
-  uint64_t rej_ext = 0, rej_fd = 0;
+  uint64_t rej_ext = 0, rej_fd = 0, rej_post = 0;
   const uint64_t live_before =
       audit_ != nullptr ? g->queue->LiveSize() : 0;
   while (auto cand = g->queue->Pop()) {
@@ -973,10 +995,17 @@ size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
       // valid instance of the rule. The per-group record persists across
       // calls in the GammaState.
       Value cost, group;
+      // Cost evaluated at enqueue, so it evaluates again here; the
+      // group term is first evaluated on this path and can fail on an
+      // untyped binding — such a candidate was never a valid instance.
       const bool ok =
           EvalTerm(rule.pool, rule.cost_term, frame, store_, &cost) &&
           EvalTerm(rule.pool, rule.group_term, frame, store_, &group);
-      GDLOG_CHECK(ok);
+      if (!ok) {
+        ++rej_post;
+        g->queue->MarkRedundant(*cand);
+        continue;
+      }
       auto [it, fresh] = g->group_best.try_emplace(group, cost);
       if (!fresh && it->second != cost) {
         ++rej_ext;
@@ -1002,11 +1031,17 @@ size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
       continue;
     }
     if (admissible_ != nullptr) admissible_->Add(1);
+    // Build the head before committing the FD: a candidate whose head
+    // term fails to evaluate (untyped binding, e.g. arithmetic over a
+    // symbol) derives nothing and must not burn the choice.
+    std::vector<Value> head;
+    if (!exec_.BuildHead(rule, frame, &head)) {
+      ++rej_post;
+      g->queue->MarkRedundant(*cand);
+      continue;
+    }
     choice_.Commit(rule, frame);
     RuleProfile& prof = profiles_[rule.rule_index];
-    std::vector<Value> head;
-    const bool built = exec_.BuildHead(rule, frame, &head);
-    GDLOG_CHECK(built);
     Relation& head_rel = catalog_->relation(rule.head_pred);
     const auto res = head_rel.Insert(TupleView(head));
     if (res.inserted) {
@@ -1043,6 +1078,7 @@ size_t FixpointDriver::DrainChoiceRule(GammaState* g) {
                                  : 0;
       e.rejected_extremum = rej_ext;
       e.rejected_fd = rej_fd;
+      e.rejected_post = rej_post;
       e.cost = rule.has_extremum ? cand->cost : Value::Int(0);
       e.witness = head_rel.name() + TupleToString(*store_, TupleView(head));
       e.head_pred = rule.head_pred;
@@ -1075,10 +1111,16 @@ bool FixpointDriver::TryFireNext(CliqueCtx* ctx, GammaState* g,
                       return true;
                     }
                     if (admissible_ != nullptr) admissible_->Add(1);
-                    choice_.Commit(rule, f);
                     // Build now, insert after: the post plan may hold
-                    // index iterators on the head relation.
-                    exec_.BuildHead(rule, f, &head);
+                    // index iterators on the head relation. Build before
+                    // Commit — a solution whose head term fails to
+                    // evaluate derives nothing and must not burn the
+                    // choice.
+                    if (!exec_.BuildHead(rule, f, &head)) {
+                      if (audit != nullptr) ++audit->rejected_post;
+                      return true;
+                    }
+                    choice_.Commit(rule, f);
                     // The firing's post premises; the trail pops back to
                     // empty as the enumeration unwinds, so copy here.
                     if (prov_) post_prov = prov_trail_;

@@ -40,6 +40,21 @@
 
 namespace gdlog {
 
+namespace ir {
+struct LoweringReport;
+struct ProgramIR;
+}  // namespace ir
+namespace vm {
+struct ProgramCode;
+}  // namespace vm
+
+/// Rule-execution backend (EvalOptions::backend, shell --backend).
+enum class EvalBackend : uint8_t {
+  kInterp,  // tree-walking interpreter — the differential oracle
+  kVm,      // bytecode VM (eval/ir lowering + eval/vm execution);
+            // rejected rule shapes fall back to the interpreter per rule
+};
+
 struct EvalOptions {
   /// Perturbs equal-cost / FIFO candidate ordering; different seeds
   /// explore different stable models. 0 = deterministic program order.
@@ -83,6 +98,11 @@ struct EvalOptions {
   /// thread count. The caller must also enable the catalog's provenance
   /// column (Engine does both from EngineOptions::provenance).
   bool provenance = false;
+  /// Which executor runs rule plans. Both backends are bit-identical
+  /// (model, stats, audit trail, provenance) at any thread count — the
+  /// differential fleet in tests/differential_test.cc enforces it. The
+  /// interpreter stays the default and the oracle.
+  EvalBackend backend = EvalBackend::kInterp;
 };
 
 struct FixpointStats {
@@ -137,6 +157,8 @@ class FixpointDriver {
                  const StageAnalysis* analysis,
                  std::vector<CompiledRule> rules, EvalOptions options,
                  ObsContext obs = {}, RunGuard* guard = nullptr);
+  // Out-of-line: members hold forward-declared ir/vm types.
+  ~FixpointDriver();
 
   /// Evaluates the whole program to its (choice) fixpoint, or to the
   /// first guard stop. Statistics are valid either way.
@@ -160,6 +182,10 @@ class FixpointDriver {
   /// The choice-audit trail (one entry per γ firing), or nullptr when
   /// EvalOptions::provenance is off.
   const ChoiceAuditTrail* choice_audit() const { return audit_.get(); }
+
+  /// Lowering coverage of the bytecode backend (how many rules run on
+  /// the VM, and why the rest fell back), or nullptr under kInterp.
+  const ir::LoweringReport* vm_coverage() const;
 
   /// Sums candidate-queue statistics over every gamma rule.
   CandidateQueueStats AggregateQueueStats() const;
@@ -312,6 +338,13 @@ class FixpointDriver {
   // Parallel evaluation (null / empty when threads == 1).
   std::unique_ptr<ThreadPool> pool_;
   std::vector<RuleParallelSafety> safety_;  // by rule_index
+
+  // Bytecode backend (null under kInterp): the lowered IR (owns the
+  // coverage report and op lists) and the executable program compiled
+  // from it. Shared read-only with every worker executor.
+  std::unique_ptr<ir::ProgramIR> vm_ir_;
+  std::unique_ptr<vm::ProgramCode> vm_code_;
+  size_t vm_charged_ = 0;  // MemoryBudget charge for the program
 };
 
 }  // namespace gdlog

@@ -26,6 +26,13 @@ namespace gdlog {
 
 class Histogram;
 
+namespace vm {
+struct ProgramCode;
+struct PlanCode;
+struct RuleCode;
+struct ExecCtx;
+}  // namespace vm
+
 struct ExecStats {
   uint64_t solutions = 0;   // complete body bindings enumerated
   uint64_t inserts = 0;     // new head tuples
@@ -90,6 +97,13 @@ class PlanExecutor {
   }
   std::vector<ProvPremise>* provenance_trail() { return trail_; }
 
+  /// Installs a compiled bytecode program (EvalOptions::backend = vm).
+  /// Plans found in it run on the VM; plans the lowering rejected — and
+  /// every plan while a negation oracle is installed — keep running on
+  /// the interpreter. The program is shared, immutable, and not owned.
+  void set_vm_program(const vm::ProgramCode* program) { vm_ = program; }
+  const vm::ProgramCode* vm_program() const { return vm_; }
+
   /// The seminaive row window `scan` reads under `delta_occurrence`
   /// (exposed for partition planning).
   static std::pair<RowId, RowId> ScanWindow(const CompiledScan& scan,
@@ -133,6 +147,14 @@ class PlanExecutor {
   bool RunCompare(const CompiledRule& rule, const CompiledCompare& cmp,
                   BindingFrame* frame);
 
+  /// The execution context handed to the VM: this executor's own
+  /// counters, cancel tick, trail, and scan-range state, so both
+  /// backends are indistinguishable to callers.
+  vm::ExecCtx VmCtx();
+  size_t ApplyRuleVm(const CompiledRule& rule, const vm::PlanCode& code,
+                     const vm::RuleCode& rcode, uint32_t delta_occurrence,
+                     size_t* attempted);
+
   Catalog* catalog_;
   ValueStore* store_;
   NegationOracle oracle_;
@@ -145,6 +167,7 @@ class PlanExecutor {
   uint32_t cancel_tick_ = 0;
   std::vector<std::vector<GoalStats>>* goal_stats_ = nullptr;
   std::vector<ProvPremise>* trail_ = nullptr;
+  const vm::ProgramCode* vm_ = nullptr;
 };
 
 }  // namespace gdlog

@@ -71,8 +71,9 @@ struct ChoiceAuditEntry {
   uint64_t pops = 0;     // pops consumed to reach the winner
   uint64_t ties = 0;
   // Rejections on the way to this firing: extremum-filtered pops,
-  // choice-FD (Admissible) failures, and next-rule candidates whose post
-  // plan produced no solution at all.
+  // choice-FD (Admissible) failures, and candidates that derived
+  // nothing — a next-rule post plan with no solution, or a head term
+  // that failed to evaluate (untyped binding).
   uint64_t rejected_extremum = 0;
   uint64_t rejected_fd = 0;
   uint64_t rejected_post = 0;

@@ -10,12 +10,6 @@ Index::Index(std::vector<uint32_t> columns) : columns_(std::move(columns)) {
   bucket_mask_ = buckets_.size() - 1;
 }
 
-uint64_t Index::HashKey(TupleView key) {
-  uint64_t h = 0xabcdef0123456789ull ^ key.size();
-  for (Value v : key) h = HashCombine(h, v.Hash());
-  return h;
-}
-
 uint64_t Index::HashRowKey(TupleView tuple) const {
   uint64_t h = 0xabcdef0123456789ull ^ columns_.size();
   for (uint32_t c : columns_) {
@@ -55,26 +49,6 @@ void Index::Insert(RowId row, TupleView tuple) {
   next_.push_back(kNoRow);
   Link(entry, h & bucket_mask_);
   if (rows_.size() * 10 > buckets_.size() * 7) Rehash(buckets_.size() * 2);
-}
-
-Index::MatchIterator::MatchIterator(const Index* index, uint64_t hash)
-    : index_(index), hash_(hash) {
-  const size_t slot = hash & index->bucket_mask_;
-  current_ = index->buckets_[slot];
-  // Skip non-matching hashes at the head.
-  while (current_ != kNoRow && index_->hashes_[current_] != hash_) {
-    current_ = index_->next_[current_];
-  }
-}
-
-RowId Index::MatchIterator::Next() {
-  if (current_ == kNoRow) return kNoRow;
-  const RowId row = index_->rows_[current_];
-  current_ = index_->next_[current_];
-  while (current_ != kNoRow && index_->hashes_[current_] != hash_) {
-    current_ = index_->next_[current_];
-  }
-  return row;
 }
 
 }  // namespace gdlog

@@ -40,11 +40,30 @@ class Index {
   /// Iterates the chain of candidate rows whose key hash matches `key`.
   /// Callers must re-verify column equality on the full tuple (hash
   /// collisions are possible); MatchIterator exposes the raw chain.
+  /// Inline: one iterator is constructed per probe, squarely on the
+  /// join hot path of both evaluation backends.
   class MatchIterator {
    public:
-    MatchIterator(const Index* index, uint64_t hash);
+    MatchIterator(const Index* index, uint64_t hash)
+        : index_(index), hash_(hash) {
+      const size_t slot = hash & index->bucket_mask_;
+      current_ = index->buckets_[slot];
+      // Skip non-matching hashes at the head.
+      while (current_ != kNoRow && index_->hashes_[current_] != hash_) {
+        current_ = index_->next_[current_];
+      }
+    }
+
     /// Next candidate row id, or kNoRow when exhausted.
-    RowId Next();
+    RowId Next() {
+      if (current_ == kNoRow) return kNoRow;
+      const RowId row = index_->rows_[current_];
+      current_ = index_->next_[current_];
+      while (current_ != kNoRow && index_->hashes_[current_] != hash_) {
+        current_ = index_->next_[current_];
+      }
+      return row;
+    }
 
    private:
     const Index* index_;
@@ -53,7 +72,13 @@ class Index {
   };
 
   /// Hash of a probe key (one Value per indexed column, in order).
-  static uint64_t HashKey(TupleView key);
+  /// Inline: this sits on the probe hot path of both evaluation
+  /// backends.
+  static uint64_t HashKey(TupleView key) {
+    uint64_t h = 0xabcdef0123456789ull ^ key.size();
+    for (Value v : key) h = HashCombine(h, v.Hash());
+    return h;
+  }
 
   /// Extracts this index's key hash from a full tuple.
   uint64_t HashRowKey(TupleView tuple) const;

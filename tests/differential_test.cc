@@ -13,6 +13,7 @@
 
 #include "api/engine.h"
 #include "baselines/dijkstra.h"
+#include "eval/ir/ir.h"
 #include "baselines/heapsort.h"
 #include "baselines/huffman.h"
 #include "baselines/kruskal.h"
@@ -111,6 +112,115 @@ INSTANTIATE_TEST_SUITE_P(Programs, ProgramDifferential,
                          ::testing::Values("course_assignment.dl",
                                            "huffman.dl", "kruskal.dl",
                                            "prim.dl", "sort.dl"));
+
+// -- Cross-backend fleet: bytecode VM vs interpreter oracle -------------
+//
+// The interpreter is the semantics oracle for the VM: for every shipped
+// program, every combination of backend × threads × join-planner ×
+// provenance must produce the serial interpreter's model bit-identically
+// (same tuples, same insertion order), and with provenance on, the
+// choice-audit trails must pick the same winners for the same reasons.
+
+EngineOptions BackendOpts(EvalBackend backend, uint32_t threads, bool planner,
+                          bool provenance) {
+  EngineOptions opts;
+  opts.eval.backend = backend;
+  opts.eval.threads = threads;
+  opts.eval.parallel_min_rows = 2;  // partition even the tiny examples
+  opts.eval.use_join_planner = planner;
+  opts.provenance = provenance;
+  return opts;
+}
+
+class BackendDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BackendDifferential, VmModelBitIdenticalToInterpreterEverywhere) {
+  const std::string text = ReadFileOrDie(ProgramPath(GetParam()));
+  Engine oracle(BackendOpts(EvalBackend::kInterp, 1, true, false));
+  ASSERT_TRUE(oracle.LoadProgram(text).ok());
+  ASSERT_TRUE(oracle.Run().ok());
+  EXPECT_EQ(oracle.VmCoverage(), nullptr) << "interp run reported VM coverage";
+  const std::vector<std::string> expected = DumpModel(oracle);
+  ASSERT_FALSE(expected.empty());
+  for (uint32_t threads : {1u, 8u}) {
+    for (bool planner : {true, false}) {
+      for (bool provenance : {false, true}) {
+        const auto label = [&](const char* backend) {
+          std::ostringstream os;
+          os << GetParam() << " backend=" << backend << " threads=" << threads
+             << " planner=" << planner << " provenance=" << provenance;
+          return os.str();
+        };
+        Engine interp(
+            BackendOpts(EvalBackend::kInterp, threads, planner, provenance));
+        ASSERT_TRUE(interp.LoadProgram(text).ok());
+        ASSERT_TRUE(interp.Run().ok());
+        EXPECT_EQ(DumpModel(interp), expected) << label("interp");
+
+        Engine vm(BackendOpts(EvalBackend::kVm, threads, planner, provenance));
+        ASSERT_TRUE(vm.LoadProgram(text).ok());
+        ASSERT_TRUE(vm.Run().ok());
+        EXPECT_EQ(DumpModel(vm), expected) << label("vm");
+        // The sweep must actually exercise the bytecode: a lowering
+        // regression that rejected every rule would silently turn this
+        // fleet into interp-vs-interp.
+        ASSERT_NE(vm.VmCoverage(), nullptr) << label("vm");
+        EXPECT_GT(vm.VmCoverage()->rules_lowered, 0u) << label("vm");
+      }
+    }
+  }
+}
+
+TEST_P(BackendDifferential, ChoiceAuditWinnersMatchInterpreter) {
+  const std::string text = ReadFileOrDie(ProgramPath(GetParam()));
+  Engine interp(BackendOpts(EvalBackend::kInterp, 1, true, true));
+  ASSERT_TRUE(interp.LoadProgram(text).ok());
+  ASSERT_TRUE(interp.Run().ok());
+  auto expected = interp.ChoiceAuditText();
+  ASSERT_TRUE(expected.ok());
+  for (uint32_t threads : {1u, 8u}) {
+    Engine vm(BackendOpts(EvalBackend::kVm, threads, true, true));
+    ASSERT_TRUE(vm.LoadProgram(text).ok());
+    ASSERT_TRUE(vm.Run().ok());
+    auto got = vm.ChoiceAuditText();
+    ASSERT_TRUE(got.ok());
+    // Full-text equality: same firings in the same order, same winners,
+    // same candidate-set sizes, pops, ties and rejection tallies — the
+    // VM must not merely reach the same model but make the same
+    // decisions for the same reasons.
+    EXPECT_EQ(*got, *expected)
+        << GetParam() << " audit diverged at threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, BackendDifferential,
+                         ::testing::Values("course_assignment.dl",
+                                           "huffman.dl", "kruskal.dl",
+                                           "prim.dl", "sort.dl"));
+
+TEST(BackendFallback, RejectedRulesFallBackToInterpreterAndAgree) {
+  // Mixed programs: one rule trips a lowering limit (nested negated
+  // conjunction / literal cap) and must keep interpreting, while its
+  // neighbors run on the VM — one engine, both executors, one model.
+  for (const char* name :
+       {"vm_reject_nested_not.dl", "vm_reject_wide_rule.dl"}) {
+    const std::string text = ReadFileOrDie(std::string(GDLOG_SOURCE_DIR) +
+                                           "/tests/fixtures/" + name);
+    Engine interp(BackendOpts(EvalBackend::kInterp, 1, true, false));
+    ASSERT_TRUE(interp.LoadProgram(text).ok()) << name;
+    ASSERT_TRUE(interp.Run().ok()) << name;
+    Engine vm(BackendOpts(EvalBackend::kVm, 1, true, false));
+    ASSERT_TRUE(vm.LoadProgram(text).ok()) << name;
+    ASSERT_TRUE(vm.Run().ok()) << name;
+    EXPECT_EQ(DumpModel(vm), DumpModel(interp)) << name;
+    ASSERT_NE(vm.VmCoverage(), nullptr) << name;
+    EXPECT_FALSE(vm.VmCoverage()->rejections.empty())
+        << name << " no longer trips the lowering limit it documents";
+    EXPECT_GT(vm.VmCoverage()->rules_lowered, 0u) << name;
+    EXPECT_LT(vm.VmCoverage()->rules_lowered, vm.VmCoverage()->rules_total)
+        << name;
+  }
+}
 
 // -- Greedy wrappers vs procedural baselines, across thread counts ------
 

@@ -195,28 +195,9 @@ RandomProgram MakeRandomStratifiedProgram(uint64_t seed) {
   return p;
 }
 
-std::vector<std::string> RunRandomProgram(const RandomProgram& p,
-                                          uint32_t threads,
-                                          bool use_planner) {
-  EngineOptions opts;
-  opts.eval.threads = threads;
-  opts.eval.use_join_planner = use_planner;
-  opts.eval.parallel_min_rows = 2;  // force partitioning on tiny EDBs
-  Engine e(opts);
-  auto load = e.LoadProgram(p.text);
-  EXPECT_TRUE(load.ok()) << load.ToString() << "\n" << p.text;
-  for (const auto& row : p.e1) {
-    EXPECT_TRUE(
-        e.AddFact("e1", {Value::Int(row[0]), Value::Int(row[1])}).ok());
-  }
-  for (const auto& row : p.e2) {
-    EXPECT_TRUE(
-        e.AddFact("e2", {Value::Int(row[0]), Value::Int(row[1])}).ok());
-  }
-  auto run = e.Run();
-  EXPECT_TRUE(run.ok()) << run.ToString() << "\n" << p.text;
-  // Ordered dump: the parallel contract is bit-identity, not just set
-  // equality.
+/// Ordered model dump: the parallel and cross-backend contracts are
+/// bit-identity, not just set equality.
+std::vector<std::string> DumpOrderedModel(const Engine& e) {
   std::vector<std::string> lines;
   for (const auto& ref : e.program()->AllPredicates()) {
     for (const auto& tuple : e.Query(ref.name, ref.arity)) {
@@ -229,6 +210,38 @@ std::vector<std::string> RunRandomProgram(const RandomProgram& p,
     }
   }
   return lines;
+}
+
+void AddEdbFacts(Engine* e, const RandomProgram& p) {
+  for (const auto& row : p.e1) {
+    EXPECT_TRUE(
+        e->AddFact("e1", {Value::Int(row[0]), Value::Int(row[1])}).ok());
+  }
+  for (const auto& row : p.e2) {
+    EXPECT_TRUE(
+        e->AddFact("e2", {Value::Int(row[0]), Value::Int(row[1])}).ok());
+  }
+}
+
+std::vector<std::string> RunRandomProgramWith(const RandomProgram& p,
+                                             EngineOptions opts) {
+  Engine e(opts);
+  auto load = e.LoadProgram(p.text);
+  EXPECT_TRUE(load.ok()) << load.ToString() << "\n" << p.text;
+  AddEdbFacts(&e, p);
+  auto run = e.Run();
+  EXPECT_TRUE(run.ok()) << run.ToString() << "\n" << p.text;
+  return DumpOrderedModel(e);
+}
+
+std::vector<std::string> RunRandomProgram(const RandomProgram& p,
+                                          uint32_t threads,
+                                          bool use_planner) {
+  EngineOptions opts;
+  opts.eval.threads = threads;
+  opts.eval.use_join_planner = use_planner;
+  opts.eval.parallel_min_rows = 2;  // force partitioning on tiny EDBs
+  return RunRandomProgramWith(p, opts);
 }
 
 TEST_P(SeedSweep, RandomStratifiedParallelEqualsSerial) {
@@ -260,6 +273,148 @@ TEST_P(SeedSweep, RandomStratifiedParallelWithoutPlanner) {
   EXPECT_EQ(RunRandomProgram(p, 8, /*use_planner=*/false),
             RunRandomProgram(p, 1, /*use_planner=*/false))
       << p.text;
+}
+
+// -- Cross-backend property sweep: bytecode VM vs interpreter -----------
+//
+// The same randomized stratified family plus a randomized choice family
+// (stage loop with least + FIFO choice FD), now also swept across the
+// rule-execution backend. The interpreter is the oracle: every VM run
+// must reproduce its model bit-identically, and bounded stops
+// (GD201/GD202/GD203 — tuple, stage, iteration limits) must trip at the
+// same point with the same partial state.
+
+TEST_P(SeedSweep, RandomStratifiedVmMatchesInterpreter) {
+  const RandomProgram p = MakeRandomStratifiedProgram(GetParam() * 389 + 19);
+  const auto oracle = RunRandomProgram(p, 1, /*use_planner=*/true);
+  ASSERT_FALSE(oracle.empty());
+  for (uint32_t threads : {1u, 8u}) {
+    for (bool planner : {true, false}) {
+      EngineOptions opts;
+      opts.eval.backend = EvalBackend::kVm;
+      opts.eval.threads = threads;
+      opts.eval.use_join_planner = planner;
+      opts.eval.parallel_min_rows = 2;
+      if (planner) {
+        EXPECT_EQ(RunRandomProgramWith(p, opts), oracle)
+            << "threads=" << threads << "\n" << p.text;
+      } else {
+        // The planner changes enumeration order; compare against the
+        // interpreter under the same plans instead.
+        EXPECT_EQ(RunRandomProgramWith(p, opts),
+                  RunRandomProgram(p, threads, false))
+            << "threads=" << threads << "\n" << p.text;
+      }
+    }
+  }
+}
+
+/// Randomized choice family: a sort-style stage loop (least over items
+/// with deliberately colliding costs, so FIFO tie-breaks matter), a
+/// stratified join over the stage order, and a FIFO choice FD.
+struct RandomChoiceProgram {
+  std::string text;
+  std::vector<std::vector<int64_t>> items;  // item(X, C)
+  std::vector<std::vector<int64_t>> cands;  // cand(X, Y)
+};
+
+RandomChoiceProgram MakeRandomChoiceProgram(uint64_t seed) {
+  Rng rng(seed);
+  RandomChoiceProgram p;
+  const int64_t n = rng.NextInt(4, 12);
+  for (int64_t i = 0; i < n; ++i) {
+    // Cost collisions are deliberate: ties exercise the deterministic
+    // pop order both backends must share.
+    p.items.push_back({i, rng.NextInt(0, 8)});
+  }
+  const int64_t domain = rng.NextInt(3, 8);
+  const int64_t pairs = rng.NextInt(4, 20);
+  for (int64_t i = 0; i < pairs; ++i) {
+    p.cands.push_back({rng.NextInt(0, domain), rng.NextInt(0, domain)});
+  }
+  std::ostringstream out;
+  out << "sorted(nil, 0, 0).\n"
+      << "sorted(X, C, I) <- next(I), item(X, C), least(C, I).\n"
+      << "ord(X, Y) <- sorted(X, _, I), sorted(Y, _, J), I < J.\n"
+      << "sel(X, Y) <- cand(X, Y), choice(X, Y).\n";
+  if (rng.NextBounded(2)) {
+    out << "mutual(X, Y) <- sel(X, Y), sel(Y, X).\n";
+  }
+  p.text = out.str();
+  return p;
+}
+
+struct BackendRunResult {
+  TerminationReason reason = TerminationReason::kCompleted;
+  std::string status;
+  std::vector<std::string> model;
+};
+
+BackendRunResult RunChoiceProgram(const RandomChoiceProgram& p,
+                                  EvalBackend backend, uint32_t threads,
+                                  RunLimits limits = {}) {
+  EngineOptions opts;
+  opts.eval.backend = backend;
+  opts.eval.threads = threads;
+  opts.eval.parallel_min_rows = 2;
+  opts.limits = limits;
+  Engine e(opts);
+  auto load = e.LoadProgram(p.text);
+  EXPECT_TRUE(load.ok()) << load.ToString() << "\n" << p.text;
+  for (const auto& row : p.items) {
+    EXPECT_TRUE(
+        e.AddFact("item", {Value::Int(row[0]), Value::Int(row[1])}).ok());
+  }
+  for (const auto& row : p.cands) {
+    EXPECT_TRUE(
+        e.AddFact("cand", {Value::Int(row[0]), Value::Int(row[1])}).ok());
+  }
+  BackendRunResult r;
+  // A bounded stop returns non-OK by design; parity of the outcome is
+  // what the test asserts, so no EXPECT here.
+  r.status = e.Run().ToString();
+  r.reason = e.outcome().reason;
+  r.model = DumpOrderedModel(e);
+  return r;
+}
+
+TEST_P(SeedSweep, RandomChoiceVmMatchesInterpreter) {
+  const RandomChoiceProgram p = MakeRandomChoiceProgram(GetParam() * 523 + 41);
+  const BackendRunResult oracle =
+      RunChoiceProgram(p, EvalBackend::kInterp, 1);
+  ASSERT_EQ(oracle.reason, TerminationReason::kCompleted) << oracle.status;
+  ASSERT_FALSE(oracle.model.empty());
+  for (uint32_t threads : {1u, 8u}) {
+    const BackendRunResult vm = RunChoiceProgram(p, EvalBackend::kVm, threads);
+    EXPECT_EQ(vm.status, oracle.status);
+    EXPECT_EQ(vm.model, oracle.model)
+        << "threads=" << threads << "\n" << p.text;
+  }
+}
+
+TEST_P(SeedSweep, BoundedStopParityAcrossBackends) {
+  // Deterministic guardrails only (tuple/stage/iteration caps — the
+  // wall-clock and memory limits are not run-to-run reproducible). Both
+  // backends must trip the same limit at the same derivation and leave
+  // the same queryable partial state.
+  Rng rng(GetParam() * 787 + 53);
+  const RandomChoiceProgram p = MakeRandomChoiceProgram(GetParam() * 523 + 41);
+  RunLimits tuple_cap;
+  tuple_cap.max_tuples = static_cast<uint64_t>(rng.NextInt(1, 12));
+  RunLimits stage_cap;
+  stage_cap.max_stages = static_cast<uint64_t>(rng.NextInt(1, 5));
+  RunLimits iter_cap;
+  iter_cap.max_iterations = static_cast<uint64_t>(rng.NextInt(1, 3));
+  for (const RunLimits& limits : {tuple_cap, stage_cap, iter_cap}) {
+    const BackendRunResult interp =
+        RunChoiceProgram(p, EvalBackend::kInterp, 1, limits);
+    const BackendRunResult vm =
+        RunChoiceProgram(p, EvalBackend::kVm, 1, limits);
+    EXPECT_EQ(static_cast<int>(vm.reason), static_cast<int>(interp.reason))
+        << p.text;
+    EXPECT_EQ(vm.status, interp.status) << p.text;
+    EXPECT_EQ(vm.model, interp.model) << p.text;
+  }
 }
 
 // -- Abstract-interpretation soundness --------------------------------------

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Golden static-analysis outputs.
+# Golden static-analysis and plan-disassembly outputs.
 #
 # Runs `gdlog_shell --lint-json` over every shipped program and every
 # lint fixture and diffs the output against the checked-in goldens in
@@ -7,6 +7,12 @@
 # analysis rendering, no timestamps or build identity), so any drift is a
 # real behavior change — either a regression or an intentional analyzer
 # improvement that must be re-blessed with --update.
+#
+# Additionally runs `gdlog_shell --dump-plan` over the shipped programs
+# and diffs the bytecode-lowering disassembly against
+# tests/goldens/<name>.plan — the reviewable record of what the VM
+# executes (micro-ops, probe keys, fused filters, rejection reasons).
+# The disassembly is pointer-free and deterministic for a fixed program.
 #
 #   tools/check_goldens.sh BUILD_DIR            check; exit 1 on drift
 #   tools/check_goldens.sh BUILD_DIR --update   refresh the goldens
@@ -30,6 +36,26 @@ for f in programs/*.dl tests/fixtures/*.dl; do
   # --lint-json exits 1 when the program has error-severity diagnostics;
   # that is part of what the golden captures, not a script failure.
   out=$("$SHELL_BIN" "$f" --lint-json 2>/dev/null) || true
+  if [ "$MODE" = "--update" ]; then
+    printf '%s\n' "$out" > "$golden"
+    echo "updated $golden"
+  elif [ ! -f "$golden" ]; then
+    echo "MISSING GOLDEN: $golden (run tools/check_goldens.sh $BUILD_DIR --update)"
+    fail=1
+  elif ! printf '%s\n' "$out" | diff -u "$golden" -; then
+    echo "GOLDEN DRIFT: $f vs $golden"
+    fail=1
+  fi
+done
+
+# Plan disassembly goldens: shipped programs only (fixtures exist to
+# exercise diagnostics; their plans are incidental). The vm_reject
+# fixtures are the exception — their whole point is the lowering
+# fallback they document, so pin their disassembly too.
+for f in programs/*.dl tests/fixtures/vm_reject_*.dl; do
+  name=$(basename "$f" .dl)
+  golden="tests/goldens/$name.plan"
+  out=$("$SHELL_BIN" "$f" --dump-plan 2>/dev/null) || true
   if [ "$MODE" = "--update" ]; then
     printf '%s\n' "$out" > "$golden"
     echo "updated $golden"

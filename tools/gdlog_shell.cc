@@ -23,6 +23,11 @@
 //   --no-merge           disable congruence merging ((R,Q,L) ablation)
 //   --linear-least       naive linear-scan retrieval instead of the heap
 //   --threads N          parallel evaluation workers (0 = hardware, 1 = serial)
+//   --backend NAME       evaluation backend: interp (default) | vm (bytecode;
+//                        bit-identical results, rejected rule shapes fall
+//                        back to the interpreter — see docs/VM.md)
+//   --dump-plan          run, then print only the bytecode disassembly of the
+//                        compiled rules (the `.plan` golden format) and exit
 //   --no-planner         parser-order joins (cost-based planner ablation)
 //   --no-absint          skip abstract interpretation (types/intervals/bounds)
 //   --no-priors          planner ignores analysis row bounds (ablation)
@@ -141,7 +146,8 @@ void Usage(const char* argv0) {
                "[--choices] "
                "[--explain-analyze] [--json-report] [--metrics-out PATH] "
                "[--trace PATH] [--no-merge] [--linear-least] "
-               "[--threads N] [--no-planner] [--no-absint] [--no-priors] "
+               "[--threads N] [--backend interp|vm] [--dump-plan] "
+               "[--no-planner] [--no-absint] [--no-priors] "
                "[--deadline-ms N] [--max-tuples N] [--max-stages N] "
                "[--max-memory-mb N] [--faults SPEC] "
                "[--db-dir PATH] [--fsync always|batch|off] "
@@ -676,7 +682,7 @@ int main(int argc, char** argv) {
   bool report = false, rewrite = false, verify = false, stats = false;
   bool json_report = false, interactive = false;
   bool lint = false, lint_json = false, explain_analyze = false;
-  bool choices = false;
+  bool choices = false, dump_plan = false;
   std::vector<std::string> why_targets, why_dot_targets;
   std::string metrics_out;
   gdlog::EngineOptions options;
@@ -734,6 +740,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads" && i + 1 < argc) {
       options.eval.threads =
           static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--backend" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "interp") {
+        options.eval.backend = gdlog::EvalBackend::kInterp;
+      } else if (name == "vm") {
+        options.eval.backend = gdlog::EvalBackend::kVm;
+      } else {
+        std::fprintf(stderr, "bad --backend %s (want interp|vm)\n",
+                     name.c_str());
+        return 2;
+      }
+    } else if (arg == "--dump-plan") {
+      dump_plan = true;
     } else if (arg == "--no-planner") {
       options.eval.use_join_planner = false;
     } else if (arg == "--no-absint") {
@@ -823,6 +842,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "evaluation failed: %s\n", st.ToString().c_str());
       return 1;
     }
+  }
+
+  if (dump_plan) {
+    // Golden-format dump: only the disassembly, nothing else, so the
+    // output diffs cleanly against tests/goldens/*.plan.
+    auto r = engine.PlanDump();
+    if (!r.ok()) {
+      std::fprintf(stderr, "dump-plan error: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", r->c_str());
+    return bounded_stop ? 3 : 0;
   }
 
   if (queries.empty()) {
