@@ -41,10 +41,21 @@ int64_t DiagCodeNumber(const Status& st) {
 
 }  // namespace
 
+const char* EngineRunStateName(EngineRunState s) {
+  switch (s) {
+    case EngineRunState::kIdle: return "idle";
+    case EngineRunState::kRunning: return "running";
+    case EngineRunState::kCompleted: return "completed";
+    case EngineRunState::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
       store_(std::make_unique<ValueStore>()),
-      catalog_(std::make_unique<Catalog>()) {
+      catalog_(std::make_unique<Catalog>()),
+      start_time_(std::chrono::steady_clock::now()) {
   // Memory tracking is always on: the per-container recounts are O(1)
   // amortized, and peak figures belong in every report, limit or not.
   // Wired before the fault injector so the initial charge of the empty
@@ -91,6 +102,9 @@ Engine::Engine(EngineOptions options)
     recorder_ =
         std::make_unique<FlightRecorder>(options_.obs.recorder_capacity);
   }
+  if (options_.obs.progress_enabled) {
+    progress_ = std::make_unique<ProgressTap>(options_.obs.progress_capacity);
+  }
   if (metrics_ != nullptr) {
     // Build identity as a constant gauge, the node_exporter convention:
     // the value is always 1, the information lives in the labels.
@@ -101,10 +115,35 @@ Engine::Engine(EngineOptions options)
                                   {"compiler", bi.compiler},
                                   {"sanitizer", bi.sanitizer}})
         ->Set(1);
+    // Register the uptime/run-state gauges now so the very first scrape
+    // already carries the full family.
+    RefreshRuntimeMetrics();
   }
   // Durability last: recovery interns values and charges the budget, so
   // every guardrail and observability hook must already be in place.
   OpenDurability();
+  // The live endpoint starts after every surface it borrows exists. A
+  // bind failure is latched (obs_http_status), not fatal — an engine
+  // that cannot serve can still evaluate.
+  if (options_.obs_http.enabled) {
+    ObsServer::Sources src;
+    src.metrics = metrics_;
+    src.metrics_text = [this]() -> std::string {
+      auto text = MetricsText();
+      return text.ok() ? std::move(*text) : std::string();
+    };
+    src.recorder = recorder_.get();
+    src.progress = progress_.get();
+    src.statusz = [this] { return StatuszJson(); };
+    obs_server_ =
+        std::make_unique<ObsServer>(options_.obs_http, std::move(src));
+    obs_http_status_ = obs_server_->Start();
+    if (!obs_http_status_.ok()) {
+      GDLOG_LOG_ERROR << "obs endpoint failed to start: "
+                      << obs_http_status_.ToString();
+      obs_server_.reset();
+    }
+  }
 }
 
 Engine::~Engine() = default;
@@ -486,10 +525,19 @@ Status Engine::Run() {
   guard_ = std::make_unique<RunGuard>(options_.limits, &cancel_, &budget_,
                                       injector_.get());
   guard_->Arm();
+  run_state_.store(EngineRunState::kRunning, std::memory_order_release);
   if (recorder_) {
     recorder_->Record(FlightEventKind::kRunStart,
                       static_cast<int64_t>(program_->rules.size()),
                       static_cast<int64_t>(catalog_->size()));
+  }
+  if (progress_) {
+    ProgressEvent e;
+    e.kind = ProgressKind::kRunStart;
+    e.round = program_->rules.size();
+    e.delta_rows = catalog_->size();
+    e.memory_bytes = budget_.used();
+    progress_->Record(e);
   }
 
   Status st;
@@ -545,7 +593,47 @@ Status Engine::Run() {
       GDLOG_LOG_ERROR << "trace export failed: " << trace_st.ToString();
     }
   }
+  run_state_.store(outcome_.reason == TerminationReason::kCompleted
+                       ? EngineRunState::kCompleted
+                       : EngineRunState::kStopped,
+                   std::memory_order_release);
+  PublishRunArtifacts();
   return st;
+}
+
+void Engine::PublishRunArtifacts() {
+  // RunReport and the tracer are not mid-run-safe; now that evaluation
+  // stopped, snapshot them into the endpoint's ring. Bounded stops
+  // report partial state (ran_ is set for those too). This happens
+  // BEFORE the terminal progress event so an SSE client that closes on
+  // that event finds /runs/last and /trace already populated.
+  if (obs_server_) {
+    if (ran_) {
+      auto report = RunReport();
+      if (report.ok()) obs_server_->PushRunReport(std::move(*report));
+    }
+    if (tracer_) {
+      JsonWriter w;
+      tracer_->WriteJson(&w);
+      obs_server_->SetTrace(w.Take());
+    }
+  }
+  // Terminal progress event: SSE streams see the run end (completed or
+  // bounded stop alike) and close; the ticker prints its last line.
+  if (progress_) {
+    ProgressEvent e;
+    e.kind = ProgressKind::kTermination;
+    e.termination = static_cast<int32_t>(outcome_.reason);
+    if (driver_) {
+      const FixpointStats& s = driver_->stats();
+      e.round = s.saturation_rounds;
+      e.tuples = s.exec.inserts;
+      e.gamma_firings = s.gamma_firings;
+      e.stages = s.stages_assigned;
+    }
+    e.memory_bytes = budget_.used();
+    progress_->Record(e);
+  }
 }
 
 Status Engine::RunInner() {
@@ -630,7 +718,8 @@ Status Engine::RunInner() {
 
   driver_ = std::make_unique<FixpointDriver>(
       catalog_.get(), store_.get(), analysis_.get(), std::move(*compiled),
-      options_.eval, ObsContext{metrics_, tracer_.get(), recorder_.get()},
+      options_.eval,
+      ObsContext{metrics_, tracer_.get(), recorder_.get(), progress_.get()},
       guard_.get());
   const uint64_t eval_t0 = WallNowNs();
   const Status eval_status = [&] {
@@ -1124,24 +1213,85 @@ std::string Engine::DumpFlightRecorder() const {
   return recorder_->DumpText();
 }
 
+uint64_t Engine::uptime_seconds() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
+void Engine::RefreshRuntimeMetrics() const {
+  if (metrics_ == nullptr) return;
+  metrics_->GetGauge("engine.uptime_seconds")
+      ->Set(static_cast<int64_t>(uptime_seconds()));
+  // One 0/1 gauge per lifecycle state (the node_exporter "state set"
+  // convention): dashboards sum the family to 1 and alert on the label.
+  const EngineRunState current = run_state();
+  for (const EngineRunState s :
+       {EngineRunState::kIdle, EngineRunState::kRunning,
+        EngineRunState::kCompleted, EngineRunState::kStopped}) {
+    metrics_->GetGauge("engine.run_state", {{"state", EngineRunStateName(s)}})
+        ->Set(s == current ? 1 : 0);
+  }
+}
+
+std::string Engine::StatuszJson() const {
+  const BuildInfo& bi = GetBuildInfo();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("build").BeginObject();
+  w.Key("version").String(bi.version);
+  w.Key("git_sha").String(bi.git_sha);
+  w.Key("compiler").String(bi.compiler);
+  w.Key("sanitizer").String(bi.sanitizer);
+  w.EndObject();
+  w.Key("uptime_seconds").UInt(uptime_seconds());
+  w.Key("run_state").String(EngineRunStateName(run_state()));
+  w.Key("tracked_memory_bytes").UInt(budget_.used());
+  ProgressEvent last;
+  if (progress_ && progress_->Last(&last)) {
+    w.Key("progress").BeginObject();
+    w.Key("seq").UInt(last.seq);
+    w.Key("kind").String(ProgressKindName(last.kind));
+    w.Key("round").UInt(last.round);
+    w.Key("tuples").UInt(last.tuples);
+    w.Key("gamma_firings").UInt(last.gamma_firings);
+    w.Key("stages").UInt(last.stages);
+    w.EndObject();
+  } else {
+    w.Key("progress").Null();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
 Result<std::string> Engine::MetricsText() const {
   if (metrics_ == nullptr) {
     return Status::InvalidArgument(
         "metrics disabled: set EngineOptions::obs.metrics_enabled");
   }
+  RefreshRuntimeMetrics();
   return metrics_->PrometheusText();
 }
 
 Status Engine::WriteMetricsText(const std::string& path) const {
   GDLOG_ASSIGN_OR_RETURN(std::string text, MetricsText());
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  // Write-to-temp + atomic rename: a scraper reading `path` sees either
+  // the previous complete exposition or the new one, never a torn file.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) {
-    return Status::InvalidArgument("cannot open metrics file: " + path);
+    return Status::InvalidArgument("cannot open metrics file: " + tmp);
   }
   const size_t n = std::fwrite(text.data(), 1, text.size(), f);
   const int close_err = std::fclose(f);
   if (n != text.size() || close_err != 0) {
-    return Status::Internal("short write to metrics file: " + path);
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to metrics file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename metrics file into place: " + path);
   }
   return Status::OK();
 }

@@ -19,6 +19,8 @@
 #ifndef GDLOG_API_ENGINE_H_
 #define GDLOG_API_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -33,7 +35,9 @@
 #include "eval/fixpoint.h"
 #include "eval/stable_model.h"
 #include "obs/flight_recorder.h"
+#include "obs/http/obs_server.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "storage/catalog.h"
 #include "storage/durable/durable_store.h"
@@ -66,6 +70,12 @@ struct EngineOptions {
   /// Chrome-trace tracer stays opt-in via obs.enabled. See
   /// docs/OBSERVABILITY.md.
   ObsOptions obs;
+  /// Live observability endpoint (src/obs/http): /metrics, /healthz,
+  /// /statusz, /runs, /trace, /blackbox, and the /progress SSE stream,
+  /// served for the engine's lifetime — including while Run is in
+  /// flight and after bounded stops. Off by default; shell --serve-obs
+  /// / .serve turn it on. See docs/OBSERVABILITY.md "Live endpoint".
+  ObsHttpOptions obs_http;
   /// Resource caps for Run (zero = unlimited). Enforced at fixpoint
   /// boundaries; a tripped limit ends the run with a bounded stop, not a
   /// crash — the partial state stays queryable. See docs/ROBUSTNESS.md.
@@ -106,6 +116,18 @@ struct EnginePhaseTimes {
   uint64_t compile_ns = 0;
   uint64_t eval_ns = 0;
 };
+
+/// Coarse engine lifecycle, published as an atomic for the /statusz and
+/// run-state gauges (safe to read from server threads mid-run).
+enum class EngineRunState : uint8_t {
+  kIdle = 0,   // constructed, Run not yet called
+  kRunning,    // Run in flight
+  kCompleted,  // Run reached a genuine fixpoint
+  kStopped,    // Run ended on a bounded stop (limit/cancel/OOM/fault)
+};
+
+/// Stable lowercase name ("idle", "running", "completed", "stopped").
+const char* EngineRunStateName(EngineRunState s);
 
 /// How the last Run ended. Filled in whether Run succeeded, stopped on a
 /// limit, was cancelled, or caught std::bad_alloc; `reason` stays
@@ -225,6 +247,28 @@ class Engine {
   /// The always-on flight recorder; nullptr when obs.recorder_enabled is
   /// false.
   const FlightRecorder* flight_recorder() const { return recorder_.get(); }
+  /// The always-on progress tap (per-round/per-stage events, safe to
+  /// poll from other threads mid-run); nullptr when
+  /// obs.progress_enabled is false.
+  const ProgressTap* progress() const { return progress_.get(); }
+  /// The engine lifecycle state (atomic; safe from any thread).
+  EngineRunState run_state() const {
+    return run_state_.load(std::memory_order_acquire);
+  }
+  /// Seconds since this engine was constructed.
+  uint64_t uptime_seconds() const;
+
+  /// The live observability endpoint; nullptr when obs_http.enabled is
+  /// false or the server failed to start (see obs_http_status).
+  const ObsServer* obs_server() const { return obs_server_.get(); }
+  /// The endpoint's bound port (resolves an ephemeral port 0 request);
+  /// 0 when the server is not running.
+  uint16_t obs_http_port() const {
+    return obs_server_ ? obs_server_->port() : 0;
+  }
+  /// Why the endpoint is not serving (OK when it is, or was never
+  /// requested). Latched at construction, like durability_status.
+  const Status& obs_http_status() const { return obs_http_status_; }
 
   /// The flight-recorder ring rendered as text (one line per retained
   /// event). Works at any time — mid-run from another thread, after a
@@ -340,6 +384,17 @@ class Engine {
   /// deferred (budget charge, auto-checkpoint) without failing the
   /// mutation it rode on.
   void RecordDeferredDurabilityError();
+  /// Refreshes the runtime gauges (engine.uptime_seconds and the
+  /// engine.run_state family) so every scrape path — /metrics, shell
+  /// .metrics, WriteMetricsText — sees current values.
+  void RefreshRuntimeMetrics() const;
+  /// The /statusz JSON: build info, uptime, run state, last progress.
+  /// Reads only atomics and lock-free rings — safe mid-run.
+  std::string StatuszJson() const;
+  /// Publishes the end-of-run artifacts that are only safe to render
+  /// once evaluation stopped (RunReport JSON, Chrome trace) into the
+  /// endpoint's bounded ring, plus the terminal progress event.
+  void PublishRunArtifacts();
   /// Rendered program rules indexed by rule index (facts stay empty).
   std::vector<std::string> RuleTexts() const;
   /// Runs the abstract interpreter on the loaded program against the
@@ -375,11 +430,20 @@ class Engine {
   std::unique_ptr<MetricsRegistry> own_metrics_;
   MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<ProgressTap> progress_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::atomic<EngineRunState> run_state_{EngineRunState::kIdle};
   EnginePhaseTimes phase_times_;
   // Rows present per relation before evaluation started (user facts +
   // program facts) — the reduct seeds for VerifyStableModel.
   std::vector<size_t> seed_watermarks_;
   bool ran_ = false;
+  // The live endpoint is declared LAST: its worker threads read the
+  // members above (metrics, recorder, tap, atomics), so it must be the
+  // first member destroyed — destruction joins every server thread
+  // before anything it borrows goes away.
+  Status obs_http_status_;
+  std::unique_ptr<ObsServer> obs_server_;
 };
 
 }  // namespace gdlog

@@ -133,6 +133,27 @@ FixpointDriver::FixpointDriver(Catalog* catalog, ValueStore* store,
       guard_->budget()->Update(&vm_charged_, vm_code_->MemoryBytes());
     }
   }
+  // Backend visibility (gdlog_vm_* in the Prometheus export): which
+  // executor runs the rules, how many rules the bytecode backend
+  // lowered, and why the rest fell back to the interpreter. Published
+  // at setup — lowering already happened — so a live /metrics scrape
+  // sees the series mid-run, not only after PublishMetrics.
+  if (obs_.metrics != nullptr) {
+    MetricsRegistry& m = *obs_.metrics;
+    m.GetGauge("vm.backend",
+               {{"backend",
+                 options_.backend == EvalBackend::kVm ? "vm" : "interp"}})
+        ->Set(1);
+    if (const ir::LoweringReport* cov = vm_coverage(); cov != nullptr) {
+      m.GetGauge("vm.rules_total")
+          ->Set(static_cast<int64_t>(cov->rules_total));
+      m.GetGauge("vm.rules_lowered")
+          ->Set(static_cast<int64_t>(cov->rules_lowered));
+      for (const ir::LoweringReport::Rejection& rej : cov->rejections) {
+        m.GetCounter("vm.rules_rejected", {{"reason", rej.reason}})->Add(1);
+      }
+    }
+  }
 }
 
 FixpointDriver::~FixpointDriver() = default;
@@ -230,6 +251,21 @@ void FixpointDriver::AddAuditEntry(ChoiceAuditEntry entry) {
   if (guard_ != nullptr && guard_->budget() != nullptr) {
     guard_->budget()->Update(&audit_charged_, audit_->ApproxBytes());
   }
+}
+
+void FixpointDriver::PublishProgress(ProgressKind kind, uint64_t delta_rows) {
+  if (obs_.progress == nullptr) return;
+  ProgressEvent e;
+  e.kind = kind;
+  e.round = stats_.saturation_rounds;
+  e.delta_rows = delta_rows;
+  e.tuples = exec_.stats().inserts;
+  e.gamma_firings = stats_.gamma_firings;
+  e.stages = stats_.stages_assigned;
+  if (guard_ != nullptr && guard_->budget() != nullptr) {
+    e.memory_bytes = guard_->budget()->used();
+  }
+  obs_.progress->Record(e);
 }
 
 void FixpointDriver::PublishMetrics() {
@@ -968,6 +1004,7 @@ Status FixpointDriver::Saturate(CliqueCtx* ctx) {
           static_cast<int64_t>(stats_.saturation_rounds),
           static_cast<int64_t>(exec_.stats().inserts - inserts_before));
     }
+    PublishProgress(ProgressKind::kRound, delta_total);
   }
   span.AddArg("rounds",
               static_cast<int64_t>(stats_.saturation_rounds - rounds_before));
@@ -1173,6 +1210,7 @@ bool FixpointDriver::TryFireNext(CliqueCtx* ctx, GammaState* g,
     ++ctx->stage_counter;
     ++stats_.gamma_firings;
     ++stats_.stages_assigned;
+    PublishProgress(ProgressKind::kStage, 0);
   } else {
     if (audit != nullptr && !saw_solution) ++audit->rejected_post;
     if (obs_.recorder != nullptr) {

@@ -35,6 +35,7 @@
 #include "eval/seminaive.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
 
@@ -297,6 +298,8 @@ class FixpointDriver {
   void AddAuditEntry(ChoiceAuditEntry entry);
   /// Publishes end-of-run totals into the metrics registry.
   void PublishMetrics();
+  /// Publishes one wide progress event (round / stage) to the tap.
+  void PublishProgress(ProgressKind kind, uint64_t delta_rows);
 
   Catalog* catalog_;
   ValueStore* store_;

@@ -1,0 +1,199 @@
+#include "obs/http/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gdlog {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool IsTokenChar(unsigned char c) {
+  // RFC 7230 token characters; enough to validate methods and header
+  // names without a lookup table.
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ValidToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (unsigned char c : s) {
+    if (!IsTokenChar(c)) return false;
+  }
+  return true;
+}
+
+/// Request targets must be visible ASCII: control bytes (and the
+/// spaces already consumed by the line split) have no business in an
+/// origin-form path and usually signal request smuggling attempts.
+bool ValidTarget(std::string_view s) {
+  for (unsigned char c : s) {
+    if (c <= 0x20 || c == 0x7f) return false;
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  const std::string lowered = ToLower(name);
+  for (const auto& [k, v] : headers) {
+    if (k == lowered) return v;
+  }
+  return {};
+}
+
+HttpParseStatus ParseHttpRequest(std::string_view data,
+                                 const HttpLimits& limits, HttpRequest* out,
+                                 size_t* consumed) {
+  // Limit checks run against partial data too: a sender that streams an
+  // endless request line is rejected as soon as it crosses the bound,
+  // not kept in kIncomplete until its timeout.
+  const size_t head_end = data.find("\r\n\r\n");
+  const size_t line_end = data.find("\r\n");
+  // A bare LF before any CRLF means the client uses LF-only line
+  // endings; rejecting it now beats stalling in kIncomplete until the
+  // read timeout (the CRLF terminator would never arrive).
+  const size_t bare_lf = data.find('\n');
+  if (bare_lf != std::string_view::npos &&
+      (line_end == std::string_view::npos || bare_lf < line_end + 1)) {
+    return HttpParseStatus::kBadRequest;
+  }
+  if (line_end == std::string_view::npos) {
+    if (data.size() > limits.max_request_line) {
+      return HttpParseStatus::kUriTooLong;
+    }
+    if (data.size() > limits.max_head_bytes) {
+      return HttpParseStatus::kHeadersTooLarge;
+    }
+    return HttpParseStatus::kIncomplete;
+  }
+  if (line_end > limits.max_request_line) return HttpParseStatus::kUriTooLong;
+  if (head_end == std::string_view::npos) {
+    if (data.size() > limits.max_head_bytes) {
+      return HttpParseStatus::kHeadersTooLarge;
+    }
+    return HttpParseStatus::kIncomplete;
+  }
+  if (head_end + 4 > limits.max_head_bytes) {
+    return HttpParseStatus::kHeadersTooLarge;
+  }
+
+  // Request line: METHOD SP request-target SP HTTP/1.minor
+  const std::string_view line = data.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return HttpParseStatus::kBadRequest;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!ValidToken(method) || target.empty() || !ValidTarget(target)) {
+    return HttpParseStatus::kBadRequest;
+  }
+  if (version.size() != 8 || version.substr(0, 7) != "HTTP/1." ||
+      !std::isdigit(static_cast<unsigned char>(version[7]))) {
+    return HttpParseStatus::kBadVersion;
+  }
+  // Only origin-form targets ("/metrics"); no absolute-form proxying.
+  if (target.front() != '/') return HttpParseStatus::kBadRequest;
+
+  HttpRequest req;
+  req.method = std::string(method);
+  req.version_minor = version[7] - '0';
+  const size_t q = target.find('?');
+  req.path = std::string(target.substr(0, q));
+  if (q != std::string_view::npos) req.query = std::string(target.substr(q + 1));
+
+  // Headers: name ":" OWS value OWS, one per line, no obs-fold.
+  size_t pos = line_end + 2;
+  while (pos < head_end) {
+    const size_t eol = data.find("\r\n", pos);
+    const std::string_view h = data.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (req.headers.size() >= limits.max_headers) {
+      return HttpParseStatus::kHeadersTooLarge;
+    }
+    if (h.front() == ' ' || h.front() == '\t') {
+      return HttpParseStatus::kBadRequest;  // obsolete line folding
+    }
+    const size_t colon = h.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return HttpParseStatus::kBadRequest;
+    }
+    const std::string_view name = h.substr(0, colon);
+    if (!ValidToken(name)) return HttpParseStatus::kBadRequest;
+    const std::string_view value = Trim(h.substr(colon + 1));
+    // No stray control bytes in values (a bare LF here means the line
+    // terminators were inconsistent — a smuggling vector, not a value).
+    for (unsigned char c : value) {
+      if (c < 0x20 && c != '\t') return HttpParseStatus::kBadRequest;
+    }
+    req.headers.emplace_back(ToLower(name), std::string(value));
+  }
+
+  *out = std::move(req);
+  *consumed = head_end + 4;
+  return HttpParseStatus::kOk;
+}
+
+std::string_view HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string BuildHttpResponseHead(
+    int status, std::string_view content_type, size_t content_length,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    std::string(HttpReasonPhrase(status)) + "\r\n";
+  if (!content_type.empty()) {
+    out += "Content-Type: " + std::string(content_type) + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(content_length) + "\r\n";
+  for (const auto& [k, v] : extra_headers) out += k + ": " + v + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,69 @@
+// HTTP/1.x request parsing for the observability server: the pure,
+// socket-free half of src/obs/http, unit-tested without a listener.
+//
+// The parser handles exactly what a metrics scraper or curl sends — a
+// request line plus headers, no body — and is deliberately strict:
+// bounded sizes, no obsolete line folding, no transfer encodings.
+// Anything outside that envelope maps to a 4xx the server can emit
+// without further interpretation.
+#ifndef GDLOG_OBS_HTTP_HTTP_PARSER_H_
+#define GDLOG_OBS_HTTP_HTTP_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gdlog {
+
+/// Bounds enforced while reading a request head. Defaults fit any
+/// scraper; tests shrink them to exercise the 431/414 paths.
+struct HttpLimits {
+  uint32_t max_request_line = 2048;  // method + target + version
+  uint32_t max_head_bytes = 8192;    // request line + all headers
+  uint32_t max_headers = 64;
+};
+
+struct HttpRequest {
+  std::string method;  // uppercase as received ("GET")
+  std::string path;    // origin-form target, query string stripped
+  std::string query;   // after '?', may be empty
+  int version_minor = 1;  // HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;  // names lowered
+
+  /// First value of a header (case-insensitive name), or "".
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Outcome of parsing one request head.
+enum class HttpParseStatus : uint8_t {
+  kOk = 0,
+  kIncomplete,       // need more bytes (no terminating CRLFCRLF yet)
+  kBadRequest,       // malformed line or header        -> 400
+  kUriTooLong,       // request line over the limit     -> 414
+  kHeadersTooLarge,  // head bytes / count over limits  -> 431
+  kBadVersion,       // not HTTP/1.x                    -> 505
+};
+
+/// Parses one request head from `data` (everything received so far).
+/// Returns kIncomplete until the blank line arrives, unless a limit is
+/// already exceeded by the partial data — limits are checked first so a
+/// hostile sender cannot stall in kIncomplete forever. On kOk,
+/// `consumed` is the head length including the terminating CRLFCRLF.
+HttpParseStatus ParseHttpRequest(std::string_view data,
+                                 const HttpLimits& limits, HttpRequest* out,
+                                 size_t* consumed);
+
+/// The canonical reason phrase ("Not Found" for 404, ...).
+std::string_view HttpReasonPhrase(int status);
+
+/// Serializes a response head (status line + headers + blank line).
+/// `extra_headers` are emitted verbatim after Content-Type/Length.
+std::string BuildHttpResponseHead(
+    int status, std::string_view content_type, size_t content_length,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_OBS_HTTP_HTTP_PARSER_H_

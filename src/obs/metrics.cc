@@ -416,12 +416,17 @@ void MetricsRegistry::WriteText(std::string* out) const {
                            "le=\"" + std::to_string(b.upper) + "\"") +
                 " " + std::to_string(cumulative) + "\n";
       }
+      // Live scrape: a writer may record between the bucket scan and
+      // this read, in either order, so clamp the total to keep +Inf
+      // cumulative and equal to _count — a torn mid-run scrape must
+      // still be a valid exposition.
+      const uint64_t total = std::max(cumulative, h.count());
       *out += name + "_bucket" + PromLabels(e->labels, "le=\"+Inf\"") + " " +
-              std::to_string(h.count()) + "\n";
+              std::to_string(total) + "\n";
       *out += name + "_sum" + PromLabels(e->labels, "") + " " +
               std::to_string(h.sum()) + "\n";
       *out += name + "_count" + PromLabels(e->labels, "") + " " +
-              std::to_string(h.count()) + "\n";
+              std::to_string(total) + "\n";
     }
   }
 }

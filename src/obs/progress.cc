@@ -1,0 +1,146 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+
+#include "common/guardrails.h"
+#include "obs/json.h"
+
+namespace gdlog {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t v) {
+  if (v < 2) return 2;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  return v + 1;
+}
+
+}  // namespace
+
+const char* ProgressKindName(ProgressKind k) {
+  switch (k) {
+    case ProgressKind::kNone: return "none";
+    case ProgressKind::kRunStart: return "run-start";
+    case ProgressKind::kRound: return "round";
+    case ProgressKind::kStage: return "stage";
+    case ProgressKind::kTermination: return "termination";
+  }
+  return "unknown";
+}
+
+ProgressTap::ProgressTap(uint32_t capacity)
+    : mask_(RoundUpPow2(capacity) - 1),
+      epoch_(std::chrono::steady_clock::now()),
+      slots_(std::make_unique<Slot[]>(mask_ + 1)) {}
+
+void ProgressTap::Record(const ProgressEvent& e) noexcept {
+  const uint64_t seq = next_.load(std::memory_order_relaxed);
+  Slot& s = slots_[seq & mask_];
+  // Clear the slot's seq first so a concurrent reader never pairs the
+  // old sequence number with a half-written payload; publish it last.
+  s.seq.store(0, std::memory_order_relaxed);
+  s.ts_ns.store(NowNs(), std::memory_order_relaxed);
+  s.kind.store(static_cast<uint8_t>(e.kind), std::memory_order_relaxed);
+  s.round.store(e.round, std::memory_order_relaxed);
+  s.delta_rows.store(e.delta_rows, std::memory_order_relaxed);
+  s.tuples.store(e.tuples, std::memory_order_relaxed);
+  s.gamma_firings.store(e.gamma_firings, std::memory_order_relaxed);
+  s.stages.store(e.stages, std::memory_order_relaxed);
+  s.memory_bytes.store(e.memory_bytes, std::memory_order_relaxed);
+  s.termination.store(e.termination, std::memory_order_relaxed);
+  s.seq.store(seq + 1, std::memory_order_release);
+  next_.store(seq + 1, std::memory_order_release);
+}
+
+bool ProgressTap::ReadSlot(const Slot& s, uint64_t want_seq,
+                           ProgressEvent* out) const {
+  if (s.seq.load(std::memory_order_acquire) != want_seq) return false;
+  out->seq = want_seq;
+  out->ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+  out->kind = static_cast<ProgressKind>(s.kind.load(std::memory_order_relaxed));
+  out->round = s.round.load(std::memory_order_relaxed);
+  out->delta_rows = s.delta_rows.load(std::memory_order_relaxed);
+  out->tuples = s.tuples.load(std::memory_order_relaxed);
+  out->gamma_firings = s.gamma_firings.load(std::memory_order_relaxed);
+  out->stages = s.stages.load(std::memory_order_relaxed);
+  out->memory_bytes = s.memory_bytes.load(std::memory_order_relaxed);
+  out->termination = s.termination.load(std::memory_order_relaxed);
+  // Re-check after reading the payload: the single writer publishes seq
+  // last, so an unchanged seq means the fields above were not torn.
+  return s.seq.load(std::memory_order_acquire) == want_seq;
+}
+
+std::vector<ProgressEvent> ProgressTap::Since(uint64_t after_seq) const {
+  std::vector<ProgressEvent> out;
+  const uint64_t hi = next_.load(std::memory_order_acquire);
+  if (hi == 0 || after_seq >= hi) return out;
+  const uint64_t cap = mask_ + 1;
+  uint64_t lo = after_seq;
+  if (hi > cap && lo < hi - cap) lo = hi - cap;  // lapped: oldest retained
+  out.reserve(static_cast<size_t>(hi - lo));
+  for (uint64_t seq = lo + 1; seq <= hi; ++seq) {
+    ProgressEvent e;
+    if (ReadSlot(slots_[(seq - 1) & mask_], seq, &e)) out.push_back(e);
+  }
+  return out;
+}
+
+bool ProgressTap::Last(ProgressEvent* out) const {
+  const uint64_t hi = next_.load(std::memory_order_acquire);
+  for (uint64_t seq = hi; seq > 0 && seq + mask_ + 1 > hi; --seq) {
+    if (ReadSlot(slots_[(seq - 1) & mask_], seq, out)) return true;
+  }
+  return false;
+}
+
+std::string ProgressEventJson(const ProgressEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("seq").UInt(e.seq);
+  w.Key("ts_ms").Double(static_cast<double>(e.ts_ns) / 1e6);
+  w.Key("kind").String(ProgressKindName(e.kind));
+  w.Key("round").UInt(e.round);
+  w.Key("delta_rows").UInt(e.delta_rows);
+  w.Key("tuples").UInt(e.tuples);
+  w.Key("gamma_firings").UInt(e.gamma_firings);
+  w.Key("stages").UInt(e.stages);
+  w.Key("memory_bytes").UInt(e.memory_bytes);
+  if (e.kind == ProgressKind::kTermination) {
+    w.Key("termination")
+        .String(TerminationReasonName(
+            static_cast<TerminationReason>(e.termination)));
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+std::string ProgressEventLine(const ProgressEvent& e) {
+  char buf[256];
+  const double mib = static_cast<double>(e.memory_bytes) / (1024.0 * 1024.0);
+  if (e.kind == ProgressKind::kTermination) {
+    std::snprintf(buf, sizeof(buf),
+                  "%% run %s  round %llu  %llu tuples  %llu stages  %.1f MiB",
+                  std::string(TerminationReasonName(
+                                  static_cast<TerminationReason>(
+                                      e.termination)))
+                      .c_str(),
+                  (unsigned long long)e.round, (unsigned long long)e.tuples,
+                  (unsigned long long)e.stages, mib);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%% round %llu  +%llu delta  %llu tuples  %llu stages  "
+                  "%.1f MiB",
+                  (unsigned long long)e.round,
+                  (unsigned long long)e.delta_rows,
+                  (unsigned long long)e.tuples, (unsigned long long)e.stages,
+                  mib);
+  }
+  return buf;
+}
+
+}  // namespace gdlog

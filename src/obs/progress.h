@@ -1,0 +1,118 @@
+// Progress tap: a lock-free ring of per-round / per-stage progress
+// events published by the fixpoint loop while it runs.
+//
+// Unlike the flight recorder (a post-mortem black box of terse
+// kind/a0/a1 records), the tap carries a wide snapshot per event —
+// round number, delta rows, cumulative tuples, gamma firings, stages,
+// tracked memory — so live consumers (the /progress SSE stream, the
+// shell's --progress stderr ticker) can render a useful line from any
+// single event without replaying history.
+//
+// Concurrency contract: ONE writer (the evaluation thread) and any
+// number of readers. Record() is O(1), lock-free, allocation-free; the
+// per-slot sequence number is cleared first and stored last (release),
+// so a reader that observes a slot's seq also observes a complete
+// payload for that sequence number. Readers poll Since(cursor) and the
+// monotonically increasing global sequence lets them catch up after
+// being lapped (missed events are simply skipped — progress events are
+// a sampled view, not a transaction log).
+#ifndef GDLOG_OBS_PROGRESS_H_
+#define GDLOG_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gdlog {
+
+enum class ProgressKind : uint8_t {
+  kNone = 0,
+  kRunStart,     // rules / relations counted in `round` / `delta_rows`
+  kRound,        // one saturation round completed
+  kStage,        // a next-rule stage advance (gamma firing)
+  kTermination,  // run ended; `termination` holds the TerminationReason
+};
+
+/// Stable lowercase name ("run-start", "round", "stage", "termination").
+const char* ProgressKindName(ProgressKind k);
+
+/// One progress sample. All cumulative counters are totals since the
+/// run started, so any single event renders a complete status line.
+struct ProgressEvent {
+  uint64_t seq = 0;    // 1-based publication order
+  uint64_t ts_ns = 0;  // since the tap was created
+  ProgressKind kind = ProgressKind::kNone;
+  uint64_t round = 0;          // saturation rounds so far
+  uint64_t delta_rows = 0;     // delta size feeding this round
+  uint64_t tuples = 0;         // cumulative tuples inserted
+  uint64_t gamma_firings = 0;  // cumulative γ firings
+  uint64_t stages = 0;         // cumulative stages assigned
+  uint64_t memory_bytes = 0;   // tracked memory at publication
+  int32_t termination = 0;     // TerminationReason (kTermination only)
+};
+
+class ProgressTap {
+ public:
+  static constexpr uint32_t kDefaultCapacity = 512;
+
+  /// Capacity is rounded up to a power of two (slot masking).
+  explicit ProgressTap(uint32_t capacity = kDefaultCapacity);
+
+  /// Publishes one event (seq and ts_ns are assigned here). Single
+  /// writer; lock-free and allocation-free.
+  void Record(const ProgressEvent& e) noexcept;
+
+  /// Events published since construction (may exceed capacity).
+  uint64_t published() const { return next_.load(std::memory_order_acquire); }
+  uint32_t capacity() const { return mask_ + 1; }
+
+  /// The retained events with seq > after_seq, oldest first. Safe to
+  /// call while the writer is active; slots mid-overwrite are skipped.
+  std::vector<ProgressEvent> Since(uint64_t after_seq) const;
+
+  /// The most recent complete event; false when none published yet.
+  bool Last(ProgressEvent* out) const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 = never written
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint8_t> kind{0};
+    std::atomic<uint64_t> round{0};
+    std::atomic<uint64_t> delta_rows{0};
+    std::atomic<uint64_t> tuples{0};
+    std::atomic<uint64_t> gamma_firings{0};
+    std::atomic<uint64_t> stages{0};
+    std::atomic<uint64_t> memory_bytes{0};
+    std::atomic<int32_t> termination{0};
+  };
+
+  bool ReadSlot(const Slot& s, uint64_t want_seq, ProgressEvent* out) const;
+
+  uint64_t NowNs() const noexcept {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  uint32_t mask_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_{0};
+  std::unique_ptr<Slot[]> slots_;
+};
+
+/// One event as a JSON object ({"seq":1,"kind":"round",...}) — the SSE
+/// `data:` payload and the machine side of the ticker.
+std::string ProgressEventJson(const ProgressEvent& e);
+
+/// One event as a human status line for the --progress stderr ticker:
+///   % round 12  +345 delta  5678 tuples  3 stages  1.2 MiB
+std::string ProgressEventLine(const ProgressEvent& e);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_OBS_PROGRESS_H_

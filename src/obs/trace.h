@@ -121,6 +121,7 @@ class TraceSpan {
 // ---------------------------------------------------------------------------
 
 class FlightRecorder;
+class ProgressTap;
 
 /// Per-engine observability switches, carried on EngineOptions.
 ///
@@ -156,6 +157,13 @@ struct ObsOptions {
   /// Auto-dump the recorder to stderr when a run ends in anything other
   /// than a completed fixpoint (cancel, limit, OOM, fault).
   bool recorder_dump_on_stop = true;
+  /// Always-on progress tap (one wide event per saturation round /
+  /// stage advance, single-writer lock-free ring) feeding the /progress
+  /// SSE stream and the shell's --progress ticker. False = no tap.
+  bool progress_enabled = true;
+  /// Progress ring capacity (events retained); rounded up to a power of
+  /// two.
+  uint32_t progress_capacity = 512;
 };
 
 /// The sinks threaded through the evaluator; all null when observability
@@ -164,6 +172,7 @@ struct ObsContext {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
   FlightRecorder* recorder = nullptr;
+  ProgressTap* progress = nullptr;
   bool enabled() const { return metrics != nullptr || tracer != nullptr; }
 };
 

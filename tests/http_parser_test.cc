@@ -1,0 +1,183 @@
+// Unit tests for the socket-free half of the observability HTTP server:
+// request-head parsing, limit enforcement (the 414/431 paths), header
+// normalisation, and response-head serialisation.
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "obs/http/http_parser.h"
+
+namespace gdlog {
+namespace {
+
+HttpParseStatus Parse(std::string_view data, HttpRequest* out,
+                      size_t* consumed = nullptr,
+                      const HttpLimits& limits = HttpLimits{}) {
+  size_t dummy = 0;
+  return ParseHttpRequest(data, limits, out, consumed ? consumed : &dummy);
+}
+
+TEST(HttpParser, ParsesMinimalGet) {
+  HttpRequest req;
+  size_t consumed = 0;
+  const std::string raw = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(Parse(raw, &req, &consumed), HttpParseStatus::kOk);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/metrics");
+  EXPECT_EQ(req.query, "");
+  EXPECT_EQ(req.version_minor, 1);
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(req.Header("host"), "x");
+  EXPECT_EQ(req.Header("HOST"), "x");  // case-insensitive lookup
+}
+
+TEST(HttpParser, SplitsQueryString) {
+  HttpRequest req;
+  ASSERT_EQ(Parse("GET /progress?since=42 HTTP/1.1\r\n\r\n", &req),
+            HttpParseStatus::kOk);
+  EXPECT_EQ(req.path, "/progress");
+  EXPECT_EQ(req.query, "since=42");
+}
+
+TEST(HttpParser, IncompleteUntilBlankLine) {
+  HttpRequest req;
+  EXPECT_EQ(Parse("GET / HTTP/1.1\r\n", &req), HttpParseStatus::kIncomplete);
+  EXPECT_EQ(Parse("GET / HTTP/1.1\r\nHost: x\r\n", &req),
+            HttpParseStatus::kIncomplete);
+  EXPECT_EQ(Parse("GE", &req), HttpParseStatus::kIncomplete);
+}
+
+TEST(HttpParser, ConsumedExcludesPipelinedBytes) {
+  HttpRequest req;
+  size_t consumed = 0;
+  const std::string head = "GET /a HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(Parse(head + "GET /b HTTP/1.1\r\n\r\n", &req, &consumed),
+            HttpParseStatus::kOk);
+  EXPECT_EQ(consumed, head.size());
+  EXPECT_EQ(req.path, "/a");
+}
+
+TEST(HttpParser, RejectsMalformedRequestLines) {
+  HttpRequest req;
+  EXPECT_EQ(Parse("GET\r\n\r\n", &req), HttpParseStatus::kBadRequest);
+  EXPECT_EQ(Parse("GET /\r\n\r\n", &req), HttpParseStatus::kBadRequest);
+  EXPECT_EQ(Parse("GET  / HTTP/1.1\r\n\r\n", &req),
+            HttpParseStatus::kBadRequest);
+  // Target must be origin-form: no absolute URIs, no authority form.
+  EXPECT_EQ(Parse("GET http://e/ HTTP/1.1\r\n\r\n", &req),
+            HttpParseStatus::kBadRequest);
+  EXPECT_EQ(Parse("CONNECT e:80 HTTP/1.1\r\n\r\n", &req),
+            HttpParseStatus::kBadRequest);
+  // Control bytes in the target.
+  EXPECT_EQ(Parse("GET /\x01 HTTP/1.1\r\n\r\n", &req),
+            HttpParseStatus::kBadRequest);
+  // Bare LF line endings are not accepted.
+  EXPECT_EQ(Parse("GET / HTTP/1.1\n\n", &req), HttpParseStatus::kBadRequest);
+}
+
+TEST(HttpParser, RejectsNonHttp1Versions) {
+  HttpRequest req;
+  EXPECT_EQ(Parse("GET / HTTP/2.0\r\n\r\n", &req),
+            HttpParseStatus::kBadVersion);
+  EXPECT_EQ(Parse("GET / SPDY/3\r\n\r\n", &req),
+            HttpParseStatus::kBadVersion);
+  ASSERT_EQ(Parse("GET / HTTP/1.0\r\n\r\n", &req), HttpParseStatus::kOk);
+  EXPECT_EQ(req.version_minor, 0);
+}
+
+TEST(HttpParser, RejectsMalformedHeaders) {
+  HttpRequest req;
+  EXPECT_EQ(Parse("GET / HTTP/1.1\r\nNoColon\r\n\r\n", &req),
+            HttpParseStatus::kBadRequest);
+  // Whitespace before the colon smuggles header confusion; reject.
+  EXPECT_EQ(Parse("GET / HTTP/1.1\r\nHost : x\r\n\r\n", &req),
+            HttpParseStatus::kBadRequest);
+  // Obsolete line folding (continuation lines) is rejected.
+  EXPECT_EQ(Parse("GET / HTTP/1.1\r\nA: b\r\n c\r\n\r\n", &req),
+            HttpParseStatus::kBadRequest);
+  EXPECT_EQ(Parse("GET / HTTP/1.1\r\n: novalue\r\n\r\n", &req),
+            HttpParseStatus::kBadRequest);
+}
+
+TEST(HttpParser, HeaderValuesAreTrimmedAndNamesLowered) {
+  HttpRequest req;
+  ASSERT_EQ(Parse("GET / HTTP/1.1\r\nAccept:   text/plain  \r\n\r\n", &req),
+            HttpParseStatus::kOk);
+  ASSERT_EQ(req.headers.size(), 1u);
+  EXPECT_EQ(req.headers[0].first, "accept");
+  EXPECT_EQ(req.headers[0].second, "text/plain");
+  EXPECT_EQ(req.Header("missing"), "");
+}
+
+TEST(HttpParser, OversizedRequestLineFailsEvenWhileIncomplete) {
+  // A hostile sender that never sends CRLF must not stall the parser in
+  // kIncomplete: the limit applies to the partial data too.
+  HttpRequest req;
+  HttpLimits limits;
+  limits.max_request_line = 64;
+  const std::string long_target = "GET /" + std::string(200, 'a');
+  EXPECT_EQ(Parse(long_target, &req, nullptr, limits),
+            HttpParseStatus::kUriTooLong);
+  // And the same over-limit line with the CRLF present.
+  EXPECT_EQ(Parse(long_target + " HTTP/1.1\r\n\r\n", &req, nullptr, limits),
+            HttpParseStatus::kUriTooLong);
+}
+
+TEST(HttpParser, OversizedHeadFailsEvenWhileIncomplete) {
+  HttpRequest req;
+  HttpLimits limits;
+  limits.max_head_bytes = 256;
+  std::string raw = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 40; ++i) {
+    raw += "X-Filler-" + std::to_string(i) + ": aaaaaaaaaaaaaaaa\r\n";
+  }
+  // No terminating blank line — still must fail fast.
+  EXPECT_EQ(Parse(raw, &req, nullptr, limits),
+            HttpParseStatus::kHeadersTooLarge);
+}
+
+TEST(HttpParser, TooManyHeadersFails) {
+  HttpRequest req;
+  HttpLimits limits;
+  limits.max_headers = 4;
+  std::string raw = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 8; ++i) {
+    raw += "h" + std::to_string(i) + ": v\r\n";
+  }
+  raw += "\r\n";
+  EXPECT_EQ(Parse(raw, &req, nullptr, limits),
+            HttpParseStatus::kHeadersTooLarge);
+}
+
+TEST(HttpParser, ReasonPhrasesCoverEmittedStatuses) {
+  EXPECT_EQ(HttpReasonPhrase(200), "OK");
+  EXPECT_EQ(HttpReasonPhrase(400), "Bad Request");
+  EXPECT_EQ(HttpReasonPhrase(404), "Not Found");
+  EXPECT_EQ(HttpReasonPhrase(405), "Method Not Allowed");
+  EXPECT_EQ(HttpReasonPhrase(408), "Request Timeout");
+  EXPECT_EQ(HttpReasonPhrase(414), "URI Too Long");
+  EXPECT_EQ(HttpReasonPhrase(431), "Request Header Fields Too Large");
+  EXPECT_EQ(HttpReasonPhrase(500), "Internal Server Error");
+  EXPECT_EQ(HttpReasonPhrase(503), "Service Unavailable");
+  EXPECT_EQ(HttpReasonPhrase(505), "HTTP Version Not Supported");
+  EXPECT_FALSE(HttpReasonPhrase(299).empty());  // unknown -> generic
+}
+
+TEST(HttpParser, ResponseHeadHasLengthAndConnectionClose) {
+  const std::string head =
+      BuildHttpResponseHead(200, "text/plain; charset=utf-8", 42,
+                            {{"X-Extra", "1"}});
+  EXPECT_EQ(head.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << head;
+  EXPECT_NE(head.find("Content-Type: text/plain; charset=utf-8\r\n"),
+            std::string::npos);
+  EXPECT_NE(head.find("Content-Length: 42\r\n"), std::string::npos);
+  EXPECT_NE(head.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(head.find("X-Extra: 1\r\n"), std::string::npos);
+  // Terminates with the blank line and nothing after it.
+  ASSERT_GE(head.size(), 4u);
+  EXPECT_EQ(head.substr(head.size() - 4), "\r\n\r\n");
+}
+
+}  // namespace
+}  // namespace gdlog

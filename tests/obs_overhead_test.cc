@@ -32,6 +32,7 @@ enum class Arm {
   kObsOff,   // metrics + recorder disabled
   kObsOn,    // default always-on observability, provenance off
   kProvOn,   // observability + provenance + choice audit
+  kServe,    // obs on + HTTP endpoint enabled but never scraped
 };
 
 /// Example 1 at scale: n students x n courses, bi-injective assignment.
@@ -42,6 +43,10 @@ double RunKernelSeconds(Arm arm) {
     opts.obs.recorder_enabled = false;
   }
   if (arm == Arm::kProvOn) opts.provenance = true;
+  if (arm == Arm::kServe) {
+    opts.obs_http.enabled = true;
+    opts.obs_http.port = 0;
+  }
   Engine e(opts);
   EXPECT_TRUE(e.LoadProgram(R"(
     a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs).
@@ -97,6 +102,25 @@ TEST(ObsOverhead, AlwaysOnObservabilityStaysUnderFivePercent) {
   EXPECT_LE(median_prov, median_on * 1.60 + 0.005)
       << "provenance median " << median_prov * 1e3
       << " ms vs obs-on median " << median_on * 1e3 << " ms";
+}
+
+TEST(ObsOverhead, IdleHttpServerStaysWithinAlwaysOnBound) {
+  // The live endpoint's threads block in accept()/queue-wait when no
+  // client is connected, so an enabled-but-unscraped server must fit
+  // the same always-on budget as plain observability. The progress tap
+  // publishing on every round rides along in this arm too.
+  (void)RunKernelSeconds(Arm::kServe);
+  (void)RunKernelSeconds(Arm::kObsOff);
+  std::vector<double> serve, off;
+  for (int i = 0; i < kReps; ++i) {
+    serve.push_back(RunKernelSeconds(Arm::kServe));
+    off.push_back(RunKernelSeconds(Arm::kObsOff));
+  }
+  const double median_serve = Median(serve);
+  const double median_off = Median(off);
+  EXPECT_LE(median_serve, median_off * 1.05 + 0.003)
+      << "serve-idle median " << median_serve * 1e3
+      << " ms vs obs-off median " << median_off * 1e3 << " ms";
 }
 
 }  // namespace

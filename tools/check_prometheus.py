@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-format (0.0.4) exposition.
+
+Used by the CI obs-smoke job against live scrapes of the embedded
+observability endpoint (GET /metrics). Checks, per the exposition
+format spec:
+
+  - every sample line parses as `name[{labels}] value` with a legal
+    metric name and a finite-or-infinite float value;
+  - every sampled metric is declared by exactly one preceding # TYPE
+    line with kind counter | gauge | histogram;
+  - counter samples are non-negative;
+  - label values are properly quoted with only \\" \\\\ \\n escapes;
+  - every histogram exposes _bucket series that are cumulative in le
+    order, end in le="+Inf", and agree with the _count sample, plus a
+    _sum sample (per labelled series independently);
+  - requested series (--require NAME) are present, and at least
+    --min-histograms distinct histograms exist.
+
+Exit status 0 on success; 1 with one diagnostic per violation.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{label="value",...} value  -- labels optional
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\["\\n])*)"'
+)
+
+
+def parse_labels(raw, errors, line):
+    """'{a="b",c="d"}' -> dict; appends diagnostics on malformed input."""
+    if raw is None:
+        return {}
+    body = raw[1:-1]
+    labels = {}
+    pos = 0
+    while pos < len(body):
+        m = LABEL_RE.match(body, pos)
+        if not m:
+            errors.append(f"bad label syntax: {line}")
+            return labels
+        labels[m.group("key")] = m.group("val")
+        pos = m.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                errors.append(f"bad label separator: {line}")
+                return labels
+            pos += 1
+    return labels
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    return float(raw)
+
+
+def series_key(name, labels, drop=()):
+    kept = sorted((k, v) for k, v in labels.items() if k not in drop)
+    return name + "|" + "|".join(f"{k}={v}" for k, v in kept)
+
+
+def check(text, require, min_histograms):
+    errors = []
+    type_of = {}
+    sampled = set()
+    # histogram bookkeeping, per labelled series
+    buckets = {}      # key -> list of (le, count) in exposition order
+    hist_counts = {}  # key -> _count value
+    hist_sums = {}    # key -> _sum value
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("TYPE", "HELP"):
+                errors.append(f"line {lineno}: bad comment: {line}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"line {lineno}: bad TYPE: {line}")
+                    continue
+                _, _, name, kind = parts
+                if not NAME_RE.match(name):
+                    errors.append(f"line {lineno}: bad metric name: {name}")
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    errors.append(f"line {lineno}: bad kind: {line}")
+                if name in type_of:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                type_of[name] = kind
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparsable sample: {line}")
+            continue
+        name = m.group("name")
+        labels = parse_labels(m.group("labels"), errors, line)
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad value: {line}")
+            continue
+
+        # Resolve the declaring TYPE: exact, or the histogram base for
+        # the _bucket/_count/_sum series.
+        base = name
+        kind = type_of.get(name)
+        if kind is None:
+            for suffix in ("_bucket", "_count", "_sum"):
+                if name.endswith(suffix):
+                    candidate = name[: -len(suffix)]
+                    if type_of.get(candidate) == "histogram":
+                        base = candidate
+                        kind = "histogram"
+                        break
+        if kind is None:
+            errors.append(f"line {lineno}: sample without TYPE: {name}")
+            continue
+        sampled.add(base)
+        sampled.add(name)
+
+        if kind == "counter" and value < 0:
+            errors.append(f"line {lineno}: negative counter: {line}")
+        if kind == "histogram":
+            key = series_key(base, labels, drop=("le",))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"line {lineno}: bucket without le: {line}")
+                    continue
+                buckets.setdefault(key, []).append(
+                    (parse_value(labels["le"]), value))
+            elif name.endswith("_count"):
+                hist_counts[key] = value
+            elif name.endswith("_sum"):
+                hist_sums[key] = value
+
+    for key, series in buckets.items():
+        les = [le for le, _ in series]
+        counts = [c for _, c in series]
+        if les != sorted(les):
+            errors.append(f"{key}: buckets not in le order")
+        if counts != sorted(counts):
+            errors.append(f"{key}: bucket counts not cumulative")
+        if not les or les[-1] != math.inf:
+            errors.append(f"{key}: missing le=\"+Inf\" bucket")
+        elif key in hist_counts and counts[-1] != hist_counts[key]:
+            errors.append(
+                f"{key}: +Inf bucket {counts[-1]} != _count "
+                f"{hist_counts[key]}")
+        if key not in hist_sums:
+            errors.append(f"{key}: missing _sum")
+        if key not in hist_counts:
+            errors.append(f"{key}: missing _count")
+
+    histogram_count = len({k.split("|", 1)[0] for k in buckets})
+    if histogram_count < min_histograms:
+        errors.append(
+            f"only {histogram_count} histogram(s), need {min_histograms}")
+    for name in require:
+        if name not in sampled:
+            errors.append(f"required series missing: {name}")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("path", help="exposition file, or - for stdin")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless this metric name is sampled "
+                         "(repeatable)")
+    ap.add_argument("--min-histograms", type=int, default=0,
+                    help="fail unless at least N distinct histograms exist")
+    args = ap.parse_args()
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, encoding="utf-8") as f:
+            text = f.read()
+
+    errors = check(text, args.require, args.min_histograms)
+    if errors:
+        for e in errors:
+            print(f"check_prometheus: {e}", file=sys.stderr)
+        return 1
+    samples = sum(1 for l in text.splitlines()
+                  if l.strip() and not l.startswith("#"))
+    print(f"check_prometheus: OK ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

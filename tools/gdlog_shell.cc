@@ -19,6 +19,15 @@
 //   --explain-analyze    per-goal planner estimates vs measured actuals
 //   --json-report        print the machine-readable run report JSON
 //   --metrics-out PATH   write metrics in Prometheus text format
+//                        (atomic: temp file + rename, scraper-safe)
+//   --serve-obs PORT     serve the live observability endpoint on
+//                        127.0.0.1:PORT for the process lifetime
+//                        (0 = ephemeral; the bound port is announced on
+//                        stderr). Endpoints: /metrics /healthz /statusz
+//                        /runs /runs/last /trace /blackbox /progress
+//   --serve-linger-ms N  keep serving N ms after the run finished (lets
+//                        scrapers collect /runs/last before exit)
+//   --progress           stderr ticker: one line per fixpoint round
 //   --trace PATH         record a phase timeline, write Chrome trace JSON
 //   --no-merge           disable congruence merging ((R,Q,L) ablation)
 //   --linear-least       naive linear-scan retrieval instead of the heap
@@ -61,6 +70,7 @@
 //   .explain | .blackbox | .metrics [PATH]
 //   .why [text|json|dot] TARGET | .choices | .provenance on|off
 //   .report | .rewrite | .verify | .trace on [PATH] | .trace off
+//   .serve [PORT] | .serve off
 //   .open DIR [POLICY] | .save | .seed N | .quit
 //
 // Example:
@@ -70,6 +80,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +90,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/absint/absint.h"
@@ -124,6 +136,58 @@ gdlog::Status RunWithCancel(gdlog::Engine* engine) {
   return st;
 }
 
+/// --progress: a background thread draining the engine's progress tap
+/// to stderr, one status line per ~100ms (the tap is multi-reader, so
+/// the ticker composes with a concurrent /progress SSE stream). The
+/// destructor drains once more, so the terminal event always prints.
+class ProgressTicker {
+ public:
+  explicit ProgressTicker(const gdlog::Engine* engine) : engine_(engine) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~ProgressTicker() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Loop() {
+    uint64_t cursor = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+      cursor = Drain(cursor);
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    Drain(cursor);
+  }
+
+  /// Prints the newest event of the batch (natural rate limiting: fast
+  /// runs produce many rounds per poll, one line summarizes them).
+  uint64_t Drain(uint64_t cursor) {
+    const gdlog::ProgressTap* tap = engine_->progress();
+    if (tap == nullptr) return cursor;
+    const std::vector<gdlog::ProgressEvent> events = tap->Since(cursor);
+    if (events.empty()) return cursor;
+    cursor = events.back().seq;
+    if (events.back().kind != gdlog::ProgressKind::kRunStart) {
+      std::fprintf(stderr, "%s\n",
+                   gdlog::ProgressEventLine(events.back()).c_str());
+    }
+    return cursor;
+  }
+
+  const gdlog::Engine* engine_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Announces the live endpoint (parseable by scripts waiting on it).
+void AnnounceObsEndpoint(const gdlog::Engine& engine) {
+  if (engine.obs_server() != nullptr) {
+    std::fprintf(stderr, "%% obs endpoint: http://127.0.0.1:%u\n",
+                 engine.obs_http_port());
+  }
+}
+
 void PrintTermination(const gdlog::Engine& engine) {
   const gdlog::RunOutcome& o = engine.outcome();
   std::fprintf(stderr, "%% run stopped: %.*s\n",
@@ -145,6 +209,7 @@ void Usage(const char* argv0) {
                "[--provenance] [--why TARGET]... [--why-dot TARGET]... "
                "[--choices] "
                "[--explain-analyze] [--json-report] [--metrics-out PATH] "
+               "[--serve-obs PORT] [--serve-linger-ms N] [--progress] "
                "[--trace PATH] [--no-merge] [--linear-least] "
                "[--threads N] [--backend interp|vm] [--dump-plan] "
                "[--no-planner] [--no-absint] [--no-priors] "
@@ -373,6 +438,8 @@ void PrintHelp() {
       ".verify           Gelfond-Lifschitz stable-model check\n"
       ".trace on [PATH]  record a timeline; write Chrome trace on .run\n"
       ".trace off        disable tracing\n"
+      ".serve [PORT]     start the live observability HTTP endpoint\n"
+      ".serve off        stop serving (takes effect on next reload)\n"
       ".open DIR [POLICY] attach a durable database (WAL + checkpoints);\n"
       "                  recovers any existing state; POLICY: always|batch|off\n"
       ".save             checkpoint the durable database (snapshot + WAL rotate)\n"
@@ -475,6 +542,28 @@ int RunInteractive(gdlog::EngineOptions options) {
         continue;
       }
       if (!sh.program_text.empty()) sh.Reload();
+    } else if (cmd == ".serve") {
+      if (arg1 == "off") {
+        sh.options.obs_http = gdlog::ObsHttpOptions{};
+        std::printf("serving off\n");
+        if (sh.engine) sh.Reload();
+        continue;
+      }
+      sh.options.obs_http.enabled = true;
+      sh.options.obs_http.port = static_cast<uint16_t>(
+          arg1.empty() ? 0 : std::strtoul(arg1.c_str(), nullptr, 10));
+      // The server lives inside the engine, so rebuild to (re)bind.
+      if (!sh.Reload()) continue;
+      if (sh.engine->obs_server() == nullptr) {
+        std::printf("error: %s\n",
+                    sh.engine->obs_http_status().ToString().c_str());
+        sh.options.obs_http = gdlog::ObsHttpOptions{};
+        continue;
+      }
+      std::printf("serving http://%s:%u (endpoints: /metrics /healthz "
+                  "/statusz /runs /runs/last /trace /blackbox /progress)\n",
+                  sh.options.obs_http.bind_address.c_str(),
+                  sh.engine->obs_http_port());
     } else if (cmd == ".seed") {
       sh.options.eval.choice_seed = std::strtoull(arg1.c_str(), nullptr, 10);
       if (!sh.program_text.empty()) sh.Reload();
@@ -685,6 +774,8 @@ int main(int argc, char** argv) {
   bool choices = false, dump_plan = false;
   std::vector<std::string> why_targets, why_dot_targets;
   std::string metrics_out;
+  bool progress_ticker = false;
+  uint64_t serve_linger_ms = 0;
   gdlog::EngineOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -731,6 +822,14 @@ int main(int argc, char** argv) {
       json_report = true;
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (arg == "--serve-obs" && i + 1 < argc) {
+      options.obs_http.enabled = true;
+      options.obs_http.port =
+          static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--serve-linger-ms" && i + 1 < argc) {
+      serve_linger_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--progress") {
+      progress_ticker = true;
     } else if (arg == "--interactive" || arg == "-i") {
       interactive = true;
     } else if (arg == "--no-merge") {
@@ -801,6 +900,16 @@ int main(int argc, char** argv) {
   if (lint) return RunLint(path, text.str(), queries, options, lint_json);
 
   gdlog::Engine engine(options);
+  if (options.obs_http.enabled) {
+    if (!engine.obs_http_status().ok()) {
+      std::fprintf(stderr, "serve-obs failed: %s\n",
+                   engine.obs_http_status().ToString().c_str());
+      return 1;
+    }
+    // Announced before the run so scripts waiting on the endpoint can
+    // resolve an ephemeral port and scrape mid-run.
+    AnnounceObsEndpoint(engine);
+  }
   // With a durable database the inline facts must traverse the WAL, so
   // they are loaded via AddFact rather than as program text.
   gdlog::Status st = options.durability.dir.empty()
@@ -830,7 +939,11 @@ int main(int argc, char** argv) {
     if (r.ok()) std::printf("%% first-order rewriting:\n%s\n", r->c_str());
   }
   InstallSigintHandler();
-  st = RunWithCancel(&engine);
+  {
+    std::unique_ptr<ProgressTicker> ticker;
+    if (progress_ticker) ticker = std::make_unique<ProgressTicker>(&engine);
+    st = RunWithCancel(&engine);
+  }
   bool bounded_stop = false;
   if (!st.ok()) {
     if (engine.has_run()) {
@@ -942,6 +1055,18 @@ int main(int argc, char** argv) {
         std::printf("%%   %s\n", check->diagnostic.c_str());
         return 1;
       }
+    }
+  }
+  if (serve_linger_ms > 0 && engine.obs_server() != nullptr) {
+    // Keep the endpoint up after the run so scrapers can collect the
+    // end-of-run artifacts (/runs/last, /trace). SIGINT ends the linger.
+    std::fprintf(stderr, "%% obs endpoint lingering %llu ms\n",
+                 static_cast<unsigned long long>(serve_linger_ms));
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(serve_linger_ms);
+    while (std::chrono::steady_clock::now() < until &&
+           g_sigint_count.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
   }
   return bounded_stop ? kExitBoundedStop : 0;
